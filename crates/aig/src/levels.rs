@@ -1,0 +1,158 @@
+//! Levelization and the long-tail statistics of Observation 4.
+//!
+//! The paper observes that "the logic depth of an AIG can be 50–100 for
+//! common circuits. However, the gate distribution among the logic levels
+//! is extremely imbalanced. A large portion of the gates reside in a few
+//! frontier levels whereas only a few gates are accountable for the rest"
+//! — the *long-tailed* nature that motivates the boomerang executor.
+
+use crate::eaig::{Eaig, Node};
+
+/// Levelization of the live combinational logic of an [`Eaig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    /// Logic depth (deepest live AND gate); 0 for purely sequential logic.
+    pub depth: u32,
+    /// Live AND-gate count per level; index 0 (sources) is always 0.
+    pub histogram: Vec<u64>,
+    /// Total number of live AND gates.
+    pub gates: u64,
+}
+
+impl Levels {
+    /// Computes levelization over the live nodes of `g`.
+    pub fn of(g: &Eaig) -> Self {
+        let live = g.live_nodes();
+        let levels = g.node_levels();
+        let mut histogram: Vec<u64> = Vec::new();
+        let mut gates = 0u64;
+        for (i, n) in g.nodes().iter().enumerate() {
+            if live[i] && matches!(n, Node::And(..)) {
+                let l = levels[i] as usize;
+                if histogram.len() <= l {
+                    histogram.resize(l + 1, 0);
+                }
+                histogram[l] += 1;
+                gates += 1;
+            }
+        }
+        let depth = histogram.len().saturating_sub(1) as u32;
+        Levels {
+            depth,
+            histogram,
+            gates,
+        }
+    }
+
+    /// Long-tail summary for reporting.
+    pub fn stats(&self) -> LevelStats {
+        let half = self.gates / 2;
+        let mut acc = 0u64;
+        let mut levels_for_half = 0u32;
+        for (l, &c) in self.histogram.iter().enumerate() {
+            acc += c;
+            if acc >= half && half > 0 {
+                levels_for_half = l as u32;
+                break;
+            }
+        }
+        // Fraction of gates in the shallowest quarter of the levels.
+        let frontier_cutoff = (self.depth / 4).max(1);
+        let frontier_gates: u64 = self
+            .histogram
+            .iter()
+            .take(frontier_cutoff as usize + 1)
+            .sum();
+        LevelStats {
+            depth: self.depth,
+            gates: self.gates,
+            levels_for_half_gates: levels_for_half,
+            frontier_fraction: if self.gates == 0 {
+                0.0
+            } else {
+                frontier_gates as f64 / self.gates as f64
+            },
+        }
+    }
+}
+
+/// Summary numbers quantifying the long tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelStats {
+    /// Logic depth.
+    pub depth: u32,
+    /// Total live AND gates.
+    pub gates: u64,
+    /// The smallest level index by which half of all gates have appeared.
+    /// For a long-tailed circuit this is much smaller than `depth`.
+    pub levels_for_half_gates: u32,
+    /// Fraction of gates within the shallowest quarter of levels.
+    pub frontier_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eaig::Lit;
+
+    /// Builds a deliberately long-tailed circuit: a wide frontier of XORs
+    /// feeding a long AND chain.
+    fn long_tailed() -> Eaig {
+        let mut g = Eaig::new();
+        let inputs: Vec<Lit> = (0..64).map(|i| g.input(format!("i{i}"))).collect();
+        // Frontier: 32 XORs (3 gates each) at shallow levels.
+        let mut pairs: Vec<Lit> = inputs.chunks(2).map(|c| g.xor(c[0], c[1])).collect();
+        // Tail: a long chain.
+        let mut acc = pairs.pop().expect("nonempty");
+        for p in pairs {
+            acc = g.and(acc, p); // linear chain: deep tail
+        }
+        g.output("o", acc);
+        g
+    }
+
+    #[test]
+    fn histogram_counts_live_gates_only() {
+        let mut g = Eaig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        let _dead = g.or(a, b);
+        g.output("o", x);
+        let l = g.levels();
+        assert_eq!(l.gates, 1);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.histogram, vec![0, 1]);
+    }
+
+    #[test]
+    fn long_tail_detected() {
+        let g = long_tailed();
+        let stats = g.levels().stats();
+        // Half of the gates appear in far fewer levels than the depth.
+        assert!(stats.depth > 20);
+        assert!(stats.levels_for_half_gates < stats.depth / 2);
+        assert!(stats.frontier_fraction > 0.3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Eaig::new();
+        let l = g.levels();
+        assert_eq!(l.depth, 0);
+        assert_eq!(l.gates, 0);
+    }
+
+    #[test]
+    fn depth_matches_level_of() {
+        let mut g = Eaig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x = g.and(a, b);
+        let y = g.and(x, c);
+        g.output("o", y);
+        assert_eq!(g.level_of(y), 2);
+        assert_eq!(g.levels().depth, 2);
+    }
+}

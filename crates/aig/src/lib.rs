@@ -1,0 +1,35 @@
+//! Extended and-inverter graphs (E-AIG) for the GEM flow.
+//!
+//! GEM "regards every RTL design as a set of partitions \[where\] each
+//! partition is an extended and-inverter graph" (paper §III-A, Fig 2): an
+//! AIG of two-input AND gates with free inverters on edges, *extended* with
+//! D flip-flops and native RAM blocks of fixed geometry (13-bit address ×
+//! 32-bit data). This crate provides
+//!
+//! * the [`Eaig`] graph with structural hashing and constant folding,
+//! * free inverters as complemented [`Lit`] edges,
+//! * two-phase flip-flop and RAM construction for feedback,
+//! * depth-aware balanced n-ary builders (the "depth-optimized extended
+//!   AIG synthesis" of §III-B),
+//! * levelization and the long-tail level statistics of Observation 4.
+//!
+//! # Example
+//!
+//! ```
+//! use gem_aig::Eaig;
+//!
+//! let mut g = Eaig::new();
+//! let a = g.input("a");
+//! let b = g.input("b");
+//! let x = g.and(a, b);
+//! let y = g.or(a, b);
+//! let xor = g.and(x.flip(), y); // a ^ b via (!(a&b)) & (a|b)
+//! g.output("xor", xor);
+//! assert_eq!(g.levels().depth, 2);
+//! ```
+
+pub mod eaig;
+pub mod levels;
+
+pub use eaig::{Eaig, Ff, FfId, Lit, Node, NodeId, Ram, RamId, RAM_ADDR_BITS, RAM_DATA_BITS};
+pub use levels::{LevelStats, Levels};

@@ -1,0 +1,55 @@
+//! Ablation A1 (DESIGN.md): timing-driven vs FIFO node selection in the
+//! bit placer. Criterion measures the runtime of both; the quality metric
+//! (boomerang layer count, which is what Algorithm 2's criticality
+//! ordering exists to minimize) is printed alongside.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gem_partition::{partition, PartitionOptions};
+use gem_place::{place_partition, PlaceOptions};
+use gem_synth::{synthesize, SynthOptions};
+
+fn bench_ablation(c: &mut Criterion) {
+    let m = gem_designs::gemmini_like(4).module;
+    let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizable");
+    let parts = partition(
+        &synth.eaig,
+        &PartitionOptions {
+            target_parts: 1,
+            ..Default::default()
+        },
+    );
+    let p = &parts.stages[0].partitions[0];
+    let opts_td = PlaceOptions {
+        core_width: 8192,
+        timing_driven: true,
+        ..Default::default()
+    };
+    let opts_fifo = PlaceOptions {
+        timing_driven: false,
+        ..opts_td
+    };
+    let (prog_td, stats_td) = place_partition(&synth.eaig, p, &opts_td).expect("mappable");
+    let (prog_fifo, stats_fifo) = place_partition(&synth.eaig, p, &opts_fifo).expect("mappable");
+    println!(
+        "[ablation] depth {} → layers: timing-driven {}, fifo {} (state peak {} vs {})",
+        stats_td.depth,
+        prog_td.layers.len(),
+        prog_fifo.layers.len(),
+        stats_td.state_peak,
+        stats_fifo.state_peak,
+    );
+    assert!(prog_td.layers.len() <= prog_fifo.layers.len());
+
+    let mut group = c.benchmark_group("ablate_placement");
+    group.sample_size(10);
+    group.bench_function("timing_driven", |b| {
+        b.iter(|| place_partition(&synth.eaig, p, &opts_td).expect("mappable"))
+    });
+    group.bench_function("fifo", |b| {
+        b.iter(|| place_partition(&synth.eaig, p, &opts_fifo).expect("mappable"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks of the GEM compilation flow, per phase: synthesis
+//! to E-AIG, replication-aided partitioning, and bit placement. The paper
+//! positions GEM's minutes-scale compilation against days-scale FPGA
+//! emulator builds; these benches track that the Rust flow stays fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gem_partition::{partition, PartitionOptions};
+use gem_place::{place_partition, PlaceOptions};
+use gem_synth::{synthesize, SynthOptions};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10);
+    for (name, m) in [
+        ("nvdla_s", gem_designs::nvdla_like(8).module),
+        ("rocket", gem_designs::rocket_like().module),
+        ("gemmini_s", gem_designs::gemmini_like(4).module),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| synthesize(m, &SynthOptions::default()).expect("synthesizable"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let m = gem_designs::nvdla_like(16).module;
+    let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizable");
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for stages in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new("stages", stages),
+            &stages,
+            |b, &stages| {
+                b.iter(|| {
+                    partition(
+                        &synth.eaig,
+                        &PartitionOptions {
+                            target_parts: 8,
+                            stages,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let m = gem_designs::rocket_like().module;
+    let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizable");
+    let parts = partition(
+        &synth.eaig,
+        &PartitionOptions {
+            target_parts: 2,
+            stages: 2,
+            ..Default::default()
+        },
+    );
+    let p = &parts.stages[0].partitions[0];
+    let mut group = c.benchmark_group("place_partition");
+    group.sample_size(10);
+    group.bench_function("timing_driven", |b| {
+        b.iter(|| {
+            place_partition(
+                &synth.eaig,
+                p,
+                &PlaceOptions {
+                    core_width: 8192,
+                    ..Default::default()
+                },
+            )
+            .expect("mappable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_partitioning, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks of per-cycle simulation throughput for every
+//! engine in the comparison, on the same mid-size design and stimulus.
+//! These are the wall-clock counterparts of the Table II harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gem_core::{CompileOptions, GemSimulator};
+use gem_sim::{BatchSim, EaigSim, EventSim, LevelizedSim};
+use gem_vgpu::Gl0amModel;
+
+fn bench_engines(c: &mut Criterion) {
+    let d = gem_designs::nvdla_like(8);
+    let opts = CompileOptions {
+        core_width: 2048,
+        target_parts: 4,
+        ..Default::default()
+    };
+    let compiled = gem_core::compile(&d.module, &opts).expect("compiles");
+    let g = &compiled.eaig;
+    let n_in = g.inputs().len();
+    let mut pattern = vec![false; n_in];
+    for (i, p) in pattern.iter_mut().enumerate() {
+        *p = i % 3 == 0;
+    }
+
+    let mut group = c.benchmark_group("cycle_throughput");
+    group.sample_size(20);
+
+    group.bench_function("golden_interpreter", |b| {
+        let mut sim = EaigSim::new(g);
+        b.iter(|| sim.cycle(&pattern))
+    });
+    group.bench_function("event_driven", |b| {
+        let mut sim = EventSim::new(g);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let mut ins = pattern.clone();
+            if flip {
+                for v in ins.iter_mut().take(8) {
+                    *v = !*v;
+                }
+            }
+            sim.cycle(&ins)
+        })
+    });
+    group.bench_function("levelized_1t", |b| {
+        let mut sim = LevelizedSim::new(g, 1);
+        b.iter(|| sim.cycle(&pattern))
+    });
+    group.bench_function("levelized_8t", |b| {
+        let mut sim = LevelizedSim::new(g, 8);
+        b.iter(|| sim.cycle(&pattern))
+    });
+    group.bench_function("gl0am_model", |b| {
+        let mut sim = Gl0amModel::new(g);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let mut ins = pattern.clone();
+            if flip {
+                for v in ins.iter_mut().take(8) {
+                    *v = !*v;
+                }
+            }
+            sim.cycle(&ins)
+        })
+    });
+    group.bench_function("gem_virtual_gpu", |b| {
+        let mut sim = GemSimulator::new(&compiled).expect("loads");
+        b.iter(|| sim.step())
+    });
+    // 64 testbenches per step: divide this time by 64 for per-testbench
+    // throughput — far better than any latency engine, which is exactly
+    // the throughput/latency trade-off the paper draws against
+    // batch-stimulus approaches.
+    group.bench_function("batch64_per_step", |b| {
+        let mut sim = BatchSim::new(g);
+        let packed: Vec<u64> = (0..n_in as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        b.iter(|| sim.cycle(&packed))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

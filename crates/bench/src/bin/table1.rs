@@ -1,0 +1,60 @@
+//! Regenerates **Table I**: design statistics and GEM mapping results.
+//!
+//! Usage: `cargo run -p gem-bench --release --bin table1 [--scale N]`
+//!
+//! Columns match the paper: #E-AIG gates, #levels, #stages, #layers,
+//! #parts, bitstream size. Designs are scaled-down structural analogues
+//! (see `gem-designs`); compare *ratios* (layers vs levels, bytes per
+//! gate), not absolute magnitudes.
+
+use gem_bench::{compile_design, suite, write_record};
+
+fn main() {
+    let scale = gem_bench::arg("--scale", 1) as u32;
+    println!("TABLE I — Design statistics and GEM mapping results (scale {scale})");
+    println!(
+        "{:<12} {:>12} {:>8} {:>7} {:>7} {:>6} {:>12} {:>8} {:>6}",
+        "Design", "#E-AIG Gates", "#Levels", "#Stages", "#Layers", "#Parts", "Bitstream", "Repl%", "L/l"
+    );
+    let mut records = Vec::new();
+    for (d, opts) in suite(scale) {
+        let t0 = std::time::Instant::now();
+        let c = compile_design(&d, &opts);
+        let r = &c.report;
+        let compression = r.levels as f64 / r.layers.max(1) as f64;
+        println!(
+            "{:<12} {:>12} {:>8} {:>7} {:>7} {:>6} {:>9} KB {:>7.2} {:>6.1}",
+            d.name,
+            r.gates,
+            r.levels,
+            r.stages,
+            r.layers,
+            r.parts,
+            r.bitstream_bytes / 1024,
+            r.replication_cost * 100.0,
+            compression,
+        );
+        records.push(serde_json::json!({
+            "design": d.name,
+            "gates": r.gates,
+            "levels": r.levels,
+            "stages": r.stages,
+            "layers": r.layers,
+            "parts": r.parts,
+            "bitstream_bytes": r.bitstream_bytes,
+            "replication_cost": r.replication_cost,
+            "ram_blocks": r.ram_blocks,
+            "polyfilled_mem_bits": r.polyfilled_mem_bits,
+            "compile_seconds": t0.elapsed().as_secs_f64(),
+        }));
+    }
+    println!();
+    println!("Paper reference (full-scale designs):");
+    println!("  NVDLA 668,746 g / 62 lv / 1 st / 9 ly / 52 p / 11.2 MB");
+    println!("  RocketChip 346,687 g / 82 lv / 1 st / 13 ly / 39 p / 9.2 MB");
+    println!("  Gemmini 1,831,381 g / 148 lv / 1 st / 19 ly / 143 p / 44.4 MB");
+    println!("  OpenPiton1 682,646 g / 66 lv / 2 st / 10 ly / 119 p / 18.4 MB");
+    println!("  OpenPiton8 5,479,795 g / 66 lv / 2 st / 13 ly / 947 p / 162.4 MB");
+    println!("  (layers are 6-8x fewer than levels in every row)");
+    write_record("table1", &serde_json::Value::Array(records));
+}

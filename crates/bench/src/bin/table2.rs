@@ -1,0 +1,83 @@
+//! Regenerates **Table II**: simulation speed (Hz) and speed-up
+//! comparison between GEM (A100/3090 timing models), the event-driven
+//! commercial stand-in, the levelized Verilator stand-in (1 and 8
+//! threads), and the GL0AM-style gate-level GPU model.
+//!
+//! Usage:
+//! `cargo run -p gem-bench --release --bin table2 [--scale N] [--cycles N]`
+//!
+//! Every engine runs the same per-workload stimulus; GEM's output is
+//! cross-checked against the golden model before any number is printed.
+
+use gem_bench::*;
+
+fn main() {
+    let scale = arg("--scale", 1) as u32;
+    let cycles = arg("--cycles", 2000);
+    println!("TABLE II — Simulation speed (Hz) and speed-up vs GEM-A100 (scale {scale}, {cycles} measured cycles)");
+    println!(
+        "{:<12} {:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>7} {:>7} {:>7}",
+        "Design", "Test", "Comm.", "Verl-8t", "Verl-1t", "GL0AM", "GEM-A100", "GEM-3090",
+        "C/GEM", "V8/GEM", "V1/GEM", "GL/GEM"
+    );
+    let mut records = Vec::new();
+    let mut sums = [0.0f64; 4];
+    let mut n = 0usize;
+    for (d, opts) in suite(scale) {
+        let c = compile_design(&d, &opts);
+        // Correctness gate: never report speed for a wrong simulator.
+        verify_gem(&d, &c, &d.workloads[0], 24);
+        for w in &d.workloads {
+            let (gem_a100, gem_3090) = measure_gem(&d, &c, w, 8);
+            let (comm, events) = measure_event(&d, &c, w, cycles);
+            let v8 = measure_levelized(&d, &c, w, 8, cycles);
+            let v1 = measure_levelized(&d, &c, w, 1, cycles);
+            let gl0am = measure_gl0am(&d, &c, w, cycles.min(500));
+            let su = [
+                gem_a100 / comm,
+                gem_a100 / v8,
+                gem_a100 / v1,
+                gem_a100 / gl0am,
+            ];
+            for (s, v) in sums.iter_mut().zip(su) {
+                *s += v;
+            }
+            n += 1;
+            println!(
+                "{:<12} {:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+                d.name,
+                w.name,
+                fmt_hz(comm),
+                fmt_hz(v8),
+                fmt_hz(v1),
+                fmt_hz(gl0am),
+                fmt_hz(gem_a100),
+                fmt_hz(gem_3090),
+                su[0],
+                su[1],
+                su[2],
+                su[3],
+            );
+            records.push(serde_json::json!({
+                "design": d.name, "test": w.name,
+                "commercial_hz": comm, "verilator8_hz": v8, "verilator1_hz": v1,
+                "gl0am_hz": gl0am, "gem_a100_hz": gem_a100, "gem_3090_hz": gem_3090,
+                "events_per_cycle": events,
+                "speedup_comm": su[0], "speedup_v8": su[1], "speedup_v1": su[2], "speedup_gl0am": su[3],
+            }));
+        }
+    }
+    println!(
+        "{:<35} {:>70} | {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+        "Average speed-up",
+        "",
+        sums[0] / n as f64,
+        sums[1] / n as f64,
+        sums[2] / n as f64,
+        sums[3] / n as f64
+    );
+    println!();
+    println!("Paper averages (full-scale): Comm. 9.15x, Verilator-8t 5.98x, Verilator-1t 24.87x, GL0AM 7.72x");
+    println!("Paper peaks on NVDLA: 38.85x (Comm.), 64.76x (Verilator-1t)");
+    write_record("table2", &serde_json::Value::Array(records));
+}

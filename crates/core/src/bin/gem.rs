@@ -1,0 +1,253 @@
+//! `gem` — command-line front end for the GEM flow.
+//!
+//! ```text
+//! gem compile <design.v> [-o out.gemb] [--width N] [--parts N] [--stages N]
+//! gem run     <design.gemb|design.v> [--cycles N] [--poke port=hex ...]
+//!             [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
+//!             [--gpu a100|3090]
+//! gem stats   <design.v>            # Table-I style report
+//! ```
+//!
+//! `compile` parses the synthesizable-Verilog subset, runs the full flow
+//! (synthesis → partitioning → placement → bitstream) and writes a
+//! self-contained `.gemb` package. `run` executes a package (or compiles
+//! a Verilog file on the fly) on the virtual GPU, printing outputs each
+//! cycle, optionally dumping a VCD and reporting the modeled simulation
+//! speed.
+
+use gem_core::{compile, CompileOptions, GemSimulator, Package, VcdStimulus};
+use gem_netlist::vcd::VcdWriter;
+use gem_netlist::{verilog, Bits};
+use gem_vgpu::{GpuSpec, TimingModel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gem — GPU-accelerated emulator-inspired RTL simulation
+
+USAGE:
+  gem compile <design.v> [-o out.gemb] [--width N] [--parts N] [--stages N]
+  gem run     <design.gemb|design.v> [--cycles N] [--poke port=hex ...]
+              [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
+              [--gpu a100|3090]
+  gem stats   <design.v>
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got {v:?}")),
+    }
+}
+
+fn positional(args: &[String]) -> Result<&String, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--") && !a.starts_with('-'))
+        .ok_or_else(|| "missing input file".to_string())
+}
+
+fn compile_verilog(path: &str, args: &[String]) -> Result<gem_core::Compiled, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let module = verilog::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let opts = CompileOptions {
+        core_width: flag_u64(args, "--width", 2048)? as u32,
+        target_parts: flag_u64(args, "--parts", 8)? as usize,
+        stages: flag_u64(args, "--stages", 1)? as usize,
+        ..Default::default()
+    };
+    compile(&module, &opts).map_err(|e| format!("compilation failed: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let compiled = compile_verilog(input, args)?;
+    let out = flag(args, "-o").unwrap_or_else(|| {
+        std::path::Path::new(input)
+            .with_extension("gemb")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let pkg = Package::from_compiled(&compiled);
+    std::fs::write(&out, pkg.to_bytes()).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+    let r = &compiled.report;
+    println!(
+        "{input}: {} gates / {} levels → {} stage(s), {} partition(s), {} layer(s)",
+        r.gates, r.levels, r.stages, r.parts, r.layers
+    );
+    println!("wrote {out} ({} bytes)", r.bitstream_bytes);
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let compiled = compile_verilog(input, args)?;
+    let r = &compiled.report;
+    println!("design:            {input}");
+    println!("E-AIG gates:       {}", r.gates);
+    println!("logic levels:      {}", r.levels);
+    println!("pipeline stages:   {}", r.stages);
+    println!("boomerang layers:  {}", r.layers);
+    println!("partitions:        {}", r.parts);
+    println!("RAM blocks:        {}", r.ram_blocks);
+    println!("polyfilled bits:   {}", r.polyfilled_mem_bits);
+    println!("replication cost:  {:.2}%", r.replication_cost * 100.0);
+    println!("bitstream size:    {} bytes", r.bitstream_bytes);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let cycles = flag_u64(args, "--cycles", 16)?;
+    let (mut sim, io) = if input.ends_with(".gemb") {
+        let bytes =
+            std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let pkg = Package::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        let io = pkg.io.clone();
+        let sim = pkg
+            .into_simulator()
+            .map_err(|e| format!("package rejected: {e}"))?;
+        (sim, io)
+    } else {
+        let compiled = compile_verilog(input, args)?;
+        let io = compiled.io.clone();
+        let sim = GemSimulator::new(&compiled).map_err(|e| format!("load failed: {e}"))?;
+        (sim, io)
+    };
+    // Pokes: --poke name=hex (applied every cycle).
+    let mut pokes: Vec<(String, Bits)> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--poke" {
+            let spec = args
+                .get(i + 1)
+                .ok_or_else(|| "--poke expects port=hexvalue".to_string())?;
+            let (name, val) = spec
+                .split_once('=')
+                .ok_or_else(|| format!("bad poke {spec:?}, expected port=hexvalue"))?;
+            let port = io
+                .input(name)
+                .ok_or_else(|| format!("no input port named {name:?}"))?;
+            let v = u64::from_str_radix(val.trim_start_matches("0x"), 16)
+                .map_err(|_| format!("bad hex value in {spec:?}"))?;
+            pokes.push((name.to_string(), Bits::from_u64(v, port.bits.len() as u32)));
+        }
+    }
+    let mut vcd = flag(args, "--vcd").map(|path| {
+        let mut w = VcdWriter::new("gem");
+        let vars: Vec<_> = io
+            .outputs
+            .iter()
+            .map(|p| (p.name.clone(), w.add_var(&p.name, p.bits.len() as u32)))
+            .collect();
+        w.begin();
+        (path, w, vars)
+    });
+    for (name, v) in &pokes {
+        sim.set_input(name, v.clone());
+    }
+    // Optional one-cycle reset pulse before the measured window.
+    if let Some(rst) = flag(args, "--reset") {
+        let port = io
+            .input(&rst)
+            .ok_or_else(|| format!("no input port named {rst:?} for --reset"))?;
+        sim.set_input(&rst, Bits::ones(port.bits.len() as u32));
+        sim.step();
+        sim.set_input(&rst, Bits::zeros(port.bits.len() as u32));
+    }
+    println!(
+        "cycle  {}",
+        io.outputs
+            .iter()
+            .map(|p| format!("{:>12}", p.name))
+            .collect::<String>()
+    );
+    // Waveform-driven run replaces the free-running loop.
+    if let Some(path) = flag(args, "--stimulus") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let stim = VcdStimulus::new(&text, &io).map_err(|e| e.to_string())?;
+        let outs = stim.replay(&mut sim);
+        for (c, cycle_outs) in outs.iter().enumerate() {
+            let row: String = cycle_outs
+                .iter()
+                .map(|(_, v)| format!("{:>12}", v.to_u64()))
+                .collect();
+            println!("{c:>5}  {row}");
+            if let Some((_, w, vars)) = vcd.as_mut() {
+                w.timestamp(c as u64);
+                for ((_, var), (_, v)) in vars.iter().zip(cycle_outs) {
+                    w.change(*var, v);
+                }
+            }
+        }
+        if let Some((path, w, _)) = vcd {
+            std::fs::write(&path, w.finish())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            println!("wrote {path}");
+        }
+        if let Some(per_cycle) = sim.counters().per_cycle() {
+            let hz = TimingModel::new(GpuSpec::a100()).hz(&per_cycle);
+            println!("modeled speed on A100: {hz:.0} simulated cycles/second");
+        }
+        return Ok(());
+    }
+    for c in 0..cycles {
+        sim.step();
+        let row: String = io
+            .outputs
+            .iter()
+            .map(|p| format!("{:>12}", sim.output(&p.name).to_u64()))
+            .collect();
+        println!("{c:>5}  {row}");
+        if let Some((_, w, vars)) = vcd.as_mut() {
+            w.timestamp(c);
+            for (name, var) in vars.iter() {
+                w.change(*var, &sim.output(name));
+            }
+        }
+    }
+    if let Some((path, w, _)) = vcd {
+        std::fs::write(&path, w.finish()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    // Modeled speed.
+    if let Some(per_cycle) = sim.counters().per_cycle() {
+        let gpu = flag(args, "--gpu").unwrap_or_else(|| "a100".into());
+        let spec = match gpu.as_str() {
+            "3090" | "rtx3090" => GpuSpec::rtx3090(),
+            _ => GpuSpec::a100(),
+        };
+        let hz = TimingModel::new(spec.clone()).hz(&per_cycle);
+        println!("modeled speed on {}: {:.0} simulated cycles/second", spec.name, hz);
+    }
+    Ok(())
+}

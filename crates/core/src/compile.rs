@@ -1,0 +1,495 @@
+//! The end-to-end GEM compiler (RTL → bitstream).
+
+use gem_aig::{Eaig, Lit, Node, RAM_ADDR_BITS, RAM_DATA_BITS};
+use gem_isa::{assemble_core, Bitstream, ReadEntry, WriteEntry, WriteSrc};
+use gem_netlist::Module;
+use gem_partition::merge::{estimate_width, merge_partitions};
+use gem_partition::repcut::Region;
+use gem_partition::{partition, Partition, PartitionOptions, Partitioning};
+use gem_place::{place_partition, CoreProgram, OutputSource, PlaceError, PlaceOptions};
+use gem_synth::{synthesize, PortBits, SynthError, SynthOptions, SynthResult};
+use gem_vgpu::{DeviceConfig, RamBinding};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options for [`compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Synthesis options.
+    pub synth: SynthOptions,
+    /// Desired partition count (the paper uses ≥216 to fill an A100).
+    pub target_parts: usize,
+    /// Pipeline stages (1 = single-stage RepCut; 2 recommended for large
+    /// designs).
+    pub stages: usize,
+    /// Core width in bits (8192 in the paper; smaller for fast tests).
+    pub core_width: u32,
+    /// Timing-driven placement (Algorithm 2) vs FIFO ablation.
+    pub timing_driven: bool,
+    /// Seed for all heuristics.
+    pub seed: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            synth: SynthOptions::default(),
+            target_parts: 216,
+            stages: 1,
+            core_width: 8192,
+            timing_driven: true,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// A configuration sized for unit tests and small examples: few
+    /// partitions, narrow cores.
+    pub fn small() -> Self {
+        CompileOptions {
+            target_parts: 4,
+            core_width: 256,
+            ..Default::default()
+        }
+    }
+}
+
+/// Where a port's bits live in the device-global signal array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortIndices {
+    /// Port name.
+    pub name: String,
+    /// Global bit index per port bit, LSB first.
+    pub bits: Vec<u32>,
+}
+
+/// Input/output binding of a compiled design.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoMap {
+    /// Input ports (poke these).
+    pub inputs: Vec<PortIndices>,
+    /// Output ports (peek these after a cycle).
+    pub outputs: Vec<PortIndices>,
+}
+
+impl IoMap {
+    /// Finds an input port by name.
+    pub fn input(&self, name: &str) -> Option<&PortIndices> {
+        self.inputs.iter().find(|p| p.name == name)
+    }
+
+    /// Finds an output port by name.
+    pub fn output(&self, name: &str) -> Option<&PortIndices> {
+        self.outputs.iter().find(|p| p.name == name)
+    }
+}
+
+/// The Table I numbers for one compiled design.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Live E-AIG AND gates.
+    pub gates: u64,
+    /// E-AIG logic depth.
+    pub levels: u32,
+    /// Pipeline stages.
+    pub stages: u32,
+    /// Maximum boomerang layers over all cores.
+    pub layers: u32,
+    /// Partitions (thread blocks).
+    pub parts: u32,
+    /// Assembled bitstream size in bytes.
+    pub bitstream_bytes: u64,
+    /// Replication cost of partitioning (duplicated / original gates).
+    pub replication_cost: f64,
+    /// Native RAM blocks.
+    pub ram_blocks: u64,
+    /// State bits spent polyfilling asynchronous-read memories.
+    pub polyfilled_mem_bits: u64,
+}
+
+/// A fully compiled design.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Assembled bitstream (load into [`gem_vgpu::GemGpu`]).
+    pub bitstream: Bitstream,
+    /// Device configuration (global space size, RAM bindings).
+    pub device: DeviceConfig,
+    /// Port ↔ global-bit binding.
+    pub io: IoMap,
+    /// Statistics (Table I row).
+    pub report: CompileReport,
+    /// The synthesized E-AIG (kept for golden-model cross-checks and
+    /// baseline simulators).
+    pub eaig: Eaig,
+    /// The partitioning that produced the bitstream.
+    pub partitioning: Partitioning,
+    /// Per-core placement programs (stage-major order, matching the
+    /// bitstream).
+    pub programs: Vec<Vec<CoreProgram>>,
+    /// Input-port layout within the E-AIG's input list (bit positions for
+    /// driving `eaig` directly, e.g. from baseline simulators).
+    pub eaig_inputs: Vec<PortBits>,
+    /// Output-port layout within the E-AIG's output list.
+    pub eaig_outputs: Vec<PortBits>,
+}
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// A partition stayed unmappable even after excessive re-partitioning.
+    Place(PlaceError),
+    /// Internal inconsistency (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            CompileError::Place(e) => write!(f, "placement failed: {e}"),
+            CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<SynthError> for CompileError {
+    fn from(e: SynthError) -> Self {
+        CompileError::Synth(e)
+    }
+}
+
+/// Compiles an RTL module through the full GEM flow.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when synthesis fails or a partition cannot be
+/// made mappable (e.g. the design's width genuinely exceeds
+/// `target_parts × core_width`).
+pub fn compile(m: &Module, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let synth = synthesize(m, &opts.synth)?;
+    compile_eaig(synth, opts)
+}
+
+/// Compiles a synthesized design (entry point for callers that build the
+/// E-AIG directly).
+pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let g = &synth.eaig;
+    let place_opts = PlaceOptions {
+        core_width: opts.core_width,
+        timing_driven: opts.timing_driven,
+        ..Default::default()
+    };
+
+    // --- Partition, excessively if needed, until everything is mappable.
+    // More partitions shrink cone *sizes*; more stages cut deep shared
+    // cones whose live *width* exceeds the core regardless of count, so
+    // the retry schedule grows both.
+    let mut parts_goal = opts.target_parts;
+    let mut stages_goal = opts.stages;
+    let mut partitioning = None;
+    let mut last_err = None;
+    for attempt in 0..8 {
+        let popts = PartitionOptions {
+            target_parts: parts_goal,
+            stages: stages_goal,
+            seed: opts.seed,
+            ..Default::default()
+        };
+        let cand = partition(g, &popts);
+        match all_mappable(g, &cand, &place_opts) {
+            Ok(()) => {
+                partitioning = Some(cand);
+                break;
+            }
+            Err(e) => {
+                last_err = Some(e);
+                parts_goal *= 2;
+                if attempt % 2 == 1 && stages_goal < 4 {
+                    stages_goal += 1;
+                }
+            }
+        }
+    }
+    let partitioning =
+        partitioning.ok_or_else(|| CompileError::Place(last_err.expect("tried at least once")))?;
+
+    // --- Algorithm 1: merge back under the width constraint.
+    let mut merged_stages = Vec::new();
+    let mut stop = vec![false; g.len()];
+    for stage in &partitioning.stages {
+        let region = Region {
+            sinks: stage
+                .partitions
+                .iter()
+                .flat_map(|p| p.sinks.iter().copied())
+                .collect(),
+            stop: stop.clone(),
+        };
+        let mappable = |p: &Partition| {
+            estimate_width(g, p) <= opts.core_width as usize
+                && place_partition(g, p, &place_opts).is_ok()
+        };
+        let (merged, _stats) = merge_partitions(g, &region, stage, &mappable);
+        for l in &merged.cut_lits {
+            stop[l.node().0 as usize] = true;
+        }
+        merged_stages.push(merged);
+    }
+    let partitioning = Partitioning {
+        stages: merged_stages,
+        original_gates: partitioning.original_gates,
+    };
+
+    // --- Final placement.
+    let mut programs: Vec<Vec<CoreProgram>> = Vec::new();
+    let mut max_layers = 0u32;
+    for stage in &partitioning.stages {
+        let mut progs = Vec::new();
+        for p in &stage.partitions {
+            let (prog, stats) =
+                place_partition(g, p, &place_opts).map_err(CompileError::Place)?;
+            max_layers = max_layers.max(stats.layers);
+            progs.push(prog);
+        }
+        programs.push(progs);
+    }
+
+    // --- Global signal space.
+    let mut global_of: HashMap<u32, u32> = HashMap::new(); // node -> slot
+    let mut next_slot = 0u32;
+    let slot = |global_of: &mut HashMap<u32, u32>, next: &mut u32, node: u32| -> u32 {
+        *global_of.entry(node).or_insert_with(|| {
+            let s = *next;
+            *next += 1;
+            s
+        })
+    };
+    for (_, id) in g.inputs() {
+        slot(&mut global_of, &mut next_slot, id.0);
+    }
+    let mut initial_ones = Vec::new();
+    for f in g.ffs() {
+        let sl = slot(&mut global_of, &mut next_slot, f.out.0);
+        if f.init {
+            initial_ones.push(sl);
+        }
+    }
+    for r in g.rams() {
+        for o in r.out {
+            slot(&mut global_of, &mut next_slot, o.0);
+        }
+    }
+    for stage in &partitioning.stages {
+        for l in &stage.cut_lits {
+            slot(&mut global_of, &mut next_slot, l.node().0);
+        }
+    }
+    // Destinations: (lit, global index, deferred).
+    let mut dests: Vec<(Lit, u32, bool)> = Vec::new();
+    for f in g.ffs() {
+        dests.push((f.next, global_of[&f.out.0], true));
+    }
+    let mut ram_bindings = Vec::new();
+    for r in g.rams() {
+        let mut bind = RamBinding {
+            raddr: [0; RAM_ADDR_BITS],
+            waddr: [0; RAM_ADDR_BITS],
+            wdata: [0; RAM_DATA_BITS],
+            we: 0,
+            rdata: [0; RAM_DATA_BITS],
+        };
+        for (k, &l) in r.read_addr.iter().enumerate() {
+            bind.raddr[k] = next_slot;
+            dests.push((l, next_slot, false));
+            next_slot += 1;
+        }
+        for (k, &l) in r.write_addr.iter().enumerate() {
+            bind.waddr[k] = next_slot;
+            dests.push((l, next_slot, false));
+            next_slot += 1;
+        }
+        for (k, &l) in r.write_data.iter().enumerate() {
+            bind.wdata[k] = next_slot;
+            dests.push((l, next_slot, false));
+            next_slot += 1;
+        }
+        bind.we = next_slot;
+        dests.push((r.write_en, next_slot, false));
+        next_slot += 1;
+        for (k, o) in r.out.iter().enumerate() {
+            bind.rdata[k] = global_of[&o.0];
+        }
+        ram_bindings.push(bind);
+    }
+    // Cut signals publish into their own node's slot (immediate).
+    for stage in &partitioning.stages {
+        for &l in &stage.cut_lits {
+            dests.push((l, global_of[&l.node().0], false));
+        }
+    }
+    // Primary outputs get dedicated slots (deferred).
+    let mut po_slots = Vec::new();
+    for (_, l) in g.outputs() {
+        po_slots.push(next_slot);
+        dests.push((*l, next_slot, true));
+        next_slot += 1;
+    }
+    let global_bits = next_slot;
+
+    // --- Ownership: which core publishes each sink literal.
+    // lit code -> (stage, core, OutputSource)
+    let mut owner: HashMap<u32, (usize, usize, OutputSource)> = HashMap::new();
+    for (si, stage) in partitioning.stages.iter().enumerate() {
+        for (ci, p) in stage.partitions.iter().enumerate() {
+            for (k, &sink) in p.sinks.iter().enumerate() {
+                owner
+                    .entry(sink.code())
+                    .or_insert((si, ci, programs[si][ci].outputs[k]));
+            }
+        }
+    }
+    let resolve = |l: Lit| -> Result<(usize, usize, OutputSource), CompileError> {
+        if let Some(&o) = owner.get(&l.code()) {
+            return Ok(o);
+        }
+        if let Some(&(si, ci, src)) = owner.get(&l.flip().code()) {
+            let flipped = match src {
+                OutputSource::State { addr, invert } => OutputSource::State {
+                    addr,
+                    invert: !invert,
+                },
+                OutputSource::Const(v) => OutputSource::Const(!v),
+            };
+            return Ok((si, ci, flipped));
+        }
+        Err(CompileError::Internal(format!(
+            "sink {l} not published by any partition"
+        )))
+    };
+
+    // --- Per-core global reads/writes, then assembly.
+    let mut writes_per_core: Vec<Vec<Vec<WriteEntry>>> = programs
+        .iter()
+        .map(|s| s.iter().map(|_| Vec::new()).collect())
+        .collect();
+    for &(lit, global, deferred) in &dests {
+        if matches!(g.node(lit.node()), Node::Const0) {
+            // Constant destinations are published by stage 0, core 0 (any
+            // core could; constants need no state).
+            writes_per_core[0][0].push(WriteEntry {
+                global,
+                src: WriteSrc::Const(lit.is_inverted()),
+                deferred,
+            });
+            continue;
+        }
+        let (si, ci, src) = resolve(lit)?;
+        let src = match src {
+            OutputSource::State { addr, invert } => WriteSrc::State {
+                addr: addr as u16,
+                invert,
+            },
+            OutputSource::Const(v) => WriteSrc::Const(v),
+        };
+        writes_per_core[si][ci].push(WriteEntry {
+            global,
+            src,
+            deferred,
+        });
+    }
+    let mut stages_bytes = Vec::new();
+    for (si, progs) in programs.iter().enumerate() {
+        let mut cores = Vec::new();
+        for (ci, prog) in progs.iter().enumerate() {
+            let reads: Vec<ReadEntry> = prog
+                .inputs
+                .iter()
+                .map(|&(node, state)| {
+                    let global = *global_of.get(&node.0).ok_or_else(|| {
+                        CompileError::Internal(format!("source n{} has no global slot", node.0))
+                    })?;
+                    Ok(ReadEntry {
+                        global,
+                        state: state as u16,
+                    })
+                })
+                .collect::<Result<_, CompileError>>()?;
+            cores.push(assemble_core(prog, &reads, &writes_per_core[si][ci]));
+        }
+        stages_bytes.push(cores);
+    }
+    let bitstream = Bitstream {
+        width: opts.core_width,
+        global_bits,
+        stages: stages_bytes,
+    };
+
+    // --- I/O map.
+    let node_slot = |idx: usize| -> u32 {
+        let (_, id) = &g.inputs()[idx];
+        global_of[&id.0]
+    };
+    let mut io = IoMap::default();
+    for pb in &synth.inputs {
+        io.inputs.push(PortIndices {
+            name: pb.name.clone(),
+            bits: (0..pb.width as usize)
+                .map(|i| node_slot(pb.lsb_index + i))
+                .collect(),
+        });
+    }
+    for pb in &synth.outputs {
+        io.outputs.push(PortIndices {
+            name: pb.name.clone(),
+            bits: (0..pb.width as usize)
+                .map(|i| po_slots[pb.lsb_index + i])
+                .collect(),
+        });
+    }
+
+    let report = CompileReport {
+        gates: synth.stats.gates,
+        levels: synth.stats.levels,
+        stages: partitioning.stages.len() as u32,
+        layers: max_layers,
+        parts: partitioning.max_parts() as u32,
+        bitstream_bytes: bitstream.total_bytes() as u64,
+        replication_cost: partitioning.replication_cost(),
+        ram_blocks: synth.stats.ram_blocks,
+        polyfilled_mem_bits: synth.stats.polyfilled_mem_bits,
+    };
+    Ok(Compiled {
+        bitstream,
+        device: DeviceConfig {
+            global_bits,
+            rams: ram_bindings,
+            initial_ones,
+        },
+        io,
+        report,
+        eaig: synth.eaig,
+        partitioning,
+        programs,
+        eaig_inputs: synth.inputs,
+        eaig_outputs: synth.outputs,
+    })
+}
+
+fn all_mappable(
+    g: &Eaig,
+    parts: &Partitioning,
+    opts: &PlaceOptions,
+) -> Result<(), PlaceError> {
+    for stage in &parts.stages {
+        for p in &stage.partitions {
+            place_partition(g, p, opts)?;
+        }
+    }
+    Ok(())
+}

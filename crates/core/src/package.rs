@@ -1,0 +1,199 @@
+//! On-disk format for compiled designs (`.gemb` packages).
+//!
+//! A package bundles the assembled bitstream with everything a runtime
+//! needs to execute it: the device configuration (global space, RAM
+//! bindings, power-on values), the port↔global-bit map, and the compile
+//! report. The layout is a JSON metadata header followed by the raw
+//! bitstream container:
+//!
+//! ```text
+//! "GEMPKG1\n"  | u32 meta_len | meta JSON | bitstream container bytes
+//! ```
+
+use crate::compile::{CompileReport, Compiled, IoMap};
+use gem_isa::Bitstream;
+use gem_vgpu::DeviceConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"GEMPKG1\n";
+
+/// A loadable compiled design: everything needed to run, nothing needed
+/// to recompile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Package {
+    /// Device configuration for [`gem_vgpu::GemGpu::load`].
+    pub device: DeviceConfig,
+    /// Port bindings.
+    pub io: IoMap,
+    /// Compile statistics.
+    pub report: CompileReport,
+    /// The assembled bitstream.
+    pub bitstream: Bitstream,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Meta {
+    device: DeviceConfig,
+    io: IoMap,
+    report: CompileReport,
+}
+
+/// Errors from [`Package::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePackageError {
+    /// Not a GEM package (bad magic).
+    BadMagic,
+    /// Truncated file.
+    Truncated,
+    /// Metadata JSON failed to parse; the string holds the serde message.
+    BadMeta(String),
+    /// The embedded bitstream container failed to parse.
+    BadBitstream(String),
+}
+
+impl fmt::Display for ParsePackageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePackageError::BadMagic => write!(f, "not a GEM package (bad magic)"),
+            ParsePackageError::Truncated => write!(f, "truncated GEM package"),
+            ParsePackageError::BadMeta(e) => write!(f, "bad package metadata: {e}"),
+            ParsePackageError::BadBitstream(e) => write!(f, "bad embedded bitstream: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePackageError {}
+
+impl Package {
+    /// Extracts the loadable parts of a compilation result.
+    pub fn from_compiled(c: &Compiled) -> Self {
+        Package {
+            device: c.device.clone(),
+            io: c.io.clone(),
+            report: c.report,
+            bitstream: c.bitstream.clone(),
+        }
+    }
+
+    /// Serializes the package.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let meta = serde_json::to_vec(&Meta {
+            device: self.device.clone(),
+            io: self.io.clone(),
+            report: self.report,
+        })
+        .expect("metadata serializes");
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&meta);
+        out.extend_from_slice(&self.bitstream.to_bytes());
+        out
+    }
+
+    /// Parses a package produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePackageError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ParsePackageError> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(ParsePackageError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ParsePackageError::BadMagic);
+        }
+        let len_off = MAGIC.len();
+        let meta_len = u32::from_le_bytes(
+            bytes[len_off..len_off + 4]
+                .try_into()
+                .expect("4 bytes sliced"),
+        ) as usize;
+        let meta_start = len_off + 4;
+        if bytes.len() < meta_start + meta_len {
+            return Err(ParsePackageError::Truncated);
+        }
+        let meta: Meta = serde_json::from_slice(&bytes[meta_start..meta_start + meta_len])
+            .map_err(|e| ParsePackageError::BadMeta(e.to_string()))?;
+        let bitstream = Bitstream::from_bytes(&bytes[meta_start + meta_len..])
+            .map_err(ParsePackageError::BadBitstream)?;
+        Ok(Package {
+            device: meta.device,
+            io: meta.io,
+            report: meta.report,
+            bitstream,
+        })
+    }
+
+    /// Loads the package onto a fresh virtual GPU and wraps it in a
+    /// simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gem_vgpu::MachineError`] if the bitstream fails device
+    /// validation.
+    pub fn into_simulator(self) -> Result<crate::GemSimulator, gem_vgpu::MachineError> {
+        crate::GemSimulator::from_parts(&self.bitstream, self.device, self.io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+    use gem_netlist::{Bits, ModuleBuilder};
+
+    fn compiled() -> Compiled {
+        let mut b = ModuleBuilder::new("pkg");
+        let x = b.input("x", 4);
+        let q = b.dff_init(Bits::from_u64(5, 4));
+        let nx = b.xor(q, x);
+        b.connect_dff(q, nx);
+        b.output("q", q);
+        let m = b.finish().expect("valid");
+        compile(&m, &CompileOptions::small()).expect("compiles")
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = compiled();
+        let pkg = Package::from_compiled(&c);
+        let bytes = pkg.to_bytes();
+        let back = Package::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, pkg);
+    }
+
+    #[test]
+    fn loaded_package_behaves_like_original() {
+        let c = compiled();
+        let pkg_bytes = Package::from_compiled(&c).to_bytes();
+        let pkg = Package::from_bytes(&pkg_bytes).expect("parses");
+        let mut from_pkg = pkg.into_simulator().expect("loads");
+        let mut direct = crate::GemSimulator::new(&c).expect("loads");
+        for i in 0..10u64 {
+            let v = Bits::from_u64(i % 16, 4);
+            from_pkg.set_input("x", v.clone());
+            direct.set_input("x", v);
+            from_pkg.step();
+            direct.step();
+            assert_eq!(from_pkg.output("q"), direct.output("q"));
+        }
+    }
+
+    #[test]
+    fn corrupt_packages_rejected() {
+        let c = compiled();
+        let bytes = Package::from_compiled(&c).to_bytes();
+        assert_eq!(
+            Package::from_bytes(&bytes[..4]),
+            Err(ParsePackageError::Truncated)
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(Package::from_bytes(&bad), Err(ParsePackageError::BadMagic));
+        let mut trunc = bytes.clone();
+        trunc.truncate(bytes.len() - 10);
+        assert!(Package::from_bytes(&trunc).is_err());
+    }
+}

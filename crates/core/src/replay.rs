@@ -1,0 +1,222 @@
+//! VCD stimulus replay.
+//!
+//! The paper's execution stage consumes "input stimuli, provided as
+//! waveforms or recorded signal patterns (e.g., VCD or FSDB format)".
+//! [`VcdStimulus`] parses a VCD dump, matches its variables against the
+//! compiled design's input ports by name, and drives the simulator one
+//! cycle per VCD timestamp (values persist between changes, as in a real
+//! waveform).
+
+use crate::simulator::GemSimulator;
+use crate::IoMap;
+use gem_netlist::vcd::{ParseVcdError, VcdDump, VarId};
+use gem_netlist::Bits;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`VcdStimulus::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StimulusError {
+    /// The VCD text failed to parse.
+    Parse(ParseVcdError),
+    /// A VCD variable matches an input port but with a different width.
+    WidthMismatch {
+        /// Port / variable name.
+        name: String,
+        /// Width in the VCD.
+        vcd: u32,
+        /// Width of the design port.
+        port: u32,
+    },
+    /// No VCD variable matches any input port.
+    NoMatchingInputs,
+}
+
+impl fmt::Display for StimulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StimulusError::Parse(e) => write!(f, "bad stimulus VCD: {e}"),
+            StimulusError::WidthMismatch { name, vcd, port } => write!(
+                f,
+                "stimulus variable {name:?} is {vcd} bits but the port is {port}"
+            ),
+            StimulusError::NoMatchingInputs => {
+                write!(f, "stimulus VCD shares no variable names with the design inputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StimulusError {}
+
+impl From<ParseVcdError> for StimulusError {
+    fn from(e: ParseVcdError) -> Self {
+        StimulusError::Parse(e)
+    }
+}
+
+/// A parsed waveform ready to drive a simulator.
+#[derive(Debug, Clone)]
+pub struct VcdStimulus {
+    /// (time, port name, value) changes in time order.
+    changes: Vec<(u64, String, Bits)>,
+    /// Distinct timestamps, ascending — one simulated cycle each.
+    times: Vec<u64>,
+}
+
+impl VcdStimulus {
+    /// Parses VCD text and binds its variables to the design's inputs.
+    ///
+    /// Variables that do not name an input port are ignored (waveform
+    /// dumps usually also contain outputs and internals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StimulusError`] on parse failures, width mismatches, or
+    /// when nothing matches.
+    pub fn new(vcd_text: &str, io: &IoMap) -> Result<Self, StimulusError> {
+        let dump = VcdDump::parse(vcd_text)?;
+        let mut bound: HashMap<VarId, String> = HashMap::new();
+        for (vi, (name, width)) in dump.vars.iter().enumerate() {
+            if let Some(port) = io.input(name) {
+                if *width != port.bits.len() as u32 {
+                    return Err(StimulusError::WidthMismatch {
+                        name: name.clone(),
+                        vcd: *width,
+                        port: port.bits.len() as u32,
+                    });
+                }
+                bound.insert(VarId(vi as u32), name.clone());
+            }
+        }
+        if bound.is_empty() {
+            return Err(StimulusError::NoMatchingInputs);
+        }
+        let mut changes = Vec::new();
+        let mut times = Vec::new();
+        for (t, var, value) in &dump.changes {
+            if let Some(name) = bound.get(var) {
+                changes.push((*t, name.clone(), value.clone()));
+                if times.last() != Some(t) {
+                    times.push(*t);
+                }
+            }
+        }
+        times.dedup();
+        Ok(VcdStimulus { changes, times })
+    }
+
+    /// Number of simulated cycles the waveform covers (one per distinct
+    /// timestamp with input activity).
+    pub fn cycles(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Replays the waveform: for each timestamp, applies its changes and
+    /// runs one cycle. Returns the outputs observed at every cycle.
+    pub fn replay(&self, sim: &mut GemSimulator) -> Vec<Vec<(String, Bits)>> {
+        let mut out = Vec::with_capacity(self.times.len());
+        let mut ci = 0usize;
+        for &t in &self.times {
+            let mut applied = Vec::new();
+            while ci < self.changes.len() && self.changes[ci].0 == t {
+                let (_, name, v) = &self.changes[ci];
+                applied.push((name.as_str(), v.clone()));
+                ci += 1;
+            }
+            out.push(sim.cycle(&applied));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+    use gem_netlist::vcd::VcdWriter;
+    use gem_netlist::ModuleBuilder;
+
+    fn adder_design() -> crate::Compiled {
+        let mut b = ModuleBuilder::new("adder");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let s = b.add(x, y);
+        b.output("s", s);
+        let m = b.finish().expect("valid");
+        compile(&m, &CompileOptions::small()).expect("compiles")
+    }
+
+    fn waveform() -> String {
+        let mut w = VcdWriter::new("tb");
+        let vx = w.add_var("x", 4);
+        let vy = w.add_var("y", 4);
+        let vo = w.add_var("other", 2); // unrelated variable: ignored
+        w.begin();
+        for (t, (x, y)) in [(1u64, 2u64), (3, 4), (7, 8), (15, 1)].iter().enumerate() {
+            w.timestamp(t as u64 * 10);
+            w.change(vx, &Bits::from_u64(*x, 4));
+            w.change(vy, &Bits::from_u64(*y, 4));
+            w.change(vo, &Bits::from_u64(t as u64 % 4, 2));
+        }
+        w.finish()
+    }
+
+    #[test]
+    fn replays_waveform_cycles() {
+        let compiled = adder_design();
+        let stim = VcdStimulus::new(&waveform(), &compiled.io).expect("binds");
+        assert_eq!(stim.cycles(), 4);
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        let outs = stim.replay(&mut sim);
+        let sums: Vec<u64> = outs
+            .iter()
+            .map(|cycle| cycle[0].1.to_u64())
+            .collect();
+        assert_eq!(sums, vec![3, 7, 15, 0 /* 15+1 wraps */]);
+    }
+
+    #[test]
+    fn values_persist_between_changes() {
+        let compiled = adder_design();
+        let mut w = VcdWriter::new("tb");
+        let vx = w.add_var("x", 4);
+        let vy = w.add_var("y", 4);
+        w.begin();
+        w.timestamp(0);
+        w.change(vx, &Bits::from_u64(5, 4));
+        w.change(vy, &Bits::from_u64(1, 4));
+        w.timestamp(1);
+        w.change(vy, &Bits::from_u64(2, 4)); // x holds its value
+        let stim = VcdStimulus::new(&w.finish(), &compiled.io).expect("binds");
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        let outs = stim.replay(&mut sim);
+        assert_eq!(outs[1][0].1.to_u64(), 7);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let compiled = adder_design();
+        let mut w = VcdWriter::new("tb");
+        let vx = w.add_var("x", 8); // wrong width
+        w.begin();
+        w.timestamp(0);
+        w.change(vx, &Bits::from_u64(1, 8));
+        let err = VcdStimulus::new(&w.finish(), &compiled.io).unwrap_err();
+        assert!(matches!(err, StimulusError::WidthMismatch { .. }));
+    }
+
+    #[test]
+    fn unrelated_waveform_rejected() {
+        let compiled = adder_design();
+        let mut w = VcdWriter::new("tb");
+        let v = w.add_var("nothing", 1);
+        w.begin();
+        w.timestamp(0);
+        w.change(v, &Bits::from_u64(0, 1));
+        assert_eq!(
+            VcdStimulus::new(&w.finish(), &compiled.io).unwrap_err(),
+            StimulusError::NoMatchingInputs
+        );
+    }
+}

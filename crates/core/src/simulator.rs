@@ -1,0 +1,149 @@
+//! Waveform-level simulator API over the virtual GPU.
+
+use crate::compile::Compiled;
+use gem_netlist::Bits;
+use gem_vgpu::{GemGpu, KernelCounters, MachineError};
+
+/// Runs a compiled design cycle by cycle.
+///
+/// GEM is an oblivious full-cycle simulator: every cycle executes the
+/// whole design regardless of activity. Inputs are sampled when
+/// [`step`](Self::step) is called; outputs read afterwards are the
+/// combinational values observed *during* that cycle (before the clock
+/// edge), matching the convention of the golden models in `gem-sim`.
+///
+/// # Example
+///
+/// ```
+/// use gem_core::{compile, CompileOptions, GemSimulator};
+/// use gem_netlist::{Bits, ModuleBuilder};
+///
+/// let mut b = ModuleBuilder::new("xorer");
+/// let x = b.input("x", 4);
+/// let y = b.input("y", 4);
+/// let z = b.xor(x, y);
+/// b.output("z", z);
+/// let m = b.finish()?;
+/// let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
+/// let mut sim = GemSimulator::new(&compiled).expect("loads");
+/// sim.set_input("x", Bits::from_u64(0b1100, 4));
+/// sim.set_input("y", Bits::from_u64(0b1010, 4));
+/// sim.step();
+/// assert_eq!(sim.output("z").to_u64(), 0b0110);
+/// # Ok::<(), gem_netlist::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct GemSimulator {
+    gpu: GemGpu,
+    io: crate::IoMap,
+}
+
+impl GemSimulator {
+    /// Loads a compiled design onto the virtual GPU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the bitstream fails validation (which
+    /// would indicate a compiler bug).
+    pub fn new(compiled: &Compiled) -> Result<Self, MachineError> {
+        Self::from_parts(&compiled.bitstream, compiled.device.clone(), compiled.io.clone())
+    }
+
+    /// Builds a simulator from the loadable parts (used when running a
+    /// serialized [`crate::Package`] without recompiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the bitstream fails validation.
+    pub fn from_parts(
+        bitstream: &gem_isa::Bitstream,
+        device: gem_vgpu::DeviceConfig,
+        io: crate::IoMap,
+    ) -> Result<Self, MachineError> {
+        Ok(GemSimulator {
+            gpu: GemGpu::load(bitstream, device)?,
+            io,
+        })
+    }
+
+    /// Sets an input port for the upcoming cycle(s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or the width differs.
+    pub fn set_input(&mut self, name: &str, v: Bits) {
+        let port = self
+            .io
+            .input(name)
+            .unwrap_or_else(|| panic!("no input port named {name:?}"));
+        assert_eq!(
+            v.width() as usize,
+            port.bits.len(),
+            "input width mismatch on {name:?}"
+        );
+        for (i, &g) in port.bits.iter().enumerate() {
+            self.gpu.poke(g, v.bit(i as u32));
+        }
+    }
+
+    /// Executes one simulated clock cycle.
+    pub fn step(&mut self) {
+        self.gpu.step_cycle();
+    }
+
+    /// Enables event-based pruning: thread blocks whose inputs did not
+    /// change are skipped (sound — a core's cycle function is pure). This
+    /// is the paper's proposed future-work extension; baseline GEM keeps
+    /// it off and has activity-independent speed.
+    pub fn set_pruning(&mut self, on: bool) {
+        self.gpu.set_pruning(on);
+    }
+
+    /// Reads an output port (values observed during the last
+    /// [`step`](Self::step)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output(&self, name: &str) -> Bits {
+        let port = self
+            .io
+            .output(name)
+            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        let mut v = Bits::zeros(port.bits.len() as u32);
+        for (i, &g) in port.bits.iter().enumerate() {
+            v.set_bit(i as u32, self.gpu.peek(g));
+        }
+        v
+    }
+
+    /// Convenience: apply inputs, run a cycle, collect all outputs.
+    pub fn cycle(&mut self, inputs: &[(&str, Bits)]) -> Vec<(String, Bits)> {
+        for (n, v) in inputs {
+            self.set_input(n, v.clone());
+        }
+        self.step();
+        self.io
+            .outputs
+            .iter()
+            .map(|p| (p.name.clone(), self.output(&p.name)))
+            .collect()
+    }
+
+    /// Architectural event counters accumulated so far (for the timing
+    /// model).
+    pub fn counters(&self) -> &KernelCounters {
+        self.gpu.counters()
+    }
+
+    /// Direct access to a RAM block word (test setup, e.g. preloading a
+    /// program image).
+    pub fn set_ram_word(&mut self, ram: usize, addr: usize, value: u32) {
+        self.gpu.set_ram_word(ram, addr, value);
+    }
+
+    /// Reads a RAM block word.
+    pub fn ram_word(&self, ram: usize, addr: usize) -> u32 {
+        self.gpu.ram_word(ram, addr)
+    }
+}

@@ -1,0 +1,193 @@
+//! Full-pipeline equivalence: RTL → synth → partition → merge → place →
+//! assemble → virtual-GPU execution, cross-checked against the word-level
+//! netlist reference simulator on random stimuli.
+
+use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_netlist::{Bits, Module, ModuleBuilder, ReadKind};
+use gem_sim::NetlistSim;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random co-simulation of the compiled design against the RTL reference.
+fn cosim(m: &Module, opts: &CompileOptions, cycles: usize, seed: u64) -> gem_core::Compiled {
+    let compiled = compile(m, opts).expect("compiles");
+    let mut gem = GemSimulator::new(&compiled).expect("loads");
+    let mut rtl = NetlistSim::new(m);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for cycle in 0..cycles {
+        for p in m.inputs() {
+            let w = m.width(p.net);
+            let mut v = Bits::zeros(w);
+            for i in 0..w {
+                v.set_bit(i, rng.gen_bool(0.5));
+            }
+            rtl.set_input(&p.name, v.clone());
+            gem.set_input(&p.name, v);
+        }
+        rtl.eval();
+        gem.step();
+        for p in m.outputs() {
+            assert_eq!(
+                gem.output(&p.name),
+                rtl.output(&p.name),
+                "cycle {cycle}: output {} diverged",
+                p.name
+            );
+        }
+        rtl.step();
+    }
+    compiled
+}
+
+#[test]
+fn combinational_design() {
+    let mut b = ModuleBuilder::new("comb");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let s = b.add(x, y);
+    let lt = b.ult(x, y);
+    b.output("s", s);
+    b.output("lt", lt);
+    let m = b.finish().unwrap();
+    cosim(&m, &CompileOptions::small(), 50, 1);
+}
+
+#[test]
+fn sequential_counter_and_shift() {
+    let mut b = ModuleBuilder::new("seq");
+    let en = b.input("en", 1);
+    let din = b.input("din", 1);
+    let q = b.dff(8);
+    let one = b.lit(1, 8);
+    let inc = b.add(q, one);
+    let nq = b.mux(en, inc, q);
+    b.connect_dff(q, nq);
+    let sh = b.dff(4);
+    let hi = b.slice(sh, 0, 3);
+    let nsh = b.concat(&[din, hi]);
+    b.connect_dff(sh, nsh);
+    b.output("q", q);
+    b.output("sh", sh);
+    let m = b.finish().unwrap();
+    cosim(&m, &CompileOptions::small(), 80, 2);
+}
+
+#[test]
+fn design_with_native_ram() {
+    let mut b = ModuleBuilder::new("ram");
+    let wa = b.input("wa", 4);
+    let ra = b.input("ra", 4);
+    let wd = b.input("wd", 8);
+    let we = b.input("we", 1);
+    let mem = b.memory("m", 16, 8);
+    b.write_port(mem, wa, wd, we);
+    let q = b.read_port(mem, ra, ReadKind::Sync);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let compiled = cosim(&m, &CompileOptions::small(), 200, 3);
+    assert_eq!(compiled.report.ram_blocks, 1);
+    assert_eq!(compiled.device.rams.len(), 1);
+}
+
+#[test]
+fn design_with_async_ram_polyfill() {
+    let mut b = ModuleBuilder::new("rf");
+    let wa = b.input("wa", 3);
+    let ra = b.input("ra", 3);
+    let wd = b.input("wd", 4);
+    let we = b.input("we", 1);
+    let mem = b.memory("rf", 8, 4);
+    b.write_port(mem, wa, wd, we);
+    let q = b.read_port(mem, ra, ReadKind::Async);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let compiled = cosim(&m, &CompileOptions::small(), 150, 4);
+    assert_eq!(compiled.report.ram_blocks, 0);
+    assert!(compiled.report.polyfilled_mem_bits > 0);
+}
+
+#[test]
+fn two_stage_compile_matches() {
+    // Deep shared logic so two stages are meaningful.
+    let mut b = ModuleBuilder::new("deep");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let mut acc = b.xor(x, y);
+    for _ in 0..4 {
+        let t = b.add(acc, x);
+        acc = b.xor(t, y);
+    }
+    let q = b.dff(16);
+    let nq = b.add(q, acc);
+    b.connect_dff(q, nq);
+    b.output("acc", acc);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let opts = CompileOptions {
+        stages: 2,
+        ..CompileOptions::small()
+    };
+    let compiled = cosim(&m, &opts, 60, 5);
+    assert_eq!(compiled.report.stages, 2);
+}
+
+#[test]
+fn verilog_source_to_gpu() {
+    let src = r#"
+        module blinky(input clk, input rst, output reg [3:0] cnt, output msb);
+          assign msb = cnt[3];
+          always @(posedge clk) begin
+            if (rst) cnt <= 4'd0;
+            else cnt <= cnt + 4'd1;
+          end
+        endmodule
+    "#;
+    let m = gem_netlist::verilog::parse(src).unwrap();
+    cosim(&m, &CompileOptions::small(), 60, 6);
+}
+
+#[test]
+fn report_fields_are_plausible() {
+    let mut b = ModuleBuilder::new("stats");
+    let x = b.input("x", 32);
+    let y = b.input("y", 32);
+    let p = b.mul(x, y);
+    b.output("p", p);
+    let m = b.finish().unwrap();
+    // A 32×32 multiplier column's fan-in cone is wider than the tiny test
+    // core, so compile with a wider core.
+    let opts = CompileOptions {
+        core_width: 2048,
+        target_parts: 4,
+        ..CompileOptions::default()
+    };
+    let compiled = compile(&m, &opts).expect("compiles");
+    let r = &compiled.report;
+    assert!(r.gates > 500, "multiplier should be big, got {}", r.gates);
+    assert!(r.levels > 5);
+    assert!(r.layers >= 1);
+    assert!(r.layers < r.levels, "boomerang must compress levels");
+    assert!(r.bitstream_bytes > 0);
+    assert_eq!(
+        r.bitstream_bytes,
+        compiled.bitstream.total_bytes() as u64
+    );
+}
+
+#[test]
+fn fifo_placement_option_still_correct() {
+    let mut b = ModuleBuilder::new("fifoopt");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let s = b.add(x, y);
+    let q = b.dff(8);
+    let n = b.xor(q, s);
+    b.connect_dff(q, n);
+    b.output("q", q);
+    let m = b.finish().unwrap();
+    let opts = CompileOptions {
+        timing_driven: false,
+        ..CompileOptions::small()
+    };
+    cosim(&m, &opts, 50, 7);
+}

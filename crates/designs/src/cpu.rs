@@ -1,0 +1,489 @@
+//! A tiny multi-cycle CPU — the "RocketChip" stand-in.
+//!
+//! 16-bit datapath, 8 registers, 256-word instruction and data memories.
+//! The register file uses *asynchronous* read ports, so synthesis must
+//! polyfill it with flip-flops and decoders — the exact inefficiency the
+//! paper reports for RocketChip-class designs ("RAMs with asynchronous
+//! read ports ... can only be implemented inefficiently"). Instruction and
+//! data memories are synchronous-read and map to native RAM blocks.
+//!
+//! Execution is a fixed 3-phase loop (fetch → execute → writeback), so
+//! CPI is exactly 3 and synchronous-RAM latencies line up without hazard
+//! logic. Programs are streamed in through a host write port while reset
+//! is held (see [`crate::WorkloadSpec::ProgramLoad`]).
+
+use crate::workload::{Workload, WorkloadSpec};
+use crate::Design;
+use gem_netlist::{Bits, ModuleBuilder, NetId, ReadKind};
+
+/// One instruction of the tile ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Insn {
+    Nop,
+    Add(u8, u8, u8),
+    Xor(u8, u8, u8),
+    And(u8, u8, u8),
+    Or(u8, u8, u8),
+    Addi(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Lw(u8, u8),
+    Sw(u8, u8),
+    Beq(u8, u8, u8),
+    Bne(u8, u8, u8),
+    Jmp(u8),
+    Lui(u8, u8),
+    Li(u8, u8),
+    Sll(u8, u8, u8),
+    Srl(u8, u8, u8),
+}
+
+/// Assembles instructions into 16-bit words.
+pub fn assemble(insns: &[Insn]) -> Vec<u16> {
+    insns
+        .iter()
+        .map(|i| {
+            let r3 = |op: u16, rd: u8, rs1: u8, rs2: u8, imm: u8| {
+                op << 12
+                    | u16::from(rd & 7) << 9
+                    | u16::from(rs1 & 7) << 6
+                    | u16::from(rs2 & 7) << 3
+                    | u16::from(imm & 7)
+            };
+            let i8f = |op: u16, rd: u8, imm: u8| {
+                op << 12 | u16::from(rd & 7) << 9 | u16::from(imm) << 1 & 0x1FE
+            };
+            match *i {
+                Insn::Nop => 0,
+                Insn::Add(rd, a, b) => r3(1, rd, a, b, 0),
+                Insn::Xor(rd, a, b) => r3(2, rd, a, b, 0),
+                Insn::And(rd, a, b) => r3(3, rd, a, b, 0),
+                Insn::Or(rd, a, b) => r3(4, rd, a, b, 0),
+                Insn::Addi(rd, a, imm) => r3(5, rd, a, 0, imm),
+                Insn::Sub(rd, a, b) => r3(6, rd, a, b, 0),
+                Insn::Lw(rd, a) => r3(7, rd, a, 0, 0),
+                Insn::Sw(a, v) => r3(8, 0, a, v, 0),
+                Insn::Beq(a, b, off) => r3(9, 0, a, b, off),
+                Insn::Bne(a, b, off) => r3(10, 0, a, b, off),
+                Insn::Jmp(t) => i8f(11, 0, t),
+                Insn::Lui(rd, imm) => i8f(12, rd, imm),
+                Insn::Li(rd, imm) => i8f(13, rd, imm),
+                Insn::Sll(rd, a, imm) => r3(14, rd, a, 0, imm),
+                Insn::Srl(rd, a, imm) => r3(15, rd, a, 0, imm),
+            }
+        })
+        .collect()
+}
+
+/// Signals a tile exposes to the surrounding design.
+pub(crate) struct TileOutputs {
+    /// The tile's result register (r7), for interconnect/observation.
+    pub result: NetId,
+    /// Current program counter.
+    pub pc: NetId,
+}
+
+/// Builds one CPU tile inside `b`. The host bus writes the instruction
+/// memory when `host_we & tile_hit` is asserted.
+pub(crate) fn build_tile(
+    b: &mut ModuleBuilder,
+    rst: NetId,
+    host_we: NetId,
+    host_addr: NetId,
+    host_data: NetId,
+    tile_hit: NetId,
+) -> TileOutputs {
+    let imem = b.memory("imem", 256, 16);
+    let dmem = b.memory("dmem", 256, 16);
+    let regs = b.memory("regs", 8, 16);
+
+    // Host loads the instruction memory.
+    let host_tile_we = b.and(host_we, tile_hit);
+    b.write_port(imem, host_addr, host_data, host_tile_we);
+
+    // Architectural state.
+    let pc = b.dff(8);
+    let phase = b.dff(2); // 0 fetch, 1 execute, 2 writeback
+    let instr_reg = b.dff(16);
+
+    let phase_is = |b: &mut ModuleBuilder, v: u64| {
+        let c = b.lit(v, 2);
+        b.eq(phase, c)
+    };
+    let in_exec = phase_is(b, 1);
+    let in_wb = phase_is(b, 2);
+
+    // Fetch: present pc to imem; data arrives during execute.
+    let instr = b.read_port(imem, pc, ReadKind::Sync);
+
+    // Decode (execute phase uses `instr`, writeback uses `instr_reg`).
+    let op = b.slice(instr, 12, 4);
+    let rd = b.slice(instr, 9, 3);
+    let rs1 = b.slice(instr, 6, 3);
+    let rs2 = b.slice(instr, 3, 3);
+    let imm3 = b.slice(instr, 0, 3);
+    let imm8 = b.slice(instr, 1, 8);
+
+    // Register file: two asynchronous read ports (the polyfill trigger).
+    let rs1v = b.read_port(regs, rs1, ReadKind::Async);
+    let rs2v = b.read_port(regs, rs2, ReadKind::Async);
+
+    // ALU.
+    let imm3x = b.resize(imm3, 16);
+    let imm8x = b.resize(imm8, 16);
+    let add = b.add(rs1v, rs2v);
+    let xor = b.xor(rs1v, rs2v);
+    let and = b.and(rs1v, rs2v);
+    let or = b.or(rs1v, rs2v);
+    let addi = b.add(rs1v, imm3x);
+    let sub = b.sub(rs1v, rs2v);
+    let eight = b.lit(8, 16);
+    let lui = b.shl(imm8x, eight);
+    let sll = b.shl(rs1v, imm3x);
+    let srl = b.lshr(rs1v, imm3x);
+
+    // ALU result mux by opcode.
+    let mut alu = b.lit(0, 16);
+    for (code, val) in [
+        (1u64, add),
+        (2, xor),
+        (3, and),
+        (4, or),
+        (5, addi),
+        (6, sub),
+        (12, lui),
+        (13, imm8x),
+        (14, sll),
+        (15, srl),
+    ] {
+        let c = b.lit(code, 4);
+        let hit = b.eq(op, c);
+        alu = b.mux(hit, val, alu);
+    }
+    let writes_alu = {
+        // opcodes with a register result (not lw, handled in writeback).
+        let mut any = b.lit(0, 1);
+        for code in [1u64, 2, 3, 4, 5, 6, 12, 13, 14, 15] {
+            let c = b.lit(code, 4);
+            let hit = b.eq(op, c);
+            any = b.or(any, hit);
+        }
+        any
+    };
+
+    // Data memory: read issued in execute (addr = rs1v), data consumed in
+    // writeback; write performed in execute for sw.
+    let daddr = b.slice(rs1v, 0, 8);
+    let dval = b.read_port(dmem, daddr, ReadKind::Sync);
+    let op_sw = {
+        let c = b.lit(8, 4);
+        b.eq(op, c)
+    };
+    let not_rst = b.not(rst);
+    let do_store0 = b.and(in_exec, op_sw);
+    let do_store = b.and(do_store0, not_rst);
+    b.write_port(dmem, daddr, rs2v, do_store);
+
+    // Register writes: ALU result in execute, load data in writeback.
+    let we_alu0 = b.and(in_exec, writes_alu);
+    let we_alu = b.and(we_alu0, not_rst);
+    b.write_port(regs, rd, alu, we_alu);
+    let wb_op = b.slice(instr_reg, 12, 4);
+    let wb_rd = b.slice(instr_reg, 9, 3);
+    let op_lw_wb = {
+        let c = b.lit(7, 4);
+        b.eq(wb_op, c)
+    };
+    let we_lw0 = b.and(in_wb, op_lw_wb);
+    let we_lw = b.and(we_lw0, not_rst);
+    b.write_port(regs, wb_rd, dval, we_lw);
+
+    // Next PC (computed in execute).
+    let one8 = b.lit(1, 8);
+    let pc_plus1 = b.add(pc, one8);
+    let imm3_8 = b.resize(imm3, 8);
+    let taken_target0 = b.add(pc_plus1, imm3_8);
+    let eq_regs = b.eq(rs1v, rs2v);
+    let op_beq = {
+        let c = b.lit(9, 4);
+        b.eq(op, c)
+    };
+    let op_bne = {
+        let c = b.lit(10, 4);
+        b.eq(op, c)
+    };
+    let op_jmp = {
+        let c = b.lit(11, 4);
+        b.eq(op, c)
+    };
+    let neq = b.not(eq_regs);
+    let beq_taken = b.and(op_beq, eq_regs);
+    let bne_taken = b.and(op_bne, neq);
+    let branch_taken = b.or(beq_taken, bne_taken);
+    let mut pc_next = b.mux(branch_taken, taken_target0, pc_plus1);
+    let imm8_8 = b.resize(imm8, 8);
+    pc_next = b.mux(op_jmp, imm8_8, pc_next);
+
+    // Sequential updates.
+    let zero8 = b.lit(0, 8);
+    let pc_exec = b.mux(in_exec, pc_next, pc);
+    let pc_n = b.mux(rst, zero8, pc_exec);
+    b.connect_dff(pc, pc_n);
+
+    let zero2 = b.lit(0, 2);
+    let two2 = b.lit(2, 2);
+    let one2 = b.lit(1, 2);
+    let phase_wrap = b.eq(phase, two2);
+    let phase_inc = b.add(phase, one2);
+    let phase_adv = b.mux(phase_wrap, zero2, phase_inc);
+    let phase_n = b.mux(rst, zero2, phase_adv);
+    b.connect_dff(phase, phase_n);
+
+    let instr_latch = b.mux(in_exec, instr, instr_reg);
+    b.connect_dff(instr_reg, instr_latch);
+
+    // Vector MAC unit ("FPU"): 16 lanes multiply rotated slices of the
+    // load data with r6 and accumulate — the per-tile floating-point-ish
+    // datapath that gives OpenPiton-class tiles their gate count (the
+    // paper's OpenPiton workloads include fp_mt_combo0).
+    let six = b.lit(6, 3);
+    let r6v = b.read_port(regs, six, ReadKind::Async);
+    let vacc = b.dff(32);
+    let mut vsum = b.lit(0, 32);
+    for lane in 0..16u32 {
+        let r = (lane * 3) % 16;
+        let d_rot = if r == 0 {
+            dval
+        } else {
+            let hi = b.slice(dval, r, 16 - r);
+            let lo = b.slice(dval, 0, r);
+            b.concat(&[hi, lo])
+        };
+        let a = b.slice(d_rot, 0, 8);
+        let w = b.slice(r6v, (lane % 2) * 8, 8);
+        let a16 = b.resize(a, 16);
+        let w16 = b.resize(w, 16);
+        let p = b.mul(a16, w16);
+        let p32 = b.resize(p, 32);
+        vsum = b.add(vsum, p32);
+    }
+    let vacc_add = b.add(vacc, vsum);
+    let vacc_en = b.mux(in_wb, vacc_add, vacc);
+    let zero32 = b.lit(0, 32);
+    let vacc_n = b.mux(rst, zero32, vacc_en);
+    b.connect_dff(vacc, vacc_n);
+
+    // r7 as observable result, mixed with the vector accumulator so the
+    // MAC unit is live logic.
+    let seven = b.lit(7, 3);
+    let r7v = b.read_port(regs, seven, ReadKind::Async);
+    let vlow = b.slice(vacc, 0, 16);
+    let result = b.xor(r7v, vlow);
+
+    TileOutputs { result, pc }
+}
+
+/// Builds the standalone CPU design with its four workloads.
+pub fn rocket_like() -> Design {
+    let mut b = ModuleBuilder::new("rocket_like");
+    let rst = b.input("rst", 1);
+    let host_we = b.input("host_we", 1);
+    let host_addr = b.input("host_addr", 8);
+    let host_data = b.input("host_data", 16);
+    let hit = b.lit(1, 1);
+    let tile = build_tile(&mut b, rst, host_we, host_addr, host_data, hit);
+    b.output("pc", tile.pc);
+    b.output("result", tile.result);
+    let module = b.finish().expect("rocket_like is a valid module");
+
+    let workloads = ["dhrystone", "mt-memcpy", "pmp", "qsort", "spmv"]
+        .iter()
+        .map(|name| Workload {
+            name: (*name).to_string(),
+            spec: WorkloadSpec::ProgramLoad {
+                program: program(name),
+                tile_select: None,
+                held: vec![],
+            },
+        })
+        .collect();
+    Design {
+        name: "RocketChip".into(),
+        module,
+        workloads,
+    }
+}
+
+/// Canned programs named after the paper's RocketChip tests. Each has a
+/// distinct mix of arithmetic, memory and branch behaviour (and hence a
+/// distinct switching activity).
+pub fn program(name: &str) -> Vec<u16> {
+    use Insn::*;
+    let insns: Vec<Insn> = match name {
+        // Arithmetic-heavy loop.
+        "dhrystone" => vec![
+            Li(1, 1),
+            Li(2, 0),
+            Li(3, 37),
+            // loop at 3:
+            Add(2, 2, 3),
+            Xor(3, 3, 2),
+            Sub(4, 2, 1),
+            Or(7, 2, 3),
+            Jmp(3),
+        ],
+        // Load/store copy loop.
+        "mt-memcpy" => vec![
+            Li(1, 0),   // src
+            Li(2, 64),  // dst
+            Li(3, 1),
+            // loop at 3:
+            Lw(4, 1),
+            Sw(2, 4),
+            Add(1, 1, 3),
+            Add(2, 2, 3),
+            Add(7, 7, 3),
+            Jmp(3),
+        ],
+        // Branch-heavy compare chains.
+        "qsort" => vec![
+            Li(1, 5),
+            Li(2, 9),
+            Li(3, 1),
+            // loop at 3:
+            Bne(1, 2, 1),
+            Xor(7, 1, 2),
+            Sub(2, 2, 3),
+            Beq(2, 4, 1),
+            Add(1, 1, 3),
+            Jmp(3),
+        ],
+        // Mixed arithmetic + memory.
+        "spmv" => vec![
+            Li(1, 0),
+            Li(3, 1),
+            // loop at 2:
+            Lw(4, 1),
+            Add(5, 5, 4),
+            Sll(6, 5, 1),
+            Sw(1, 6),
+            Add(1, 1, 3),
+            Add(7, 5, 6),
+            Jmp(2),
+        ],
+        // Low activity: spin on a nop loop ("pmp"-like idle).
+        "pmp" | _ => vec![Nop, Nop, Jmp(0)],
+    };
+    assemble(&insns)
+}
+
+/// Runs a program to completion-ish on the netlist reference simulator and
+/// returns the final r7 (used by tests to pin ISA semantics).
+pub fn reference_run(program_words: &[u16], cycles: u64) -> Bits {
+    let design = rocket_like();
+    let mut sim = gem_sim::NetlistSim::new(&design.module);
+    // Load.
+    for (i, &w) in program_words.iter().enumerate() {
+        sim.set_input("rst", Bits::from_u64(1, 1));
+        sim.set_input("host_we", Bits::from_u64(1, 1));
+        sim.set_input("host_addr", Bits::from_u64(i as u64, 8));
+        sim.set_input("host_data", Bits::from_u64(w as u64, 16));
+        sim.eval();
+        sim.step();
+    }
+    sim.set_input("rst", Bits::from_u64(0, 1));
+    sim.set_input("host_we", Bits::from_u64(0, 1));
+    for _ in 0..cycles {
+        sim.eval();
+        sim.step();
+    }
+    sim.eval();
+    sim.output("result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembler_packs_fields() {
+        let w = assemble(&[Insn::Add(7, 1, 2)])[0];
+        assert_eq!(w >> 12, 1);
+        assert_eq!((w >> 9) & 7, 7);
+        assert_eq!((w >> 6) & 7, 1);
+        assert_eq!((w >> 3) & 7, 2);
+        let j = assemble(&[Insn::Jmp(0x42)])[0];
+        assert_eq!(j >> 12, 11);
+        assert_eq!((j >> 1) & 0xFF, 0x42);
+    }
+
+    #[test]
+    fn cpu_executes_li_and_add() {
+        use Insn::*;
+        let prog = assemble(&[Li(1, 20), Li(2, 22), Add(7, 1, 2), Jmp(3)]);
+        // 4 instructions × 3 phases plus slack.
+        let r7 = reference_run(&prog, 30);
+        assert_eq!(r7.to_u64(), 42);
+    }
+
+    #[test]
+    fn cpu_load_store_round_trip() {
+        use Insn::*;
+        let prog = assemble(&[
+            Li(1, 7),   // address
+            Li(2, 99),  // value
+            Sw(1, 2),   // dmem[7] = 99
+            Lw(7, 1),   // r7 = dmem[7]
+            Jmp(4),
+        ]);
+        let r7 = reference_run(&prog, 40);
+        assert_eq!(r7.to_u64(), 99);
+    }
+
+    #[test]
+    fn cpu_branches() {
+        use Insn::*;
+        let prog = assemble(&[
+            Li(1, 3),
+            Li(2, 3),
+            Beq(1, 2, 1), // taken: skip the Li(7, 1)
+            Li(7, 1),
+            Li(7, 5),
+            Jmp(5),
+        ]);
+        let r7 = reference_run(&prog, 40);
+        assert_eq!(r7.to_u64(), 5);
+    }
+
+    #[test]
+    fn workload_programs_assemble() {
+        for name in ["dhrystone", "mt-memcpy", "pmp", "qsort", "spmv"] {
+            assert!(!program(name).is_empty());
+        }
+    }
+
+    #[test]
+    fn regfile_is_async_and_memories_sync() {
+        let d = rocket_like();
+        let regs = d
+            .module
+            .memories()
+            .iter()
+            .find(|m| m.name == "regs")
+            .expect("regfile");
+        assert!(regs
+            .read_ports
+            .iter()
+            .all(|p| p.kind == gem_netlist::ReadKind::Async));
+        let imem = d
+            .module
+            .memories()
+            .iter()
+            .find(|m| m.name == "imem")
+            .expect("imem");
+        assert!(imem
+            .read_ports
+            .iter()
+            .all(|p| p.kind == gem_netlist::ReadKind::Sync));
+    }
+}

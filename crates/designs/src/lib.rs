@@ -1,0 +1,79 @@
+//! Synthetic benchmark designs standing in for the paper's evaluation
+//! suite (Table I/II: NVDLA, RocketChip, Gemmini, OpenPiton1/8).
+//!
+//! The original designs require Chisel/Chipyard toolchains and enormous
+//! Verilog trees; these generators build parameterized circuits that
+//! exercise the same structural features the paper attributes to each
+//! (see DESIGN.md §3, substitution 3):
+//!
+//! * [`nvdla_like`] — a MAC-pipeline accelerator whose buffers are all
+//!   *synchronous-read* RAMs, so every memory maps onto native GEM RAM
+//!   blocks (the paper's best case: "all RAMs inside it are mapped to
+//!   E-AIG RAM blocks").
+//! * [`rocket_like`] — a multi-cycle 16-bit CPU with an
+//!   *asynchronous-read* register file, exercising the FF + decoder
+//!   polyfill path the paper calls out for the other four designs.
+//! * [`gemmini_like`] — an N×N weight-stationary systolic array: the
+//!   deepest logic (multiply–accumulate chains), driving the most
+//!   boomerang layers.
+//! * [`openpiton_like`] — N replicated CPU tiles plus a thin interconnect;
+//!   at N=8 most tiles idle under single-tile workloads, reproducing the
+//!   low-activity regime where event-driven baselines shine.
+//!
+//! Designs come with named [`Workload`]s of deliberately different
+//! switching activity, so event-driven baselines show the paper's
+//! per-test speed variation while GEM's full-cycle speed stays constant.
+
+pub mod cpu;
+pub mod gemmini;
+pub mod nvdla;
+pub mod openpiton;
+pub mod workload;
+
+pub use gemmini::gemmini_like;
+pub use nvdla::nvdla_like;
+pub use openpiton::openpiton_like;
+pub use cpu::rocket_like;
+pub use workload::{Stimulus, Workload, WorkloadSpec};
+
+use gem_netlist::Module;
+
+/// A benchmark design: a module plus its named workloads.
+#[derive(Debug)]
+pub struct Design {
+    /// Short name (Table I/II row label).
+    pub name: String,
+    /// The RTL.
+    pub module: Module,
+    /// Named stimuli.
+    pub workloads: Vec<Workload>,
+}
+
+impl Design {
+    /// Looks up a workload by name.
+    pub fn workload(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+}
+
+/// The five evaluation designs at a given scale factor. Scale 1 is the
+/// default harness scale (design sizes ≈ 1/15 of the paper's, with the
+/// same relative proportions); scale 0 is a tiny smoke-test suite.
+pub fn all_designs(scale: u32) -> Vec<Design> {
+    if scale == 0 {
+        return vec![
+            nvdla_like(4),
+            rocket_like(),
+            gemmini_like(3),
+            openpiton_like(1),
+            openpiton_like(2),
+        ];
+    }
+    vec![
+        nvdla_like(48 * scale),
+        rocket_like(),
+        gemmini_like(12 * scale),
+        openpiton_like(1),
+        openpiton_like(8),
+    ]
+}

@@ -1,0 +1,338 @@
+//! Bitstream disassembly (the loader half of the virtual machine).
+
+use crate::{init_bits, io_bits, io_entries, perm_words, wb_entries, wide_bits};
+use crate::{ReadEntry, WriteEntry, WriteSrc};
+use gem_place::{BoomerangLayer, PermSource};
+use std::fmt;
+
+/// Errors from [`disassemble_core`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The program is shorter than its headers claim.
+    Truncated,
+    /// Bad magic word at the start of `INIT`.
+    BadMagic(u32),
+    /// A field holds an impossible value; the string names it.
+    BadField(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated core program"),
+            DecodeError::BadMagic(m) => write!(f, "bad INIT magic {m:#010x}"),
+            DecodeError::BadField(s) => write!(f, "bad field: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded core program, structurally equivalent to the
+/// [`gem_place::CoreProgram`] it was assembled from (minus node identities,
+/// which live in the compiler's binding tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedCore {
+    /// Core width.
+    pub width: u32,
+    /// State bits used.
+    pub state_size: u32,
+    /// Global loads.
+    pub reads: Vec<ReadEntry>,
+    /// Boomerang layers.
+    pub layers: Vec<BoomerangLayer>,
+    /// Global stores.
+    pub writes: Vec<WriteEntry>,
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        let byte = self.bit / 8;
+        if byte >= self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let v = (self.bytes[byte] >> (self.bit % 8)) & 1 == 1;
+        self.bit += 1;
+        Ok(v)
+    }
+
+    fn read_bits(&mut self, n: usize) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        for i in 0..n {
+            if self.read_bit()? {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    fn seek(&mut self, bit: usize) -> Result<(), DecodeError> {
+        if bit > self.bytes.len() * 8 {
+            return Err(DecodeError::Truncated);
+        }
+        self.bit = bit;
+        Ok(())
+    }
+}
+
+/// Disassembles one core program produced by [`crate::assemble_core`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input.
+pub fn disassemble_core(bytes: &[u8]) -> Result<DecodedCore, DecodeError> {
+    let mut r = BitReader { bytes, bit: 0 };
+    let magic = r.read_bits(32)? as u32;
+    if magic != u32::from_le_bytes(*b"GEMB") {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let width = r.read_bits(32)? as u32;
+    if !width.is_power_of_two() || width < 2 {
+        return Err(DecodeError::BadField(format!("width {width}")));
+    }
+    let state_size = r.read_bits(32)? as u32;
+    let num_layers = r.read_bits(32)? as usize;
+    let n_reads = r.read_bits(32)? as usize;
+    let n_writes = r.read_bits(32)? as usize;
+    let folds = r.read_bits(32)? as usize;
+    if folds != width.trailing_zeros() as usize {
+        return Err(DecodeError::BadField(format!("folds {folds}")));
+    }
+    let mut cursor = init_bits(width);
+    r.seek(cursor)?;
+
+    // Reads.
+    let per_word = io_entries(width).max(1);
+    let mut reads = Vec::with_capacity(n_reads);
+    let read_words = n_reads.div_ceil(per_word);
+    for wi in 0..read_words {
+        let in_this = (n_reads - wi * per_word).min(per_word);
+        for _ in 0..in_this {
+            let global = r.read_bits(32)? as u32;
+            let state = r.read_bits(16)? as u16;
+            let _pad = r.read_bits(16)?;
+            reads.push(ReadEntry { global, state });
+        }
+        cursor += io_bits(width);
+        r.seek(cursor)?;
+    }
+
+    // Layers.
+    let mut layers = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let mut layer = BoomerangLayer::new(width);
+        let pw = perm_words(width);
+        let codes_per_word = (width as usize).div_ceil(pw);
+        let mut idx = 0usize;
+        for _ in 0..pw {
+            let word_base = cursor;
+            for _ in 0..codes_per_word.min(width as usize - idx) {
+                let code = r.read_bits(16)? as u16;
+                layer.perm[idx] = if code & 0x8000 != 0 {
+                    PermSource::ConstFalse
+                } else {
+                    PermSource::State(code as u32)
+                };
+                idx += 1;
+            }
+            cursor = word_base + wide_bits(width);
+            r.seek(cursor)?;
+        }
+        // FOLD word.
+        let fold_base = cursor;
+        for k in 0..folds {
+            let slots = (width >> (k + 1)) as usize;
+            for j in 0..slots {
+                layer.folds[k].xa[j] = r.read_bit()?;
+            }
+            for j in 0..slots {
+                layer.folds[k].xb[j] = r.read_bit()?;
+            }
+            for j in 0..slots {
+                layer.folds[k].ob[j] = r.read_bit()?;
+            }
+        }
+        r.seek(fold_base + wide_bits(width) - 32)?;
+        let wb_words = r.read_bits(32)? as usize;
+        cursor = fold_base + wide_bits(width);
+        r.seek(cursor)?;
+        for _ in 0..wb_words {
+            let word_base = cursor;
+            let count = r.read_bits(32)? as usize;
+            if count > wb_entries(width).max(1) {
+                return Err(DecodeError::BadField(format!("wb count {count}")));
+            }
+            for _ in 0..count {
+                let level = r.read_bits(5)? as usize;
+                let slot = r.read_bits(14)? as usize;
+                let addr = r.read_bits(13)? as u32;
+                if level == 0 || level > folds || slot >= (width as usize >> level) {
+                    return Err(DecodeError::BadField(format!(
+                        "writeback level {level} slot {slot}"
+                    )));
+                }
+                layer.writeback[level - 1][slot] = Some(addr);
+            }
+            cursor = word_base + wide_bits(width);
+            r.seek(cursor)?;
+        }
+        layers.push(layer);
+    }
+
+    // Writes.
+    let mut writes = Vec::with_capacity(n_writes);
+    let write_words = n_writes.div_ceil(per_word);
+    for wi in 0..write_words {
+        let in_this = (n_writes - wi * per_word).min(per_word);
+        let word_base = cursor;
+        for _ in 0..in_this {
+            let global = r.read_bits(32)? as u32;
+            let src_raw = r.read_bits(16)? as u16;
+            let flags = r.read_bits(16)? as u16;
+            let src = if src_raw & 0x8000 != 0 {
+                WriteSrc::Const(src_raw & 1 == 1)
+            } else {
+                WriteSrc::State {
+                    addr: src_raw & 0x1FFF,
+                    invert: src_raw & (1 << 14) != 0,
+                }
+            };
+            writes.push(WriteEntry {
+                global,
+                src,
+                deferred: flags & 1 != 0,
+            });
+        }
+        cursor = word_base + io_bits(width);
+        r.seek(cursor)?;
+    }
+
+    Ok(DecodedCore {
+        width,
+        state_size,
+        reads,
+        layers,
+        writes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble_core;
+    use gem_place::{CoreProgram, OutputSource};
+
+    fn sample_program(width: u32) -> CoreProgram {
+        let folds = width.trailing_zeros() as usize;
+        let mut layer = BoomerangLayer::new(width);
+        layer.perm[0] = PermSource::State(3);
+        layer.perm[1] = PermSource::State(1);
+        layer.folds[0].xa[0] = true;
+        layer.folds[0].ob[0] = true;
+        if folds > 1 {
+            layer.folds[1].xb[0] = true;
+        }
+        layer.writeback[0][0] = Some(5);
+        let mut layer2 = BoomerangLayer::new(width);
+        layer2.perm[2] = PermSource::State(5);
+        layer2.writeback[folds - 1][0] = Some(7);
+        CoreProgram {
+            width,
+            state_size: 9,
+            inputs: vec![(gem_aig::NodeId(1), 3), (gem_aig::NodeId(2), 1)],
+            layers: vec![layer, layer2],
+            outputs: vec![OutputSource::State {
+                addr: 7,
+                invert: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        for width in [16u32, 64, 8192] {
+            let prog = sample_program(width);
+            let reads = vec![
+                ReadEntry { global: 10, state: 3 },
+                ReadEntry { global: 11, state: 1 },
+            ];
+            let writes = vec![WriteEntry {
+                global: 42,
+                src: WriteSrc::State {
+                    addr: 7,
+                    invert: true,
+                },
+                deferred: true,
+            }];
+            let bytes = assemble_core(&prog, &reads, &writes);
+            let dec = disassemble_core(&bytes).expect("decodes");
+            assert_eq!(dec.width, width);
+            assert_eq!(dec.state_size, 9);
+            assert_eq!(dec.reads, reads);
+            assert_eq!(dec.writes, writes);
+            assert_eq!(dec.layers, prog.layers, "width {width}");
+        }
+    }
+
+    #[test]
+    fn word_sizes_match_the_paper_at_full_width() {
+        // Fig 7: 8192 / 16384 / 32768-bit instruction variants.
+        assert_eq!(crate::init_bits(8192), 8192);
+        assert_eq!(crate::io_bits(8192), 16384);
+        assert_eq!(crate::wide_bits(8192), 32768);
+        assert_eq!(crate::io_entries(8192), 256);
+        assert_eq!(crate::perm_words(8192), 4);
+    }
+
+    #[test]
+    fn program_size_formula() {
+        let width = 64u32;
+        let prog = sample_program(width);
+        let bytes = assemble_core(&prog, &[], &[]);
+        // INIT + 2 layers × (4 perm words + 1 fold word + 1 wb word).
+        let expect_bits =
+            crate::init_bits(width) + 2 * (4 + 1 + 1) * crate::wide_bits(width);
+        assert_eq!(bytes.len() * 8, expect_bits);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0u8; 1024];
+        assert!(matches!(
+            disassemble_core(&bytes),
+            Err(DecodeError::BadMagic(0))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let prog = sample_program(64);
+        let bytes = assemble_core(&prog, &[], &[]);
+        assert!(matches!(
+            disassemble_core(&bytes[..bytes.len() / 2]),
+            Err(DecodeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let prog = sample_program(16);
+        let core = assemble_core(&prog, &[], &[]);
+        let bs = crate::Bitstream {
+            width: 16,
+            global_bits: 99,
+            stages: vec![vec![core.clone(), core.clone()], vec![core]],
+        };
+        let bytes = bs.to_bytes();
+        let back = crate::Bitstream::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, bs);
+        assert_eq!(back.total_cores(), 3);
+        assert!(back.total_bytes() > 0);
+        assert!(crate::Bitstream::from_bytes(&bytes[..5]).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! Bitstream assembly.
+
+use crate::{init_bits, io_bits, io_entries, perm_words, wb_entries, wide_bits};
+use gem_place::{CoreProgram, PermSource};
+
+/// One `READ_GLOBAL` entry: load global bit `global` into core state bit
+/// `state` at the start of each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// Index into the device-global signal array.
+    pub global: u32,
+    /// Core state address.
+    pub state: u16,
+}
+
+/// The data source of a `WRITE_GLOBAL` entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteSrc {
+    /// Core state bit, optionally inverted on the way out.
+    State {
+        /// Core state address.
+        addr: u16,
+        /// Invert on write.
+        invert: bool,
+    },
+    /// Constant bit.
+    Const(bool),
+}
+
+/// One `WRITE_GLOBAL` entry: publish a bit to the global signal array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// Destination index in the device-global signal array.
+    pub global: u32,
+    /// Where the bit comes from.
+    pub src: WriteSrc,
+    /// Deferred writes are committed at the end of the cycle (flip-flop
+    /// next-states, outputs); immediate writes are visible to the next
+    /// stage within the cycle (cut signals, RAM port operands).
+    pub deferred: bool,
+}
+
+/// A bit-granular little-endian writer.
+#[derive(Debug, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: usize,
+}
+
+impl BitWriter {
+    fn pad_to(&mut self, bits: usize) {
+        assert!(self.bit <= bits, "overflowed instruction word");
+        self.bytes.resize(bits / 8, 0);
+        self.bit = bits;
+    }
+
+    fn push_bit(&mut self, v: bool) {
+        let byte = self.bit / 8;
+        if byte >= self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if v {
+            self.bytes[byte] |= 1 << (self.bit % 8);
+        }
+        self.bit += 1;
+    }
+
+    fn push_bits(&mut self, v: u64, n: usize) {
+        for i in 0..n {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+}
+
+/// Assembles one core program into its binary form.
+///
+/// `reads` and `writes` are the resolved global-memory bindings (the
+/// compiler in `gem-core` maps partition sources/sinks to global indices).
+///
+/// # Panics
+///
+/// Panics if the program's addresses exceed the field widths (state
+/// addresses are 13-bit at the paper's core width).
+pub fn assemble_core(prog: &CoreProgram, reads: &[ReadEntry], writes: &[WriteEntry]) -> Vec<u8> {
+    let w = prog.width;
+    let folds = w.trailing_zeros() as usize;
+    let mut out = BitWriter::default();
+
+    // INIT word.
+    let base = out.bit;
+    out.push_bits(u64::from(u32::from_le_bytes(*b"GEMB")), 32);
+    out.push_bits(w as u64, 32);
+    out.push_bits(prog.state_size as u64, 32);
+    out.push_bits(prog.layers.len() as u64, 32);
+    out.push_bits(reads.len() as u64, 32);
+    out.push_bits(writes.len() as u64, 32);
+    out.push_bits(folds as u64, 32);
+    out.pad_to(base + init_bits(w));
+
+    // READ_GLOBAL words.
+    let per_word = io_entries(w);
+    for chunk in reads.chunks(per_word.max(1)) {
+        let base = out.bit;
+        for e in chunk {
+            out.push_bits(e.global as u64, 32);
+            out.push_bits(e.state as u64, 16);
+            out.push_bits(0, 16);
+        }
+        out.pad_to(base + io_bits(w));
+    }
+
+    // Layers.
+    for layer in &prog.layers {
+        // PERMUTE words: 16-bit source codes.
+        let pw = perm_words(w);
+        let codes_per_word = layer.perm.len().div_ceil(pw);
+        for chunk in layer.perm.chunks(codes_per_word) {
+            let base = out.bit;
+            for s in chunk {
+                let code: u16 = match s {
+                    PermSource::State(a) => {
+                        assert!(*a < 0x8000, "state address too wide");
+                        *a as u16
+                    }
+                    PermSource::ConstFalse => 0x8000,
+                };
+                out.push_bits(code as u64, 16);
+            }
+            out.pad_to(base + wide_bits(w));
+        }
+        // FOLD word: xa/xb/ob per level, then the writeback word count in
+        // the top 32 bits.
+        let base = out.bit;
+        for (k, fc) in layer.folds.iter().enumerate() {
+            let _ = k;
+            for &b in &fc.xa {
+                out.push_bit(b);
+            }
+            for &b in &fc.xb {
+                out.push_bit(b);
+            }
+            for &b in &fc.ob {
+                out.push_bit(b);
+            }
+        }
+        let wb: Vec<(u32, u32, u32)> = layer
+            .writeback
+            .iter()
+            .enumerate()
+            .flat_map(|(k, slots)| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(j, a)| a.map(|addr| (k as u32 + 1, j as u32, addr)))
+            })
+            .collect();
+        let wb_words = wb.len().div_ceil(wb_entries(w).max(1));
+        out.pad_to(base + wide_bits(w) - 32);
+        out.push_bits(wb_words as u64, 32);
+        debug_assert_eq!(out.bit, base + wide_bits(w));
+        // WRITEBACK words.
+        for chunk in wb.chunks(wb_entries(w).max(1)) {
+            let base = out.bit;
+            out.push_bits(chunk.len() as u64, 32);
+            for &(level, slot, addr) in chunk {
+                assert!(level < 32 && slot < (1 << 14) && addr < (1 << 13));
+                out.push_bits(level as u64, 5);
+                out.push_bits(slot as u64, 14);
+                out.push_bits(addr as u64, 13);
+            }
+            out.pad_to(base + wide_bits(w));
+        }
+    }
+
+    // WRITE_GLOBAL words.
+    for chunk in writes.chunks(per_word.max(1)) {
+        let base = out.bit;
+        for e in chunk {
+            out.push_bits(e.global as u64, 32);
+            let src: u16 = match e.src {
+                WriteSrc::State { addr, invert } => {
+                    assert!(addr < (1 << 13), "state address too wide");
+                    addr | ((invert as u16) << 14)
+                }
+                WriteSrc::Const(v) => 0x8000 | v as u16,
+            };
+            out.push_bits(src as u64, 16);
+            out.push_bits(e.deferred as u64, 16);
+        }
+        out.pad_to(base + io_bits(w));
+    }
+
+    out.bytes
+}
+
+/// A complete compiled design: per-stage core programs plus the global
+/// signal-space size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    /// Core width all programs were compiled for.
+    pub width: u32,
+    /// Size of the device-global signal array in bits.
+    pub global_bits: u32,
+    /// `stages[s][c]` = assembled bytes of core `c` in stage `s`.
+    pub stages: Vec<Vec<Vec<u8>>>,
+}
+
+impl Bitstream {
+    /// Total assembled size in bytes (the Table I "Bitstream" column).
+    pub fn total_bytes(&self) -> usize {
+        self.stages
+            .iter()
+            .flat_map(|s| s.iter().map(Vec::len))
+            .sum()
+    }
+
+    /// Number of cores across all stages.
+    pub fn total_cores(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes the container (header + programs) for storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(b"GEMS");
+        v.extend_from_slice(&self.width.to_le_bytes());
+        v.extend_from_slice(&self.global_bits.to_le_bytes());
+        v.extend_from_slice(&(self.stages.len() as u32).to_le_bytes());
+        for s in &self.stages {
+            v.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            for c in s {
+                v.extend_from_slice(&(c.len() as u32).to_le_bytes());
+                v.extend_from_slice(c);
+            }
+        }
+        v
+    }
+
+    /// Parses a container produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the container is truncated or has a bad
+    /// magic number.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            if *pos + n > bytes.len() {
+                return Err("truncated bitstream container".into());
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let u32_at = |pos: &mut usize| -> Result<u32, String> {
+            let s = take(pos, 4)?;
+            Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        };
+        if take(&mut pos, 4)? != b"GEMS" {
+            return Err("bad container magic".into());
+        }
+        let width = u32_at(&mut pos)?;
+        let global_bits = u32_at(&mut pos)?;
+        let n_stages = u32_at(&mut pos)? as usize;
+        let mut stages = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let n_cores = u32_at(&mut pos)? as usize;
+            let mut cores = Vec::with_capacity(n_cores);
+            for _ in 0..n_cores {
+                let len = u32_at(&mut pos)? as usize;
+                cores.push(take(&mut pos, len)?.to_vec());
+            }
+            stages.push(cores);
+        }
+        Ok(Bitstream {
+            width,
+            global_bits,
+            stages,
+        })
+    }
+}

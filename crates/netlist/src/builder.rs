@@ -1,0 +1,727 @@
+//! Ergonomic construction of [`Module`]s.
+//!
+//! [`ModuleBuilder`] hands out [`NetId`]s as you add operators, then
+//! validates the result (driver uniqueness, width consistency, combinational
+//! acyclicity) in [`ModuleBuilder::finish`].
+
+use crate::module::*;
+use crate::value::Bits;
+use std::collections::HashMap;
+
+/// Incremental builder for a [`Module`].
+///
+/// Flip-flops are two-phase so feedback loops can be expressed: create the
+/// state net with [`dff`](Self::dff), use it freely, then wire its
+/// next-state input with [`connect_dff`](Self::connect_dff).
+///
+/// # Example
+///
+/// ```
+/// use gem_netlist::ModuleBuilder;
+///
+/// let mut b = ModuleBuilder::new("toggler");
+/// let q = b.dff(1);
+/// let nq = b.not(q);
+/// b.connect_dff(q, nq);
+/// b.output("q", q);
+/// let m = b.finish()?;
+/// assert_eq!(m.state_bits(), 1);
+/// # Ok::<(), gem_netlist::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    nets: Vec<Net>,
+    ports: Vec<Port>,
+    cells: Vec<Cell>,
+    memories: Vec<Memory>,
+    /// Dffs created by `dff` that still need `connect_dff`.
+    pending_dffs: HashMap<NetId, PendingDff>,
+}
+
+#[derive(Debug)]
+struct PendingDff {
+    init: Bits,
+    enable: Option<NetId>,
+    reset: Option<NetId>,
+}
+
+impl ModuleBuilder {
+    /// Starts a new module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+            cells: Vec::new(),
+            memories: Vec::new(),
+            pending_dffs: HashMap::new(),
+        }
+    }
+
+    fn add_net(&mut self, width: u32, name: Option<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name, width });
+        id
+    }
+
+    fn width(&self, n: NetId) -> u32 {
+        self.nets[n.0 as usize].width
+    }
+
+    /// Width of a net under construction.
+    pub(crate) fn peek_width(&self, n: NetId) -> u32 {
+        self.width(n)
+    }
+
+    fn push_cell(&mut self, kind: CellKind, out_width: u32) -> NetId {
+        let out = self.add_net(out_width, None);
+        self.cells.push(Cell { kind, out });
+        out
+    }
+
+    /// Declares an input port of the given width and returns its net.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> NetId {
+        let name = name.into();
+        let net = self.add_net(width, Some(name.clone()));
+        self.ports.push(Port {
+            name,
+            dir: PortDir::Input,
+            net,
+        });
+        net
+    }
+
+    /// Declares `net` as an output port.
+    pub fn output(&mut self, name: impl Into<String>, net: NetId) {
+        self.ports.push(Port {
+            name: name.into(),
+            dir: PortDir::Output,
+            net,
+        });
+    }
+
+    /// Gives `net` a debug name (useful for waveforms).
+    pub fn name_net(&mut self, net: NetId, name: impl Into<String>) {
+        self.nets[net.0 as usize].name = Some(name.into());
+    }
+
+    /// A constant driver.
+    pub fn constant(&mut self, value: Bits) -> NetId {
+        let w = value.width();
+        self.push_cell(CellKind::Const { value }, w)
+    }
+
+    /// A constant from a `u64`.
+    pub fn lit(&mut self, value: u64, width: u32) -> NetId {
+        self.constant(Bits::from_u64(value, width))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        let w = self.width(a);
+        self.push_cell(CellKind::Unary { op: Unary::Not, a }, w)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(&mut self, a: NetId) -> NetId {
+        let w = self.width(a);
+        self.push_cell(CellKind::Unary { op: Unary::Neg, a }, w)
+    }
+
+    /// AND-reduction to 1 bit.
+    pub fn reduce_and(&mut self, a: NetId) -> NetId {
+        self.push_cell(
+            CellKind::Unary {
+                op: Unary::ReduceAnd,
+                a,
+            },
+            1,
+        )
+    }
+
+    /// OR-reduction to 1 bit.
+    pub fn reduce_or(&mut self, a: NetId) -> NetId {
+        self.push_cell(
+            CellKind::Unary {
+                op: Unary::ReduceOr,
+                a,
+            },
+            1,
+        )
+    }
+
+    /// XOR-reduction to 1 bit.
+    pub fn reduce_xor(&mut self, a: NetId) -> NetId {
+        self.push_cell(
+            CellKind::Unary {
+                op: Unary::ReduceXor,
+                a,
+            },
+            1,
+        )
+    }
+
+    fn binary(&mut self, op: Binary, a: NetId, b: NetId) -> NetId {
+        let w = match op {
+            Binary::Eq | Binary::Ult => 1,
+            _ => self.width(a),
+        };
+        self.push_cell(CellKind::Binary { op, a, b }, w)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Xor, a, b)
+    }
+
+    /// Wrapping addition.
+    pub fn add(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Mul, a, b)
+    }
+
+    /// Equality comparison (1-bit result).
+    pub fn eq(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Eq, a, b)
+    }
+
+    /// Unsigned less-than (1-bit result).
+    pub fn ult(&mut self, a: NetId, b: NetId) -> NetId {
+        self.binary(Binary::Ult, a, b)
+    }
+
+    /// Variable logical shift left.
+    pub fn shl(&mut self, a: NetId, amount: NetId) -> NetId {
+        self.binary(Binary::Shl, a, amount)
+    }
+
+    /// Variable logical shift right.
+    pub fn lshr(&mut self, a: NetId, amount: NetId) -> NetId {
+        self.binary(Binary::Lshr, a, amount)
+    }
+
+    /// 2:1 multiplexer: `if sel { t } else { f }`.
+    pub fn mux(&mut self, sel: NetId, t: NetId, f: NetId) -> NetId {
+        let w = self.width(t);
+        self.push_cell(CellKind::Mux { sel, t, f }, w)
+    }
+
+    /// Extracts bits `[lo, lo+width)`.
+    pub fn slice(&mut self, a: NetId, lo: u32, width: u32) -> NetId {
+        self.push_cell(CellKind::Slice { a, lo }, width)
+    }
+
+    /// Extracts a single bit.
+    pub fn bit(&mut self, a: NetId, i: u32) -> NetId {
+        self.slice(a, i, 1)
+    }
+
+    /// Concatenates nets, first argument in the least-significant position.
+    pub fn concat(&mut self, parts: &[NetId]) -> NetId {
+        let w = parts.iter().map(|&p| self.width(p)).sum();
+        self.push_cell(
+            CellKind::Concat {
+                parts: parts.to_vec(),
+            },
+            w,
+        )
+    }
+
+    /// Zero-extends (or truncates) `a` to `width`.
+    pub fn resize(&mut self, a: NetId, width: u32) -> NetId {
+        let aw = self.width(a);
+        if aw == width {
+            a
+        } else if aw > width {
+            self.slice(a, 0, width)
+        } else {
+            let pad = self.lit(0, width - aw);
+            self.concat(&[a, pad])
+        }
+    }
+
+    /// Creates a flip-flop bank of the given width initialized to zero and
+    /// returns its output (state) net. The next-state input must later be
+    /// wired with [`connect_dff`](Self::connect_dff).
+    pub fn dff(&mut self, width: u32) -> NetId {
+        self.dff_init(Bits::zeros(width))
+    }
+
+    /// Like [`dff`](Self::dff) with an explicit power-on value.
+    pub fn dff_init(&mut self, init: Bits) -> NetId {
+        let q = self.add_net(init.width(), None);
+        self.pending_dffs.insert(
+            q,
+            PendingDff {
+                init,
+                enable: None,
+                reset: None,
+            },
+        );
+        q
+    }
+
+    /// Adds an active-high clock-enable to a pending flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a pending flip-flop from [`dff`](Self::dff).
+    pub fn dff_enable(&mut self, q: NetId, enable: NetId) {
+        self.pending_dffs
+            .get_mut(&q)
+            .expect("dff_enable target must be a pending dff")
+            .enable = Some(enable);
+    }
+
+    /// Adds an active-high synchronous reset (to the init value) to a
+    /// pending flip-flop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a pending flip-flop from [`dff`](Self::dff).
+    pub fn dff_reset(&mut self, q: NetId, reset: NetId) {
+        self.pending_dffs
+            .get_mut(&q)
+            .expect("dff_reset target must be a pending dff")
+            .reset = Some(reset);
+    }
+
+    /// Wires the next-state input of a flip-flop created by
+    /// [`dff`](Self::dff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a pending flip-flop or was already connected.
+    pub fn connect_dff(&mut self, q: NetId, d: NetId) {
+        let pending = self
+            .pending_dffs
+            .remove(&q)
+            .expect("connect_dff target must be an unconnected pending dff");
+        self.cells.push(Cell {
+            kind: CellKind::Dff {
+                d,
+                init: pending.init,
+                enable: pending.enable,
+                reset: pending.reset,
+            },
+            out: q,
+        });
+    }
+
+    /// Convenience: a register whose next state is an expression already in
+    /// hand (no feedback). Returns the state net.
+    pub fn reg_next(&mut self, d: NetId, init: Bits) -> NetId {
+        let q = self.dff_init(init);
+        self.connect_dff(q, d);
+        q
+    }
+
+    /// Declares a memory array and returns its id. Ports are added with
+    /// [`read_port`](Self::read_port) and [`write_port`](Self::write_port).
+    pub fn memory(&mut self, name: impl Into<String>, words: u32, width: u32) -> MemId {
+        let id = MemId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name: name.into(),
+            words,
+            width,
+            write_ports: Vec::new(),
+            read_ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a read port to a memory; returns the data output net.
+    pub fn read_port(&mut self, mem: MemId, addr: NetId, kind: ReadKind) -> NetId {
+        let width = self.memories[mem.0 as usize].width;
+        let data = self.add_net(width, None);
+        self.memories[mem.0 as usize].read_ports.push(ReadPort {
+            addr,
+            data,
+            kind,
+        });
+        data
+    }
+
+    /// Adds a write port to a memory.
+    pub fn write_port(&mut self, mem: MemId, addr: NetId, data: NetId, enable: NetId) {
+        self.memories[mem.0 as usize].write_ports.push(WritePort {
+            addr,
+            data,
+            enable,
+        });
+    }
+
+    /// Validates and returns the finished module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found: undriven or multiply
+    /// driven nets, width inconsistencies, zero-width nets, duplicate port
+    /// names, unconnected flip-flops (reported as undriven nets), or a
+    /// combinational cycle.
+    pub fn finish(self) -> Result<Module, ValidateError> {
+        let module = Module {
+            name: self.name,
+            nets: self.nets,
+            ports: self.ports,
+            cells: self.cells,
+            memories: self.memories,
+        };
+        validate(&module)?;
+        Ok(module)
+    }
+}
+
+fn validate(m: &Module) -> Result<(), ValidateError> {
+    // Zero-width nets.
+    for (i, n) in m.nets.iter().enumerate() {
+        if n.width == 0 {
+            return Err(ValidateError::ZeroWidth(NetId(i as u32)));
+        }
+    }
+    // Duplicate ports.
+    let mut seen = std::collections::HashSet::new();
+    for p in &m.ports {
+        if !seen.insert(p.name.as_str()) {
+            return Err(ValidateError::DuplicatePort(p.name.clone()));
+        }
+    }
+    // Driver map.
+    let mut drivers = vec![0u8; m.nets.len()];
+    for p in m.inputs() {
+        drivers[p.net.0 as usize] += 1;
+    }
+    for c in &m.cells {
+        drivers[c.out.0 as usize] += 1;
+    }
+    for mem in &m.memories {
+        for rp in &mem.read_ports {
+            drivers[rp.data.0 as usize] += 1;
+        }
+    }
+    for (i, &d) in drivers.iter().enumerate() {
+        match d {
+            0 => return Err(ValidateError::UndrivenNet(NetId(i as u32))),
+            1 => {}
+            _ => return Err(ValidateError::MultipleDrivers(NetId(i as u32))),
+        }
+    }
+    // Width checks.
+    check_widths(m)?;
+    // Combinational cycles: DFS over cells treating Dff outputs and sync
+    // read data as sources.
+    check_acyclic(m)?;
+    Ok(())
+}
+
+fn check_widths(m: &Module) -> Result<(), ValidateError> {
+    let w = |n: NetId| m.width(n);
+    let err = |s: String| Err(ValidateError::WidthMismatch(s));
+    for c in &m.cells {
+        let ow = w(c.out);
+        match &c.kind {
+            CellKind::Const { value } => {
+                if value.width() != ow {
+                    return err(format!("const width {} vs out {}", value.width(), ow));
+                }
+            }
+            CellKind::Unary { op, a } => match op {
+                Unary::Not | Unary::Neg => {
+                    if w(*a) != ow {
+                        return err(format!("unary in {} vs out {}", w(*a), ow));
+                    }
+                }
+                _ => {
+                    if ow != 1 {
+                        return err(format!("reduction out width {ow} != 1"));
+                    }
+                }
+            },
+            CellKind::Binary { op, a, b } => match op {
+                Binary::Eq | Binary::Ult => {
+                    if w(*a) != w(*b) || ow != 1 {
+                        return err(format!(
+                            "cmp widths {} vs {} out {}",
+                            w(*a),
+                            w(*b),
+                            ow
+                        ));
+                    }
+                }
+                Binary::Shl | Binary::Lshr => {
+                    if w(*a) != ow {
+                        return err(format!("shift in {} vs out {}", w(*a), ow));
+                    }
+                }
+                _ => {
+                    if w(*a) != w(*b) || w(*a) != ow {
+                        return err(format!(
+                            "binary widths {} vs {} out {}",
+                            w(*a),
+                            w(*b),
+                            ow
+                        ));
+                    }
+                }
+            },
+            CellKind::Mux { sel, t, f } => {
+                if w(*sel) != 1 || w(*t) != w(*f) || w(*t) != ow {
+                    return err(format!(
+                        "mux sel {} t {} f {} out {}",
+                        w(*sel),
+                        w(*t),
+                        w(*f),
+                        ow
+                    ));
+                }
+            }
+            CellKind::Slice { a, lo } => {
+                if lo + ow > w(*a) {
+                    return err(format!("slice [{lo},{}) of width {}", lo + ow, w(*a)));
+                }
+            }
+            CellKind::Concat { parts } => {
+                let sum: u32 = parts.iter().map(|&p| w(p)).sum();
+                if sum != ow {
+                    return err(format!("concat parts {sum} vs out {ow}"));
+                }
+            }
+            CellKind::Dff {
+                d, init, enable, reset,
+            } => {
+                if w(*d) != ow || init.width() != ow {
+                    return err(format!(
+                        "dff d {} init {} out {}",
+                        w(*d),
+                        init.width(),
+                        ow
+                    ));
+                }
+                if let Some(e) = enable {
+                    if w(*e) != 1 {
+                        return err(format!("dff enable width {}", w(*e)));
+                    }
+                }
+                if let Some(r) = reset {
+                    if w(*r) != 1 {
+                        return err(format!("dff reset width {}", w(*r)));
+                    }
+                }
+            }
+        }
+    }
+    for mem in &m.memories {
+        for rp in &mem.read_ports {
+            if w(rp.data) != mem.width {
+                return err(format!(
+                    "memory {} read data width {} vs {}",
+                    mem.name,
+                    w(rp.data),
+                    mem.width
+                ));
+            }
+        }
+        for wp in &mem.write_ports {
+            if w(wp.data) != mem.width || w(wp.enable) != 1 {
+                return err(format!("memory {} write port widths", mem.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_acyclic(m: &Module) -> Result<(), ValidateError> {
+    // Map net -> driving cell (combinational only).
+    let mut driver: Vec<Option<usize>> = vec![None; m.nets.len()];
+    for (i, c) in m.cells.iter().enumerate() {
+        if !matches!(c.kind, CellKind::Dff { .. }) {
+            driver[c.out.0 as usize] = Some(i);
+        }
+    }
+    // Async read ports are combinational paths addr -> data.
+    let mut async_reads: HashMap<u32, NetId> = HashMap::new();
+    for mem in &m.memories {
+        for rp in &mem.read_ports {
+            if rp.kind == ReadKind::Async {
+                async_reads.insert(rp.data.0, rp.addr);
+            }
+        }
+    }
+    // Iterative DFS with colors.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; m.nets.len()];
+    for start in 0..m.nets.len() as u32 {
+        if color[start as usize] != WHITE {
+            continue;
+        }
+        let mut stack: Vec<(u32, usize)> = vec![(start, 0)];
+        color[start as usize] = GRAY;
+        while let Some(&mut (net, ref mut child)) = stack.last_mut() {
+            let fanins: Vec<NetId> = if let Some(ci) = driver[net as usize] {
+                m.cell_inputs(&m.cells[ci])
+            } else if let Some(&addr) = async_reads.get(&net) {
+                vec![addr]
+            } else {
+                vec![]
+            };
+            if *child < fanins.len() {
+                let next = fanins[*child];
+                *child += 1;
+                match color[next.0 as usize] {
+                    WHITE => {
+                        color[next.0 as usize] = GRAY;
+                        stack.push((next.0, 0));
+                    }
+                    GRAY => return Err(ValidateError::CombinationalCycle(next)),
+                    _ => {}
+                }
+            } else {
+                color[net as usize] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_module() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let s = b.add(a, c);
+        b.output("s", s);
+        let m = b.finish().unwrap();
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.ports().len(), 3);
+        assert_eq!(m.cells().len(), 1);
+    }
+
+    #[test]
+    fn dff_feedback_is_not_a_cycle() {
+        let mut b = ModuleBuilder::new("m");
+        let q = b.dff(1);
+        let n = b.not(q);
+        b.connect_dff(q, n);
+        b.output("q", q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let q = b.dff(1); // placeholder net we'll abuse: drive via not of itself
+        let n = b.not(q);
+        let n2 = b.not(n);
+        // Leave q pending (undriven) but also create a real cycle via concat:
+        // can't express a cycle through the builder API without dff, so test
+        // undriven detection here instead.
+        let _ = n2;
+        b.output("q", n2);
+        match b.finish() {
+            Err(ValidateError::UndrivenNet(_)) => {}
+            other => panic!("expected undriven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let c = b.input("b", 5);
+        // Force mismatched binary by hand.
+        let s = b.add(a, c);
+        b.output("s", s);
+        match b.finish() {
+            Err(ValidateError::WidthMismatch(_)) => {}
+            other => panic!("expected width mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_port_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        b.output("a", a);
+        match b.finish() {
+            Err(ValidateError::DuplicatePort(_)) => {}
+            other => panic!("expected duplicate port, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_ports() {
+        let mut b = ModuleBuilder::new("m");
+        let addr = b.input("addr", 4);
+        let data = b.input("data", 8);
+        let we = b.input("we", 1);
+        let mem = b.memory("ram", 16, 8);
+        b.write_port(mem, addr, data, we);
+        let q = b.read_port(mem, addr, ReadKind::Sync);
+        b.output("q", q);
+        let m = b.finish().unwrap();
+        assert_eq!(m.memories().len(), 1);
+        assert_eq!(m.state_bits(), 16 * 8);
+    }
+
+    #[test]
+    fn resize_behaviour() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let wide = b.resize(a, 8);
+        let same = b.resize(a, 4);
+        assert_eq!(same, a);
+        b.output("w", wide);
+        let m = b.finish().unwrap();
+        assert_eq!(m.width(m.port("w").unwrap().net), 8);
+    }
+
+    #[test]
+    fn reg_next_helper() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 8);
+        let q = b.reg_next(a, Bits::zeros(8));
+        b.output("q", q);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn state_bits_counts_ffs_and_memories() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 8);
+        let q = b.reg_next(a, Bits::zeros(8));
+        b.output("q", q);
+        let mem = b.memory("ram", 4, 4);
+        let addr = b.input("addr", 2);
+        let r = b.read_port(mem, addr, ReadKind::Sync);
+        b.output("r", r);
+        let m = b.finish().unwrap();
+        assert_eq!(m.state_bits(), 8 + 16);
+    }
+}

@@ -1,0 +1,431 @@
+//! A from-scratch hypergraph partitioner (Fiduccia–Mattheyses bisection
+//! with recursive k-way splitting).
+//!
+//! The paper reuses RepCut's formulation, which in turn drives a standard
+//! hypergraph partitioner; since no external partitioner is available
+//! here, this module implements one. Quality does not need to be
+//! state-of-the-art — replication cost trends (Fig 5) dominate the story —
+//! but cut sizes should be sane, so FM runs with gain buckets, balance
+//! constraints and multiple random restarts.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A hypergraph with weighted vertices and weighted hyperedges.
+#[derive(Debug, Clone, Default)]
+pub struct Hypergraph {
+    /// Vertex weights.
+    pub vertex_weights: Vec<u64>,
+    /// Hyperedges: (weight, pin list). Pins are vertex indexes.
+    pub edges: Vec<(u64, Vec<u32>)>,
+    /// For each vertex, the edges it pins.
+    incidence: Vec<Vec<u32>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph with `n` vertices of the given weights.
+    pub fn new(vertex_weights: Vec<u64>) -> Self {
+        let n = vertex_weights.len();
+        Hypergraph {
+            vertex_weights,
+            edges: Vec::new(),
+            incidence: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a hyperedge over `pins` with the given weight. Single-pin and
+    /// empty edges are ignored (they can never be cut).
+    pub fn add_edge(&mut self, weight: u64, pins: Vec<u32>) {
+        if pins.len() < 2 {
+            return;
+        }
+        let id = self.edges.len() as u32;
+        for &p in &pins {
+            self.incidence[p as usize].push(id);
+        }
+        self.edges.push((weight, pins));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// True if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_weights.is_empty()
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Weighted cut of a bisection (`side[v]` ∈ {false, true}).
+    pub fn cut(&self, side: &[bool]) -> u64 {
+        self.edges
+            .iter()
+            .filter(|(_, pins)| {
+                let first = side[pins[0] as usize];
+                pins.iter().any(|&p| side[p as usize] != first)
+            })
+            .map(|(w, _)| *w)
+            .sum()
+    }
+
+    /// Bisects the vertices targeting `target_frac` of the weight on side
+    /// `false`, within ± `balance` of the total. Returns the side
+    /// assignment. Runs FM from several random initial solutions and keeps
+    /// the best.
+    pub fn bisect(&self, target_frac: f64, balance: f64, seed: u64) -> Vec<bool> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut best: Option<(u64, Vec<bool>)> = None;
+        let restarts = if self.len() > 20_000 { 2 } else { 4 };
+        for _ in 0..restarts {
+            let mut side = self.initial_split(target_frac, &mut rng);
+            let cut = self.fm_refine(&mut side, target_frac, balance);
+            if best.as_ref().is_none_or(|(c, _)| cut < *c) {
+                best = Some((cut, side));
+            }
+        }
+        best.expect("at least one restart").1
+    }
+
+    /// Greedy BFS growth from a random seed until the target weight is
+    /// reached; unreached vertices go to side `true`.
+    fn initial_split(&self, target_frac: f64, rng: &mut ChaCha8Rng) -> Vec<bool> {
+        let n = self.len();
+        let total = self.total_weight();
+        let target = (total as f64 * target_frac) as u64;
+        let mut side = vec![true; n];
+        let mut weight = 0u64;
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(rng);
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; n];
+        let mut oi = 0;
+        while weight < target && oi < n {
+            // Find an unseen seed.
+            while oi < n && seen[order[oi] as usize] {
+                oi += 1;
+            }
+            if oi >= n {
+                break;
+            }
+            queue.push_back(order[oi]);
+            seen[order[oi] as usize] = true;
+            while let Some(v) = queue.pop_front() {
+                if weight >= target {
+                    break;
+                }
+                let wv = self.vertex_weights[v as usize];
+                if weight > 0 && weight + wv > target + (target / 10) {
+                    continue; // would badly overshoot; leave on the other side
+                }
+                side[v as usize] = false;
+                weight += wv;
+                for &e in &self.incidence[v as usize] {
+                    for &u in &self.edges[e as usize].1 {
+                        if !seen[u as usize] {
+                            seen[u as usize] = true;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+        side
+    }
+
+    /// One-sided FM refinement (a few passes). Returns the final cut.
+    fn fm_refine(&self, side: &mut [bool], target_frac: f64, balance: f64) -> u64 {
+        let n = self.len();
+        let total = self.total_weight() as f64;
+        let target_a = total * target_frac;
+        let slack = total * balance + 1.0;
+        let mut cur_cut = self.cut(side) as i64;
+        for _pass in 0..3 {
+            // Pin counts per side for each edge.
+            let mut cnt: Vec<[u32; 2]> = self
+                .edges
+                .iter()
+                .map(|(_, pins)| {
+                    let a = pins.iter().filter(|&&p| !side[p as usize]).count() as u32;
+                    [a, pins.len() as u32 - a]
+                })
+                .collect();
+            // Initial gains.
+            let mut gain = vec![0i64; n];
+            for (ei, (w, pins)) in self.edges.iter().enumerate() {
+                for &p in pins {
+                    let from = side[p as usize] as usize;
+                    let to = 1 - from;
+                    if cnt[ei][from] == 1 {
+                        gain[p as usize] += *w as i64;
+                    }
+                    if cnt[ei][to] == 0 {
+                        gain[p as usize] -= *w as i64;
+                    }
+                }
+            }
+            let mut locked = vec![false; n];
+            let mut heap: std::collections::BinaryHeap<(i64, u32)> =
+                (0..n as u32).map(|v| (gain[v as usize], v)).collect();
+            let mut weight_a: f64 = (0..n)
+                .filter(|&v| !side[v])
+                .map(|v| self.vertex_weights[v] as f64)
+                .sum();
+            // Sequence of tentative moves; remember best prefix.
+            let mut moves: Vec<u32> = Vec::new();
+            let mut cut_now = cur_cut;
+            let mut best_cut = cur_cut;
+            let mut best_len = 0usize;
+            let mut best_dev = (weight_a - target_a).abs();
+            while let Some((g0, v)) = heap.pop() {
+                let v_us = v as usize;
+                if locked[v_us] || g0 != gain[v_us] {
+                    continue; // stale heap entry
+                }
+                let w = self.vertex_weights[v_us] as f64;
+                let new_weight_a = if side[v_us] { weight_a + w } else { weight_a - w };
+                if (new_weight_a - target_a).abs() > slack {
+                    continue; // would break balance; leave locked out this pass
+                }
+                // Commit tentative move.
+                locked[v_us] = true;
+                let from = side[v_us] as usize;
+                let to = 1 - from;
+                cut_now -= gain[v_us];
+                for &e in &self.incidence[v_us] {
+                    let (w_e, pins) = &self.edges[e as usize];
+                    let w_e = *w_e as i64;
+                    // Standard FM gain updates.
+                    if cnt[e as usize][to] == 0 {
+                        for &u in pins {
+                            if !locked[u as usize] {
+                                gain[u as usize] += w_e;
+                                heap.push((gain[u as usize], u));
+                            }
+                        }
+                    } else if cnt[e as usize][to] == 1 {
+                        for &u in pins {
+                            if !locked[u as usize] && side[u as usize] == (to == 1) {
+                                gain[u as usize] -= w_e;
+                                heap.push((gain[u as usize], u));
+                            }
+                        }
+                    }
+                    cnt[e as usize][from] -= 1;
+                    cnt[e as usize][to] += 1;
+                    if cnt[e as usize][from] == 0 {
+                        for &u in pins {
+                            if !locked[u as usize] {
+                                gain[u as usize] -= w_e;
+                                heap.push((gain[u as usize], u));
+                            }
+                        }
+                    } else if cnt[e as usize][from] == 1 {
+                        for &u in pins {
+                            if !locked[u as usize] && side[u as usize] == (from == 1) {
+                                gain[u as usize] += w_e;
+                                heap.push((gain[u as usize], u));
+                            }
+                        }
+                    }
+                }
+                side[v_us] = !side[v_us];
+                weight_a = new_weight_a;
+                moves.push(v);
+                let dev = (weight_a - target_a).abs();
+                if cut_now < best_cut || (cut_now == best_cut && dev < best_dev) {
+                    best_cut = cut_now;
+                    best_len = moves.len();
+                    best_dev = dev;
+                }
+            }
+            // Roll back past the best prefix.
+            for &v in &moves[best_len..] {
+                side[v as usize] = !side[v as usize];
+            }
+            if best_cut >= cur_cut {
+                cur_cut = best_cut;
+                break; // no improvement this pass
+            }
+            cur_cut = best_cut;
+        }
+        cur_cut.max(0) as u64
+    }
+
+    /// Recursive bisection into `k` parts; returns a part id per vertex.
+    pub fn partition_kway(&self, k: usize, balance: f64, seed: u64) -> Vec<u32> {
+        let n = self.len();
+        let mut assignment = vec![0u32; n];
+        if k <= 1 || n == 0 {
+            return assignment;
+        }
+        // Work queue of (vertex subset, part id range).
+        let mut work: Vec<(Vec<u32>, usize, usize, u64)> =
+            vec![((0..n as u32).collect(), 0, k, seed)];
+        while let Some((verts, part_lo, parts, s)) = work.pop() {
+            if parts == 1 || verts.len() <= 1 {
+                for &v in &verts {
+                    assignment[v as usize] = part_lo as u32;
+                }
+                if verts.len() > 1 && parts > 1 {
+                    // Degenerate: spread single-vertex leftovers round-robin.
+                    for (i, &v) in verts.iter().enumerate() {
+                        assignment[v as usize] = (part_lo + i % parts) as u32;
+                    }
+                }
+                continue;
+            }
+            let left_parts = parts / 2;
+            let frac = left_parts as f64 / parts as f64;
+            let sub = self.subgraph(&verts);
+            let side = sub.bisect(frac, balance, s);
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (i, &v) in verts.iter().enumerate() {
+                if !side[i] {
+                    left.push(v);
+                } else {
+                    right.push(v);
+                }
+            }
+            // Guard against empty halves (tiny inputs): fall back to a
+            // round-robin split.
+            if left.is_empty() || right.is_empty() {
+                left.clear();
+                right.clear();
+                for (i, &v) in verts.iter().enumerate() {
+                    if i % 2 == 0 {
+                        left.push(v)
+                    } else {
+                        right.push(v)
+                    }
+                }
+            }
+            work.push((left, part_lo, left_parts, s.wrapping_mul(0x9E3779B97F4A7C15)));
+            work.push((
+                right,
+                part_lo + left_parts,
+                parts - left_parts,
+                s.wrapping_add(0x9E3779B97F4A7C15),
+            ));
+        }
+        assignment
+    }
+
+    /// Induced subgraph over `verts` (edges restricted to kept pins).
+    fn subgraph(&self, verts: &[u32]) -> Hypergraph {
+        let mut remap = vec![u32::MAX; self.len()];
+        for (i, &v) in verts.iter().enumerate() {
+            remap[v as usize] = i as u32;
+        }
+        let mut sub = Hypergraph::new(
+            verts
+                .iter()
+                .map(|&v| self.vertex_weights[v as usize])
+                .collect(),
+        );
+        for (w, pins) in &self.edges {
+            let kept: Vec<u32> = pins
+                .iter()
+                .filter_map(|&p| {
+                    let r = remap[p as usize];
+                    (r != u32::MAX).then_some(r)
+                })
+                .collect();
+            sub.add_edge(*w, kept);
+        }
+        sub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 10-vertex cliques joined by one light edge: the obvious
+    /// bisection cuts only the bridge.
+    fn two_cliques() -> Hypergraph {
+        let mut h = Hypergraph::new(vec![1; 20]);
+        for c in 0..2u32 {
+            let base = c * 10;
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    h.add_edge(10, vec![base + i, base + j]);
+                }
+            }
+        }
+        h.add_edge(1, vec![0, 10]);
+        h
+    }
+
+    #[test]
+    fn bisect_finds_the_bridge() {
+        let h = two_cliques();
+        let side = h.bisect(0.5, 0.1, 42);
+        assert_eq!(h.cut(&side), 1);
+        let a = side.iter().filter(|&&s| !s).count();
+        assert_eq!(a, 10);
+    }
+
+    #[test]
+    fn kway_respects_part_count() {
+        let h = two_cliques();
+        let parts = h.partition_kway(4, 0.2, 7);
+        let distinct: std::collections::HashSet<u32> = parts.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn cut_metric() {
+        let mut h = Hypergraph::new(vec![1; 4]);
+        h.add_edge(5, vec![0, 1]);
+        h.add_edge(3, vec![2, 3]);
+        h.add_edge(7, vec![1, 2]);
+        let side = vec![false, false, true, true];
+        assert_eq!(h.cut(&side), 7);
+    }
+
+    #[test]
+    fn balance_respected() {
+        // 100 vertices, no edges: bisection must still split by weight.
+        let h = Hypergraph::new(vec![1; 100]);
+        let side = h.bisect(0.5, 0.05, 3);
+        let a = side.iter().filter(|&&s| !s).count();
+        assert!((45..=55).contains(&a), "split {a}/100 out of balance");
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // One heavy vertex (weight 50) + 50 light: the heavy one should sit
+        // alone-ish on its side.
+        let mut w = vec![1u64; 50];
+        w.push(50);
+        let h = Hypergraph::new(w);
+        let side = h.bisect(0.5, 0.1, 9);
+        let heavy_side = side[50];
+        let same: u64 = (0..50).filter(|&v| side[v] == heavy_side).count() as u64;
+        assert!(same <= 10, "heavy vertex grouped with {same} light ones");
+    }
+
+    #[test]
+    fn single_pin_edges_ignored() {
+        let mut h = Hypergraph::new(vec![1; 3]);
+        h.add_edge(5, vec![1]);
+        h.add_edge(5, vec![]);
+        assert_eq!(h.edges.len(), 0);
+    }
+
+    #[test]
+    fn empty_and_k1() {
+        let h = Hypergraph::new(vec![]);
+        assert!(h.is_empty());
+        assert!(h.partition_kway(4, 0.1, 0).is_empty());
+        let h2 = Hypergraph::new(vec![1, 1]);
+        assert_eq!(h2.partition_kway(1, 0.1, 0), vec![0, 0]);
+    }
+}

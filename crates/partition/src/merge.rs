@@ -1,0 +1,286 @@
+//! Width-constrained partition merging — Algorithm 1 of the paper.
+//!
+//! The boomerang executor bounds a partition's *width* (8192 live bits),
+//! not its total size, and "it is difficult to modify a hypergraph
+//! partitioner's objective to logic widths as this metric does not have
+//! nice additive property". GEM therefore partitions excessively and then
+//! greedily merges partitions back together, trying candidates in
+//! large-overlap-first order and committing a merge whenever the result is
+//! still mappable. The paper guarantees ≥ 50 % effective bit utilization
+//! this way.
+
+use crate::repcut::{extract_cone, Region};
+use crate::{Partition, Stage};
+use gem_aig::{Eaig, Node};
+
+/// Upper bound on live bits in one virtual Boolean processor core.
+pub const CORE_WIDTH: usize = 8192;
+
+/// Estimates the peak number of simultaneously-live bits when evaluating a
+/// partition level by level: partition sources and computed values are
+/// live from their defining level until their last use (sinks stay live to
+/// the end). This conservatively over-approximates the boomerang state
+/// requirement, so a partition passing this check is mappable.
+pub fn estimate_width(g: &Eaig, p: &Partition) -> usize {
+    let node_levels = g.node_levels();
+    let depth = p
+        .nodes
+        .iter()
+        .map(|n| node_levels[n.0 as usize])
+        .max()
+        .unwrap_or(0) as usize;
+    // def level and last-use level per signal (sources def at 0).
+    let mut in_part = std::collections::HashMap::new();
+    for &s in &p.sources {
+        in_part.insert(s.0, (0usize, 0usize));
+    }
+    for &n in &p.nodes {
+        in_part.insert(n.0, (node_levels[n.0 as usize] as usize, 0usize));
+    }
+    // Uses.
+    for &n in &p.nodes {
+        if let Node::And(a, b) = g.node(n) {
+            let ul = node_levels[n.0 as usize] as usize;
+            for x in [a.node(), b.node()] {
+                if let Some(e) = in_part.get_mut(&x.0) {
+                    e.1 = e.1.max(ul);
+                }
+            }
+        }
+    }
+    // Sinks live to the end.
+    for s in &p.sinks {
+        if let Some(e) = in_part.get_mut(&s.node().0) {
+            e.1 = depth + 1;
+        }
+    }
+    // Sweep: +1 at (def+1), -1 after last use. Live span is (def, last].
+    let mut delta = vec![0i64; depth + 3];
+    for (_, &(d, u)) in in_part.iter() {
+        if u > d {
+            delta[d + 1] += 1;
+            delta[u + 1] -= 1;
+        }
+    }
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for d in delta {
+        live += d;
+        peak = peak.max(live);
+    }
+    peak as usize
+}
+
+/// True if the partition fits a core of `width` bits by the conservative
+/// [`estimate_width`] metric.
+pub fn width_mappable(g: &Eaig, p: &Partition, width: usize) -> bool {
+    estimate_width(g, p) <= width
+}
+
+/// Statistics of a merging run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Partitions before merging.
+    pub before: usize,
+    /// Partitions after merging.
+    pub after: usize,
+    /// Merges committed.
+    pub merges: usize,
+}
+
+/// Algorithm 1: greedily merges a stage's partitions, trying candidates in
+/// descending node-overlap order and committing whenever `mappable`
+/// accepts the merged partition.
+///
+/// `region` must be the region the stage was partitioned from (so merged
+/// cones can be re-extracted with the right stop boundary).
+pub fn merge_partitions(
+    g: &Eaig,
+    region: &Region,
+    stage: &Stage,
+    mappable: &dyn Fn(&Partition) -> bool,
+) -> (Stage, MergeStats) {
+    let mut parts: Vec<Option<Partition>> = stage.partitions.iter().cloned().map(Some).collect();
+    let before = parts.len();
+    let mut merges = 0usize;
+    // Line 2: for each partition p.
+    for pi in 0..parts.len() {
+        if parts[pi].is_none() {
+            continue;
+        }
+        loop {
+            let p = parts[pi].as_ref().expect("present");
+            // Line 3: sort other unvisited partitions by overlap with p.
+            let mut member = vec![false; g.len()];
+            for n in &p.nodes {
+                member[n.0 as usize] = true;
+            }
+            for s in &p.sources {
+                member[s.0 as usize] = true;
+            }
+            let mut candidates: Vec<(usize, usize)> = Vec::new(); // (overlap, qi)
+            for (qi, q) in parts.iter().enumerate() {
+                if qi == pi {
+                    continue;
+                }
+                let Some(q) = q else { continue };
+                let overlap = q
+                    .nodes
+                    .iter()
+                    .chain(q.sources.iter())
+                    .filter(|n| member[n.0 as usize])
+                    .count();
+                candidates.push((overlap, qi));
+            }
+            candidates.sort_unstable_by(|a, b| b.cmp(a));
+            // Lines 4-5: try merging large-to-small overlap; commit the
+            // first mappable merge, then rescan (overlaps changed).
+            let mut committed = false;
+            for (_, qi) in candidates {
+                let q = parts[qi].as_ref().expect("candidate present");
+                let p = parts[pi].as_ref().expect("present");
+                let mut sinks = p.sinks.clone();
+                sinks.extend(q.sinks.iter().copied());
+                sinks.sort_unstable();
+                sinks.dedup();
+                let merged = extract_cone(g, region, &sinks);
+                if mappable(&merged) {
+                    parts[pi] = Some(merged);
+                    parts[qi] = None;
+                    merges += 1;
+                    committed = true;
+                    break;
+                }
+            }
+            if !committed {
+                break;
+            }
+        }
+    }
+    let partitions: Vec<Partition> = parts.into_iter().flatten().collect();
+    let after = partitions.len();
+    (
+        Stage {
+            partitions,
+            cut_lits: stage.cut_lits.clone(),
+        },
+        MergeStats {
+            before,
+            after,
+            merges,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repcut::partition_region;
+    use crate::PartitionOptions;
+    use gem_aig::{Eaig, Lit};
+
+    fn chains(n: usize, depth: usize) -> Eaig {
+        let mut g = Eaig::new();
+        for c in 0..n {
+            let mut cur = g.input(format!("i{c}"));
+            for k in 0..depth {
+                let e = g.input(format!("x{c}_{k}"));
+                cur = g.xor(cur, e);
+            }
+            g.output(format!("o{c}"), cur);
+        }
+        g
+    }
+
+    #[test]
+    fn width_estimate_counts_sources_and_live_values() {
+        let mut g = Eaig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        g.output("o", x);
+        let region = Region::whole(&g);
+        let p = extract_cone(&g, &region, &[x]);
+        let w = estimate_width(&g, &p);
+        assert!(w >= 2 && w <= 3, "width {w}");
+    }
+
+    #[test]
+    fn merging_reduces_partition_count() {
+        let g = chains(16, 4);
+        let region = Region::whole(&g);
+        let parts = partition_region(&g, &region, 16, &PartitionOptions::default());
+        let stage = Stage {
+            partitions: parts,
+            cut_lits: vec![],
+        };
+        let (merged, stats) = merge_partitions(&g, &region, &stage, &|p| {
+            width_mappable(&g, p, 64)
+        });
+        assert!(stats.after < stats.before);
+        assert_eq!(stats.before - stats.merges, stats.after);
+        // All sinks still covered.
+        let covered: usize = merged.partitions.iter().map(|p| p.sinks.len()).sum();
+        assert_eq!(covered, g.sinks().len());
+    }
+
+    #[test]
+    fn merging_respects_mappability() {
+        let g = chains(8, 4);
+        let region = Region::whole(&g);
+        let parts = partition_region(&g, &region, 8, &PartitionOptions::default());
+        let stage = Stage {
+            partitions: parts,
+            cut_lits: vec![],
+        };
+        let limit = 16;
+        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| {
+            width_mappable(&g, p, limit)
+        });
+        for p in &merged.partitions {
+            assert!(estimate_width(&g, p) <= limit);
+        }
+    }
+
+    #[test]
+    fn nothing_merges_when_everything_is_at_capacity() {
+        let g = chains(4, 8);
+        let region = Region::whole(&g);
+        let parts = partition_region(&g, &region, 4, &PartitionOptions::default());
+        let stage = Stage {
+            partitions: parts.clone(),
+            cut_lits: vec![],
+        };
+        let (merged, stats) = merge_partitions(&g, &region, &stage, &|_| false);
+        assert_eq!(stats.merges, 0);
+        assert_eq!(merged.partitions.len(), parts.len());
+    }
+
+    #[test]
+    fn utilization_after_merge_is_reasonable() {
+        // Many tiny partitions, capacity 128: after merging, most
+        // partitions should use >50% of the width budget (paper's claim).
+        let g = chains(32, 2);
+        let region = Region::whole(&g);
+        let parts = partition_region(&g, &region, 32, &PartitionOptions::default());
+        let stage = Stage {
+            partitions: parts,
+            cut_lits: vec![],
+        };
+        let cap = 128;
+        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| {
+            width_mappable(&g, p, cap)
+        });
+        let utilized = merged
+            .partitions
+            .iter()
+            .filter(|p| estimate_width(&g, p) * 2 >= cap)
+            .count();
+        assert!(
+            utilized * 2 >= merged.partitions.len(),
+            "{utilized}/{} partitions above 50% utilization",
+            merged.partitions.len()
+        );
+        let _ = Lit::FALSE;
+    }
+}

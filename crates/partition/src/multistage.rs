@@ -1,0 +1,298 @@
+//! GEM's multi-stage extension of RepCut (paper §III-C, Fig 5).
+//!
+//! Replication cost grows super-linearly with partition count: RepCut
+//! reports 1.30 % at 8 partitions and 10.95 % at 48, and the paper
+//! measures over 200 % at the 216 partitions a modern GPU needs. The fix:
+//! cut the circuit at one or more middle logic levels, treat the crossing
+//! signals as endpoints of the earlier stage, and run RepCut per stage.
+//! Each extra stage costs one device-wide synchronization per cycle and
+//! buys a dramatic replication reduction.
+
+use crate::repcut::{partition_region, Region};
+use crate::{PartitionOptions, Partitioning, Stage};
+use gem_aig::{Eaig, Lit, Node};
+
+/// Partitions `g` into [`PartitionOptions::stages`] pipeline stages of
+/// [`PartitionOptions::target_parts`] partitions each (see [`crate::partition`]).
+pub fn partition_staged(g: &Eaig, opts: &PartitionOptions) -> Partitioning {
+    let original_gates = g.num_live_ands();
+    let stages = opts.stages.max(1);
+    if stages == 1 {
+        let region = Region::whole(g);
+        let partitions = partition_region(g, &region, opts.target_parts, opts);
+        return Partitioning {
+            stages: vec![Stage {
+                partitions,
+                cut_lits: Vec::new(),
+            }],
+            original_gates,
+        };
+    }
+    // Choose cut levels evenly across the live depth.
+    let levels = g.levels();
+    let depth = levels.depth;
+    let cut_levels: Vec<u32> = (1..stages)
+        .map(|k| (depth as u64 * k as u64 / stages as u64) as u32)
+        .filter(|&l| l > 0 && l < depth)
+        .collect();
+    partition_with_cuts(g, &cut_levels, opts, original_gates)
+}
+
+/// Partitions with explicit cut levels (exposed for experiments that sweep
+/// the cut position).
+pub fn partition_with_cuts(
+    g: &Eaig,
+    cut_levels: &[u32],
+    opts: &PartitionOptions,
+    original_gates: usize,
+) -> Partitioning {
+    let node_levels = g.node_levels();
+    let live = g.live_nodes();
+    let mut cut_levels: Vec<u32> = cut_levels.to_vec();
+    cut_levels.sort_unstable();
+    cut_levels.dedup();
+    let nstages = cut_levels.len() + 1;
+
+    // Cut sets: for boundary k (level L), the AND nodes at level ≤ L with a
+    // live consumer at level > L (consumers in later segments read them).
+    // A node can cross several boundaries; it is published at the first
+    // boundary above its level and re-used afterwards (stops accumulate).
+    let mut crossing: Vec<Vec<Lit>> = vec![Vec::new(); cut_levels.len()];
+    for (i, n) in g.nodes().iter().enumerate() {
+        if let Node::And(a, b) = n {
+            if !live[i] {
+                continue;
+            }
+            for x in [a, b] {
+                let src = x.node().0 as usize;
+                if !matches!(g.node(x.node()), Node::And(..)) {
+                    continue; // global sources never need publishing
+                }
+                let src_level = node_levels[src];
+                let use_level = node_levels[i];
+                // Boundaries strictly between src_level and use_level.
+                for (bi, &bl) in cut_levels.iter().enumerate() {
+                    if src_level <= bl && use_level > bl {
+                        crossing[bi].push(Lit::from_node(x.node()));
+                    }
+                }
+            }
+        }
+    }
+    // A node may cross several boundaries; publish it only at the first
+    // one (later segments read the already-published value).
+    let mut published = vec![false; g.len()];
+    for c in crossing.iter_mut() {
+        c.sort_unstable();
+        c.dedup();
+        c.retain(|l| !published[l.node().0 as usize]);
+        for l in c.iter() {
+            published[l.node().0 as usize] = true;
+        }
+    }
+
+    // Segment s covers levels (cut[s-1], cut[s]]; its sinks are the
+    // boundary-s crossing signals plus any real sinks whose node level
+    // falls inside the segment.
+    let real_sinks = g.sinks();
+    let seg_upper = |s: usize| -> u32 {
+        if s < cut_levels.len() {
+            cut_levels[s]
+        } else {
+            u32::MAX
+        }
+    };
+    let seg_lower = |s: usize| -> u32 {
+        if s == 0 {
+            0
+        } else {
+            cut_levels[s - 1]
+        }
+    };
+
+    // Stop sets accumulate: segment s stops at everything published by
+    // earlier boundaries.
+    let mut stop = vec![false; g.len()];
+    let mut stages_out = Vec::new();
+    // Gate totals per segment for proportional part allocation.
+    let mut seg_gates = vec![0usize; nstages];
+    for (i, n) in g.nodes().iter().enumerate() {
+        if live[i] && matches!(n, Node::And(..)) {
+            let l = node_levels[i];
+            let s = cut_levels.iter().take_while(|&&b| b < l).count();
+            seg_gates[s] += 1;
+        }
+    }
+    let total_gates: usize = seg_gates.iter().sum::<usize>().max(1);
+
+    for s in 0..nstages {
+        let mut sinks: Vec<Lit> = Vec::new();
+        if s < cut_levels.len() {
+            sinks.extend(crossing[s].iter().copied());
+        }
+        // Real sinks whose driving node lives in this segment.
+        for &rs in &real_sinks {
+            let l = node_levels[rs.node().0 as usize];
+            if l > seg_lower(s) && l <= seg_upper(s) || (s == 0 && l == 0) {
+                sinks.push(rs);
+            }
+        }
+        sinks.sort_unstable();
+        sinks.dedup();
+        let share = ((opts.target_parts * seg_gates[s]) / total_gates).max(1);
+        let region = Region {
+            sinks: sinks.clone(),
+            stop: stop.clone(),
+        };
+        let partitions = partition_region(g, &region, share, opts);
+        let cut_lits = if s < cut_levels.len() {
+            crossing[s].clone()
+        } else {
+            Vec::new()
+        };
+        // Later segments stop at this boundary's published nodes.
+        for l in &cut_lits {
+            stop[l.node().0 as usize] = true;
+        }
+        stages_out.push(Stage {
+            partitions,
+            cut_lits,
+        });
+    }
+    Partitioning {
+        stages: stages_out,
+        original_gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_aig::Lit;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// A deep circuit with heavy sharing near the inputs: single-stage
+    /// partitioning replicates the shared base into every partition, while
+    /// a two-stage cut publishes it once.
+    fn shared_base_circuit(sinks: usize) -> Eaig {
+        let mut g = Eaig::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let inputs: Vec<Lit> = (0..32).map(|i| g.input(format!("i{i}"))).collect();
+        // Shared base: a layered random mesh everything depends on.
+        let mut layer = inputs.clone();
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for k in 0..layer.len() {
+                let a = layer[k];
+                let b = layer[rng.gen_range(0..layer.len())];
+                next.push(g.xor(a, b));
+            }
+            layer = next;
+        }
+        // Per-sink private towers on top of random base taps.
+        for si in 0..sinks {
+            let mut cur = layer[rng.gen_range(0..layer.len())];
+            for _ in 0..8 {
+                let t = layer[rng.gen_range(0..layer.len())];
+                cur = g.and(cur, t.flip());
+                let e = g.input(format!("p{si}_{}", rng.gen_range(0..1 << 30)));
+                cur = g.xor(cur, e);
+            }
+            let q = g.ff(false);
+            g.set_ff_next(q, cur);
+            g.output(format!("o{si}"), q);
+        }
+        g
+    }
+
+    #[test]
+    fn multistage_reduces_replication() {
+        let g = shared_base_circuit(24);
+        let opts1 = PartitionOptions {
+            target_parts: 12,
+            stages: 1,
+            ..Default::default()
+        };
+        let opts2 = PartitionOptions {
+            target_parts: 12,
+            stages: 2,
+            ..Default::default()
+        };
+        let single = partition_staged(&g, &opts1);
+        let multi = partition_staged(&g, &opts2);
+        assert!(
+            multi.replication_cost() < single.replication_cost(),
+            "2-stage {:.3} should beat 1-stage {:.3}",
+            multi.replication_cost(),
+            single.replication_cost()
+        );
+    }
+
+    #[test]
+    fn all_sinks_covered_exactly_once_across_stages() {
+        let g = shared_base_circuit(10);
+        let opts = PartitionOptions {
+            target_parts: 8,
+            stages: 2,
+            ..Default::default()
+        };
+        let p = partition_staged(&g, &opts);
+        let mut covered: Vec<Lit> = p
+            .stages
+            .iter()
+            .flat_map(|s| s.partitions.iter().flat_map(|pt| pt.sinks.iter().copied()))
+            .collect();
+        covered.sort_unstable();
+        covered.dedup_by_key(|l| l.node()); // cut lits may duplicate polarity
+        let mut expected: Vec<Lit> = g.sinks();
+        // Expected = real sinks ∪ cut lits.
+        for s in &p.stages {
+            expected.extend(s.cut_lits.iter().copied());
+        }
+        expected.sort_unstable();
+        expected.dedup_by_key(|l| l.node());
+        let covered_nodes: std::collections::HashSet<u32> =
+            covered.iter().map(|l| l.node().0).collect();
+        for e in expected {
+            assert!(
+                covered_nodes.contains(&e.node().0),
+                "sink {e} not covered by any partition"
+            );
+        }
+    }
+
+    #[test]
+    fn stage2_partitions_stop_at_cut() {
+        let g = shared_base_circuit(10);
+        let opts = PartitionOptions {
+            target_parts: 8,
+            stages: 2,
+            ..Default::default()
+        };
+        let p = partition_staged(&g, &opts);
+        assert_eq!(p.stages.len(), 2);
+        let cut_nodes: std::collections::HashSet<u32> = p.stages[0]
+            .cut_lits
+            .iter()
+            .map(|l| l.node().0)
+            .collect();
+        for part in &p.stages[1].partitions {
+            for n in &part.nodes {
+                assert!(
+                    !cut_nodes.contains(&n.0),
+                    "stage-2 partition recomputes published node n{}",
+                    n.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_has_no_cut_lits() {
+        let g = shared_base_circuit(4);
+        let p = partition_staged(&g, &PartitionOptions::default());
+        assert_eq!(p.stages.len(), 1);
+        assert!(p.stages[0].cut_lits.is_empty());
+    }
+}

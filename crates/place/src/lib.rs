@@ -1,0 +1,37 @@
+//! Logic placement onto boomerang-shaped executor layers (paper §III-A
+//! Fig 3, §III-D Fig 6, Algorithm 2).
+//!
+//! Each virtual Boolean processor core holds up to 8192 bits of state and
+//! executes a sequence of **boomerang layers**. A layer starts with a bit
+//! permutation that gathers 8192 state bits into a working row, then folds
+//! the row 13 times: fold level *k* halves the row, each output slot
+//! computing
+//!
+//! ```text
+//! out = (A ^ xa) & ((B ^ xb) | ob)
+//! ```
+//!
+//! from its two child slots, with per-slot constant bits `xa`, `xb`, `ob`.
+//! Inverters are free (absorbed into the XOR masks) and `ob = 1` bypasses
+//! the B operand so a value can ride up the pyramid unchanged (the dashed
+//! lines of Fig 6). Every slot's output may be written back to core state,
+//! making it available to later layers.
+//!
+//! A single layer therefore absorbs up to 13 logic levels with **one**
+//! permutation/synchronization, where a levelized executor would pay one
+//! per level — the >5× reduction the paper measures for deep long-tailed
+//! logic.
+//!
+//! [`place_partition`] implements the iterative timing-driven bit
+//! placement of Algorithm 2 and returns a [`CoreProgram`] that can be
+//! executed directly ([`CoreProgram::evaluate`]) or assembled into the GEM
+//! bitstream by `gem-isa`.
+
+pub mod layer;
+pub mod placer;
+
+pub use layer::{BoomerangLayer, CoreProgram, FoldConsts, OutputSource, PermSource};
+pub use placer::{place_partition, PlaceError, PlaceOptions, PlaceStats};
+
+/// Default core width in bits (256 GPU threads × 32-bit words).
+pub const CORE_WIDTH: u32 = 8192;

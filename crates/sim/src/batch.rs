@@ -1,0 +1,252 @@
+//! Word-parallel batch simulation (the throughput-oriented alternative).
+//!
+//! The paper's related work (RTLflow-style, reference 13 in the paper) fills the
+//! GPU's data-parallel lanes with *independent testbenches*: "While this
+//! strategy improves simulation throughput, it cannot help in reducing
+//! latency which is critical for rapid turnaround." [`BatchSim`] is that
+//! idea on a CPU word: 64 independent stimulus streams evaluated
+//! simultaneously, one bit-lane each, using ordinary `u64` bitwise ops
+//! (Observation 3's word-level parallelism applied across testbenches
+//! instead of across circuit bits).
+//!
+//! It exists both as a useful tool (regression sweeps) and as the
+//! workspace's quantitative demonstration of the throughput/latency
+//! distinction: per-testbench throughput beats every latency-oriented
+//! engine, while the latency of any *single* testbench equals the whole
+//! batch's runtime.
+
+use gem_aig::{Eaig, Lit, Node, RAM_ADDR_BITS};
+
+/// Number of independent testbenches evaluated per [`BatchSim`] step.
+pub const LANES: usize = 64;
+
+/// 64-testbench word-parallel simulator for an [`Eaig`].
+///
+/// Lane `k` of every `u64` word belongs to testbench `k`.
+///
+/// # Example
+///
+/// ```
+/// use gem_aig::Eaig;
+/// use gem_sim::BatchSim;
+///
+/// let mut g = Eaig::new();
+/// let a = g.input("a");
+/// let b = g.input("b");
+/// let x = g.xor(a, b);
+/// g.output("x", x);
+/// let mut sim = BatchSim::new(&g);
+/// // Lane 0: a=1,b=0; lane 1: a=1,b=1; all other lanes zero.
+/// let outs = sim.cycle(&[0b01 | 0b10, 0b10]);
+/// assert_eq!(outs[0] & 0b11, 0b01);
+/// ```
+#[derive(Debug)]
+pub struct BatchSim<'a> {
+    g: &'a Eaig,
+    /// One 64-lane word per node.
+    vals: Vec<u64>,
+    ff: Vec<u64>,
+    /// RAM contents per lane (lane-major: `ram[lane][addr]`).
+    ram: Vec<Vec<Box<[u32]>>>,
+    ram_rdata: Vec<[u32; LANES]>,
+}
+
+impl<'a> BatchSim<'a> {
+    /// Creates a batch simulator; all 64 lanes start from power-on state.
+    pub fn new(g: &'a Eaig) -> Self {
+        BatchSim {
+            vals: vec![0; g.len()],
+            ff: g
+                .ffs()
+                .iter()
+                .map(|f| if f.init { u64::MAX } else { 0 })
+                .collect(),
+            ram: g
+                .rams()
+                .iter()
+                .map(|_| {
+                    (0..LANES)
+                        .map(|_| vec![0u32; 1 << RAM_ADDR_BITS].into_boxed_slice())
+                        .collect()
+                })
+                .collect(),
+            ram_rdata: vec![[0; LANES]; g.rams().len()],
+            g,
+        }
+    }
+
+    #[inline]
+    fn lit(&self, l: Lit) -> u64 {
+        let v = self.vals[l.node().0 as usize];
+        if l.is_inverted() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Runs one cycle for all 64 testbenches. `inputs[i]` packs input
+    /// `i`'s bit for each lane. Returns one packed word per output.
+    pub fn cycle(&mut self, inputs: &[u64]) -> Vec<u64> {
+        for (i, n) in self.g.nodes().iter().enumerate() {
+            self.vals[i] = match *n {
+                Node::Const0 => 0,
+                Node::Input(idx) => inputs.get(idx as usize).copied().unwrap_or(0),
+                Node::And(a, b) => self.lit(a) & self.lit(b),
+                Node::FfOut(ff) => self.ff[ff.0 as usize],
+                Node::RamOut { ram, bit } => {
+                    let mut w = 0u64;
+                    for (lane, rd) in self.ram_rdata[ram.0 as usize].iter().enumerate() {
+                        w |= u64::from((rd >> bit) & 1) << lane;
+                    }
+                    w
+                }
+            };
+        }
+        let outs = self
+            .g
+            .outputs()
+            .iter()
+            .map(|(_, l)| self.lit(*l))
+            .collect();
+        // Sequential update.
+        let new_ff: Vec<u64> = self.g.ffs().iter().map(|f| self.lit(f.next)).collect();
+        for (ri, r) in self.g.rams().iter().enumerate() {
+            let raddr = self.addrs(&r.read_addr);
+            let waddr = self.addrs(&r.write_addr);
+            let we = self.lit(r.write_en);
+            let mut wdata = [0u32; LANES];
+            for (bit, &l) in r.write_data.iter().enumerate() {
+                let w = self.lit(l);
+                for (lane, slot) in wdata.iter_mut().enumerate() {
+                    *slot |= (((w >> lane) & 1) as u32) << bit;
+                }
+            }
+            for lane in 0..LANES {
+                self.ram_rdata[ri][lane] = self.ram[ri][lane][raddr[lane]];
+                if (we >> lane) & 1 == 1 {
+                    self.ram[ri][lane][waddr[lane]] = wdata[lane];
+                }
+            }
+        }
+        self.ff = new_ff;
+        outs
+    }
+
+    fn addrs(&self, bits: &[Lit; RAM_ADDR_BITS]) -> [usize; LANES] {
+        let mut a = [0usize; LANES];
+        for (i, &l) in bits.iter().enumerate() {
+            let w = self.lit(l);
+            for (lane, slot) in a.iter_mut().enumerate() {
+                *slot |= (((w >> lane) & 1) as usize) << i;
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::EaigSim;
+    use gem_aig::Lit;
+
+    fn mixer() -> Eaig {
+        let mut g = Eaig::new();
+        let ins: Vec<Lit> = (0..6).map(|i| g.input(format!("i{i}"))).collect();
+        let q = g.ff(true);
+        let x = g.xor_many(&ins);
+        let nx = g.xor(q, x);
+        g.set_ff_next(q, nx);
+        let o = g.and(q, x.flip());
+        g.output("o", o);
+        g.output("q", q);
+        g
+    }
+
+    #[test]
+    fn every_lane_matches_a_scalar_run() {
+        let g = mixer();
+        let mut batch = BatchSim::new(&g);
+        // 64 scalar references, one per lane, with distinct stimuli.
+        let mut refs: Vec<EaigSim> = (0..LANES).map(|_| EaigSim::new(&g)).collect();
+        let mut seed = 0xDEADBEEFu64;
+        for _ in 0..20 {
+            let mut packed = vec![0u64; 6];
+            let mut scalar_inputs = vec![[false; 6]; LANES];
+            for lane in 0..LANES {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                for i in 0..6 {
+                    let bit = (seed >> (i * 7 + lane % 5)) & 1 == 1;
+                    scalar_inputs[lane][i] = bit;
+                    if bit {
+                        packed[i] |= 1 << lane;
+                    }
+                }
+            }
+            let outs = batch.cycle(&packed);
+            for (lane, r) in refs.iter_mut().enumerate() {
+                let want = r.cycle(&scalar_inputs[lane]);
+                for (oi, &w) in want.iter().enumerate() {
+                    assert_eq!(
+                        (outs[oi] >> lane) & 1 == 1,
+                        w,
+                        "lane {lane} output {oi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let g = mixer();
+        let mut batch = BatchSim::new(&g);
+        // Drive only lane 3; every other lane must follow the all-zero
+        // trajectory.
+        let mut solo = EaigSim::new(&g);
+        let mut zero = EaigSim::new(&g);
+        for c in 0..10 {
+            let active = c % 2 == 0;
+            let packed: Vec<u64> = (0..6)
+                .map(|i| if active && i < 3 { 1u64 << 3 } else { 0 })
+                .collect();
+            let outs = batch.cycle(&packed);
+            let mut ins = [false; 6];
+            if active {
+                ins[0] = true;
+                ins[1] = true;
+                ins[2] = true;
+            }
+            let want3 = solo.cycle(&ins);
+            let want0 = zero.cycle(&[false; 6]);
+            assert_eq!((outs[0] >> 3) & 1 == 1, want3[0]);
+            assert_eq!(outs[0] & 1 == 1, want0[0]);
+            assert_eq!((outs[1] >> 3) & 1 == 1, want3[1]);
+        }
+    }
+
+    #[test]
+    fn ram_lanes_do_not_interfere() {
+        let mut g = Eaig::new();
+        let r = g.ram();
+        let we = g.input("we");
+        let d0 = g.input("d0");
+        let a0 = g.input("a0");
+        let mut wd = [Lit::FALSE; 32];
+        wd[0] = d0;
+        let mut addr = [Lit::FALSE; 13];
+        addr[0] = a0;
+        g.set_ram_ports(r, addr, addr, wd, we);
+        g.output("q0", g.ram_out(r, 0));
+        let mut batch = BatchSim::new(&g);
+        // Lane 5 writes 1 at address 1; lane 9 writes 1 at address 0.
+        batch.cycle(&[1 << 5 | 1 << 9, 1 << 5 | 1 << 9, 1 << 5]);
+        // Read address 1 on every lane.
+        batch.cycle(&[0, 0, u64::MAX]);
+        let outs = batch.cycle(&[0, 0, u64::MAX]);
+        assert_eq!((outs[0] >> 5) & 1, 1, "lane 5 wrote addr 1");
+        assert_eq!((outs[0] >> 9) & 1, 0, "lane 9 wrote addr 0, reads addr 1");
+        assert_eq!(outs[0] & 1, 0, "lane 0 wrote nothing");
+    }
+}

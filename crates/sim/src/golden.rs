@@ -1,0 +1,307 @@
+//! Golden-model interpreter over the E-AIG.
+//!
+//! [`EaigSim`] evaluates every node every cycle in topological order. It is
+//! deliberately simple — it exists to define the semantics all faster
+//! engines (GEM itself, the baselines) must agree with.
+
+use gem_aig::{Eaig, Lit, Node, RAM_ADDR_BITS};
+
+/// Cycle-accurate reference simulator for an [`Eaig`].
+///
+/// # Example
+///
+/// ```
+/// use gem_aig::Eaig;
+/// use gem_sim::EaigSim;
+///
+/// let mut g = Eaig::new();
+/// let a = g.input("a");
+/// let q = g.ff(false);
+/// g.set_ff_next(q, a);          // one-cycle delay line
+/// g.output("q", q);
+///
+/// let mut sim = EaigSim::new(&g);
+/// sim.set_input(0, true);
+/// sim.eval();
+/// assert!(!sim.output_by_name("q").unwrap()); // not yet clocked
+/// sim.step();
+/// sim.eval();
+/// assert!(sim.output_by_name("q").unwrap());
+/// ```
+#[derive(Debug)]
+pub struct EaigSim<'a> {
+    g: &'a Eaig,
+    /// Current value of every node (valid after [`eval`](Self::eval)).
+    vals: Vec<bool>,
+    /// Flip-flop state.
+    ff: Vec<bool>,
+    /// RAM contents, one 8192-word bank per block.
+    ram: Vec<Box<[u32]>>,
+    /// Registered read data per RAM block.
+    ram_rdata: Vec<u32>,
+    /// Primary input values.
+    inputs: Vec<bool>,
+    evaluated: bool,
+}
+
+impl<'a> EaigSim<'a> {
+    /// Creates a simulator with all state at its power-on values.
+    pub fn new(g: &'a Eaig) -> Self {
+        EaigSim {
+            vals: vec![false; g.len()],
+            ff: g.ffs().iter().map(|f| f.init).collect(),
+            ram: g
+                .rams()
+                .iter()
+                .map(|_| vec![0u32; 1 << RAM_ADDR_BITS].into_boxed_slice())
+                .collect(),
+            ram_rdata: vec![0; g.rams().len()],
+            inputs: vec![false; g.inputs().len()],
+            evaluated: false,
+            g,
+        }
+    }
+
+    /// Sets primary input `idx` (creation order) for the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_input(&mut self, idx: usize, v: bool) {
+        self.inputs[idx] = v;
+        self.evaluated = false;
+    }
+
+    /// Sets an input by name; returns `false` if no such input exists.
+    pub fn set_input_by_name(&mut self, name: &str, v: bool) -> bool {
+        if let Some(idx) = self.g.inputs().iter().position(|(n, _)| n == name) {
+            self.set_input(idx, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evaluates the combinational logic for the current cycle.
+    pub fn eval(&mut self) {
+        for (i, n) in self.g.nodes().iter().enumerate() {
+            self.vals[i] = match *n {
+                Node::Const0 => false,
+                Node::Input(idx) => self.inputs[idx as usize],
+                Node::And(a, b) => self.lit_from(a) && self.lit_from(b),
+                Node::FfOut(ff) => self.ff[ff.0 as usize],
+                Node::RamOut { ram, bit } => {
+                    (self.ram_rdata[ram.0 as usize] >> bit) & 1 == 1
+                }
+            };
+        }
+        self.evaluated = true;
+    }
+
+    fn lit_from(&self, l: Lit) -> bool {
+        self.vals[l.node().0 as usize] ^ l.is_inverted()
+    }
+
+    /// Value of a literal (combinational, after [`eval`](Self::eval)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `eval` in the current cycle.
+    pub fn lit(&self, l: Lit) -> bool {
+        assert!(self.evaluated, "call eval() before reading values");
+        self.lit_from(l)
+    }
+
+    /// Value of primary output `idx` (creation order).
+    pub fn output(&self, idx: usize) -> bool {
+        self.lit(self.g.outputs()[idx].1)
+    }
+
+    /// Value of a named primary output.
+    pub fn output_by_name(&self, name: &str) -> Option<bool> {
+        self.g
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, l)| self.lit(*l))
+    }
+
+    /// Advances one clock edge: flip-flops load their next-state values and
+    /// RAM blocks perform their (read-first) port operations.
+    ///
+    /// Calls [`eval`](Self::eval) internally if inputs changed since the
+    /// last evaluation.
+    pub fn step(&mut self) {
+        if !self.evaluated {
+            self.eval();
+        }
+        let new_ff: Vec<bool> = self
+            .g
+            .ffs()
+            .iter()
+            .map(|f| self.lit_from(f.next))
+            .collect();
+        for (ri, r) in self.g.rams().iter().enumerate() {
+            let raddr = self.addr_of(&r.read_addr);
+            // Read-first: capture before the write.
+            self.ram_rdata[ri] = self.ram[ri][raddr];
+            if self.lit_from(r.write_en) {
+                let waddr = self.addr_of(&r.write_addr);
+                let mut w = 0u32;
+                for (bit, &l) in r.write_data.iter().enumerate() {
+                    if self.lit_from(l) {
+                        w |= 1 << bit;
+                    }
+                }
+                self.ram[ri][waddr] = w;
+            }
+        }
+        self.ff = new_ff;
+        self.evaluated = false;
+    }
+
+    fn addr_of(&self, bits: &[Lit; RAM_ADDR_BITS]) -> usize {
+        let mut a = 0usize;
+        for (i, &l) in bits.iter().enumerate() {
+            if self.lit_from(l) {
+                a |= 1 << i;
+            }
+        }
+        a
+    }
+
+    /// Runs one full cycle: applies `inputs` (creation order), evaluates,
+    /// returns all outputs, then clocks.
+    pub fn cycle(&mut self, inputs: &[bool]) -> Vec<bool> {
+        for (i, &v) in inputs.iter().enumerate() {
+            self.inputs[i] = v;
+        }
+        self.eval();
+        let outs = (0..self.g.outputs().len())
+            .map(|i| self.output(i))
+            .collect();
+        self.step();
+        outs
+    }
+
+    /// Direct access to a RAM word (for test setup and inspection).
+    pub fn ram_word(&self, ram: usize, addr: usize) -> u32 {
+        self.ram[ram][addr]
+    }
+
+    /// Overwrites a RAM word (for test setup, e.g. program loading).
+    pub fn set_ram_word(&mut self, ram: usize, addr: usize, value: u32) {
+        self.ram[ram][addr] = value;
+    }
+
+    /// Current flip-flop state bits.
+    pub fn ff_state(&self) -> &[bool] {
+        &self.ff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_aig::{Lit, RAM_ADDR_BITS, RAM_DATA_BITS};
+
+    #[test]
+    fn combinational_and() {
+        let mut g = Eaig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.and(a, b);
+        g.output("x", x);
+        let mut s = EaigSim::new(&g);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            s.set_input(0, va);
+            s.set_input(1, vb);
+            s.eval();
+            assert_eq!(s.output(0), va && vb);
+        }
+    }
+
+    #[test]
+    fn toggler_flips_every_cycle() {
+        let mut g = Eaig::new();
+        let q = g.ff(false);
+        g.set_ff_next(q, q.flip());
+        g.output("q", q);
+        let mut s = EaigSim::new(&g);
+        let seq: Vec<bool> = (0..6).map(|_| s.cycle(&[])[0]).collect();
+        assert_eq!(seq, [false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn ff_init_value_respected() {
+        let mut g = Eaig::new();
+        let q = g.ff(true);
+        g.set_ff_next(q, q);
+        g.output("q", q);
+        let mut s = EaigSim::new(&g);
+        s.eval();
+        assert!(s.output(0));
+    }
+
+    #[test]
+    fn ram_write_then_read() {
+        let mut g = Eaig::new();
+        let r = g.ram();
+        let addr_in = g.input("addr0");
+        let we = g.input("we");
+        let data0 = g.input("d0");
+        let mut ra = [Lit::FALSE; RAM_ADDR_BITS];
+        ra[0] = addr_in;
+        let mut wd = [Lit::FALSE; RAM_DATA_BITS];
+        wd[0] = data0;
+        g.set_ram_ports(r, ra, ra, wd, we);
+        g.output("q0", g.ram_out(r, 0));
+
+        let mut s = EaigSim::new(&g);
+        // Cycle 0: write 1 to address 1.
+        let o = s.cycle(&[true, true, true]);
+        assert!(!o[0]); // nothing read yet
+        // Cycle 1: read address 1 (no write). Read data appears next cycle.
+        let o = s.cycle(&[true, false, false]);
+        assert!(!o[0]); // rdata register still holds cycle-0 read (of old 0)
+
+        // Actually cycle 1's *output* reflects the read performed at the
+        // end of cycle 0, which captured mem[1] before the write → 0.
+        // Cycle 2 reflects the read at end of cycle 1 → the written 1.
+        let o = s.cycle(&[true, false, false]);
+        assert!(o[0]);
+    }
+
+    #[test]
+    fn ram_read_first_semantics() {
+        let mut g = Eaig::new();
+        let r = g.ram();
+        let we = g.input("we");
+        let d0 = g.input("d0");
+        let mut wd = [Lit::FALSE; RAM_DATA_BITS];
+        wd[0] = d0;
+        // Read and write both at address 0.
+        g.set_ram_ports(r, [Lit::FALSE; RAM_ADDR_BITS], [Lit::FALSE; RAM_ADDR_BITS], wd, we);
+        g.output("q0", g.ram_out(r, 0));
+        let mut s = EaigSim::new(&g);
+        // Cycle 0: write 1 to addr 0 while reading addr 0 → read sees old 0.
+        s.cycle(&[true, true]);
+        let o = s.cycle(&[false, false]);
+        assert!(!o[0], "read-first must capture the pre-write word");
+        let o = s.cycle(&[false, false]);
+        assert!(o[0], "subsequent read sees the written word");
+    }
+
+    #[test]
+    fn named_access() {
+        let mut g = Eaig::new();
+        let a = g.input("a");
+        g.output("y", a.flip());
+        let mut s = EaigSim::new(&g);
+        assert!(s.set_input_by_name("a", false));
+        assert!(!s.set_input_by_name("zzz", false));
+        s.eval();
+        assert_eq!(s.output_by_name("y"), Some(true));
+        assert_eq!(s.output_by_name("zzz"), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline and reference simulators for the GEM workspace.
+//!
+//! The paper compares GEM against a leading commercial event-driven
+//! simulator, Verilator (1 and 8 threads), and the GPU gate-level
+//! simulator GL0AM. This crate provides the corresponding stand-ins plus
+//! the golden reference models used for correctness cross-checks:
+//!
+//! * [`EaigSim`] — golden-model interpreter over the E-AIG, the ground
+//!   truth every other engine is checked against,
+//! * [`NetlistSim`] — word-level interpreter over the RTL netlist, used to
+//!   verify synthesis,
+//! * [`event::EventSim`] — event-driven simulator whose cost scales with
+//!   switching activity (the "commercial tool" role),
+//! * [`levelized::LevelizedSim`] — full-cycle levelized simulator with an
+//!   optional thread pool (the "Verilator" role),
+//! * [`batch::BatchSim`] — 64 independent testbenches per step via word
+//!   parallelism (the throughput-oriented RTLflow-style alternative the
+//!   paper contrasts itself against),
+//! * a gate-level LUT4 cost model on the virtual GPU (the "GL0AM" role)
+//!   lives in `gem-vgpu` to avoid a dependency cycle.
+//!
+//! All engines share the same sequential semantics: synchronous single
+//! clock, read-first RAM ports, inputs sampled at the beginning of each
+//! cycle, outputs observed after combinational settling.
+
+pub mod batch;
+pub mod event;
+pub mod golden;
+pub mod levelized;
+pub mod netlist_sim;
+
+pub use batch::BatchSim;
+pub use event::EventSim;
+pub use golden::EaigSim;
+pub use levelized::LevelizedSim;
+pub use netlist_sim::NetlistSim;

@@ -1,0 +1,65 @@
+//! Architectural event counters accumulated during virtual execution.
+
+use std::ops::AddAssign;
+
+/// Counts of the events that determine GPU runtime. All counts are
+/// cumulative; divide by the simulated cycle count for per-cycle rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCounters {
+    /// Bytes moved through global memory (instruction words + signal
+    /// gathers + publishes).
+    pub global_bytes: u64,
+    /// 128-byte global-memory transactions.
+    pub global_transactions: u64,
+    /// Shared-memory accesses (permutation gathers, fold traffic).
+    pub shared_accesses: u64,
+    /// Boolean fold operations executed.
+    pub alu_ops: u64,
+    /// Block-level (`__syncthreads`) barriers.
+    pub block_syncs: u64,
+    /// Device-wide (cooperative-groups) barriers.
+    pub device_syncs: u64,
+    /// Thread blocks launched (virtual; resident blocks iterate when the
+    /// partition count exceeds device capacity).
+    pub blocks_run: u64,
+    /// Blocks skipped by event-based pruning (their inputs were unchanged,
+    /// so their bitstream was not streamed and their folds did not run).
+    pub blocks_skipped: u64,
+    /// Simulated design cycles executed.
+    pub cycles: u64,
+}
+
+impl AddAssign for KernelCounters {
+    fn add_assign(&mut self, o: Self) {
+        self.global_bytes += o.global_bytes;
+        self.global_transactions += o.global_transactions;
+        self.shared_accesses += o.shared_accesses;
+        self.alu_ops += o.alu_ops;
+        self.block_syncs += o.block_syncs;
+        self.device_syncs += o.device_syncs;
+        self.blocks_run += o.blocks_run;
+        self.blocks_skipped += o.blocks_skipped;
+        self.cycles += o.cycles;
+    }
+}
+
+impl KernelCounters {
+    /// Per-cycle averages (None when no cycles ran).
+    pub fn per_cycle(&self) -> Option<KernelCounters> {
+        if self.cycles == 0 {
+            return None;
+        }
+        let d = self.cycles;
+        Some(KernelCounters {
+            global_bytes: self.global_bytes / d,
+            global_transactions: self.global_transactions / d,
+            shared_accesses: self.shared_accesses / d,
+            alu_ops: self.alu_ops / d,
+            block_syncs: self.block_syncs / d,
+            device_syncs: self.device_syncs / d,
+            blocks_run: self.blocks_run / d,
+            blocks_skipped: self.blocks_skipped / d,
+            cycles: 1,
+        })
+    }
+}

@@ -1,0 +1,33 @@
+//! A software model of the SIMT machine GEM targets.
+//!
+//! The paper runs its VLIW interpreter as a CUDA kernel on NVIDIA A100 and
+//! RTX 3090 GPUs. This crate substitutes that hardware with an
+//! instrumented virtual GPU (see DESIGN.md §3): the [`machine::GemGpu`]
+//! executes assembled GEM bitstreams **bit-exactly** — same per-block
+//! shared-memory semantics, same once-per-cycle coalesced global reads,
+//! same device-wide synchronization points — while counting the
+//! architectural events that determine real GPU runtime:
+//!
+//! * global-memory bytes and 128-byte transactions (instruction streaming
+//!   dominates: the bitstream is re-read every simulated cycle),
+//! * shared-memory accesses (the local, cheap irregularity of
+//!   Observation 2),
+//! * fold ALU operations,
+//! * block-level and device-level synchronizations.
+//!
+//! [`timing::TimingModel`] converts those counts into estimated simulated
+//! cycles per second for a given [`spec::GpuSpec`] (A100 and RTX 3090
+//! presets), which is what Table II reports. [`gl0am`] provides the same
+//! treatment for the LUT4 gate-level baseline the paper compares against.
+
+pub mod counters;
+pub mod gl0am;
+pub mod machine;
+pub mod spec;
+pub mod timing;
+
+pub use counters::KernelCounters;
+pub use gl0am::Gl0amModel;
+pub use machine::{DeviceConfig, GemGpu, MachineError, RamBinding};
+pub use spec::GpuSpec;
+pub use timing::TimingModel;

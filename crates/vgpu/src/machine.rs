@@ -1,0 +1,652 @@
+//! The virtual GPU executing GEM bitstreams.
+//!
+//! [`GemGpu`] is the reproduction's stand-in for the paper's CUDA
+//! interpreter kernel. It executes each core's decoded VLIW program with
+//! the exact shared-memory fold semantics of
+//! [`gem_place::BoomerangLayer::execute`], maintains the device-global
+//! signal array, performs RAM block operations, and accumulates
+//! [`KernelCounters`] whose per-cycle values drive the timing model.
+//!
+//! Intra-cycle memory discipline mirrors the real kernel: cores read
+//! global signals once at cycle start; *immediate* writes (stage-boundary
+//! cut signals, RAM port operands) become visible to later stages after a
+//! device-wide synchronization; *deferred* writes (flip-flop next-states,
+//! registered RAM read data, primary outputs) commit at the cycle
+//! boundary, which is what makes full-cycle semantics race-free.
+
+use crate::counters::KernelCounters;
+use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Global-memory binding of one RAM block (all indices are bit positions
+/// in the device-global signal array).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RamBinding {
+    /// Read-address bits, LSB first (immediate region).
+    pub raddr: [u32; 13],
+    /// Write-address bits.
+    pub waddr: [u32; 13],
+    /// Write-data bits.
+    pub wdata: [u32; 32],
+    /// Write enable.
+    pub we: u32,
+    /// Registered read-data bits (deferred region).
+    pub rdata: [u32; 32],
+}
+
+/// Device-level configuration produced by the compiler.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Size of the global signal array in bits.
+    pub global_bits: u32,
+    /// RAM blocks and their port bindings.
+    pub rams: Vec<RamBinding>,
+    /// Global bits whose power-on value is 1 (flip-flop init values).
+    pub initial_ones: Vec<u32>,
+}
+
+/// Errors from [`GemGpu::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A core program failed to decode.
+    Decode(DecodeError),
+    /// A global index or state address is out of range; the string names
+    /// the offender.
+    BadBinding(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Decode(e) => write!(f, "core program decode failed: {e}"),
+            MachineError::BadBinding(s) => write!(f, "bad binding: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<DecodeError> for MachineError {
+    fn from(e: DecodeError) -> Self {
+        MachineError::Decode(e)
+    }
+}
+
+/// One loaded core: decoded program plus its precomputed per-cycle
+/// counter contribution.
+#[derive(Debug, Clone)]
+struct LoadedCore {
+    dec: DecodedCore,
+    delta: KernelCounters,
+}
+
+/// The virtual GPU; see the module docs.
+#[derive(Debug, Clone)]
+pub struct GemGpu {
+    cfg: DeviceConfig,
+    stages: Vec<Vec<LoadedCore>>,
+    global: Vec<bool>,
+    deferred: Vec<(u32, bool)>,
+    ram_mem: Vec<Box<[u32]>>,
+    counters: KernelCounters,
+    /// Event-based pruning (the paper's proposed extension): skip a core
+    /// whose read set is bit-identical to its previous execution. Sound
+    /// because a core's cycle function is pure — all state lives in the
+    /// global array, so unchanged inputs imply unchanged writes.
+    pruning: bool,
+    /// Cached read values per (stage, core) for pruning.
+    input_cache: Vec<Vec<Option<Vec<bool>>>>,
+}
+
+/// Bits per 128-byte global-memory transaction.
+const LINE_BITS: u64 = 128 * 8;
+
+fn line_transactions(mut indices: Vec<u64>) -> u64 {
+    indices.sort_unstable();
+    indices.dedup();
+    indices.len() as u64
+}
+
+impl GemGpu {
+    /// Decodes and validates a bitstream against a device configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] on undecodable programs or out-of-range
+    /// global indices / state addresses.
+    pub fn load(bitstream: &Bitstream, cfg: DeviceConfig) -> Result<Self, MachineError> {
+        let gb = cfg.global_bits;
+        let mut stages = Vec::with_capacity(bitstream.stages.len());
+        for (si, stage) in bitstream.stages.iter().enumerate() {
+            let mut cores = Vec::with_capacity(stage.len());
+            for (ci, bytes) in stage.iter().enumerate() {
+                let dec = disassemble_core(bytes)?;
+                let width = dec.width;
+                for r in &dec.reads {
+                    if r.global >= gb || u32::from(r.state) >= width {
+                        return Err(MachineError::BadBinding(format!(
+                            "stage {si} core {ci} read {} -> {}",
+                            r.global, r.state
+                        )));
+                    }
+                }
+                for w in &dec.writes {
+                    if w.global >= gb {
+                        return Err(MachineError::BadBinding(format!(
+                            "stage {si} core {ci} write to {}",
+                            w.global
+                        )));
+                    }
+                    if let WriteSrc::State { addr, .. } = w.src {
+                        if u32::from(addr) >= width {
+                            return Err(MachineError::BadBinding(format!(
+                                "stage {si} core {ci} write from state {addr}"
+                            )));
+                        }
+                    }
+                }
+                // Static per-cycle cost of this core.
+                let folds = width.trailing_zeros() as u64;
+                let mut delta = KernelCounters {
+                    // The bitstream is streamed from global memory every
+                    // cycle (it does not fit in shared memory).
+                    global_bytes: bytes.len() as u64,
+                    global_transactions: (bytes.len() as u64 * 8).div_ceil(LINE_BITS),
+                    blocks_run: 1,
+                    ..Default::default()
+                };
+                // Signal gathers/publishes: 32-bit accesses, coalescing
+                // determined by how many 128-byte lines they touch.
+                delta.global_bytes += 4 * (dec.reads.len() + dec.writes.len()) as u64;
+                delta.global_transactions += line_transactions(
+                    dec.reads
+                        .iter()
+                        .map(|r| u64::from(r.global) / LINE_BITS)
+                        .collect(),
+                );
+                delta.global_transactions += line_transactions(
+                    dec.writes
+                        .iter()
+                        .map(|w| u64::from(w.global) / LINE_BITS)
+                        .collect(),
+                );
+                for _layer in &dec.layers {
+                    delta.shared_accesses += u64::from(width) * 2; // gather + fold reads
+                    delta.alu_ops += u64::from(width) - 1;
+                    delta.block_syncs += 1 + folds;
+                }
+                cores.push(LoadedCore { dec, delta });
+            }
+            stages.push(cores);
+        }
+        // Validate RAM bindings.
+        for (ri, r) in cfg.rams.iter().enumerate() {
+            let all = r
+                .raddr
+                .iter()
+                .chain(&r.waddr)
+                .chain(&r.wdata)
+                .chain(&r.rdata)
+                .chain(std::iter::once(&r.we));
+            for &idx in all {
+                if idx >= gb {
+                    return Err(MachineError::BadBinding(format!(
+                        "ram {ri} binds global {idx}"
+                    )));
+                }
+            }
+        }
+        for &idx in &cfg.initial_ones {
+            if idx >= gb {
+                return Err(MachineError::BadBinding(format!(
+                    "initial value binds global {idx}"
+                )));
+            }
+        }
+        let ram_mem = cfg
+            .rams
+            .iter()
+            .map(|_| vec![0u32; 8192].into_boxed_slice())
+            .collect();
+        let mut global = vec![false; gb as usize];
+        for &idx in &cfg.initial_ones {
+            global[idx as usize] = true;
+        }
+        let input_cache = stages
+            .iter()
+            .map(|st| st.iter().map(|_| None).collect())
+            .collect();
+        Ok(GemGpu {
+            global,
+            deferred: Vec::new(),
+            ram_mem,
+            counters: KernelCounters::default(),
+            input_cache,
+            pruning: false,
+            stages,
+            cfg,
+        })
+    }
+
+    /// Enables or disables event-based pruning (off by default; the
+    /// baseline GEM of the paper is an oblivious full-cycle simulator).
+    pub fn set_pruning(&mut self, on: bool) {
+        self.pruning = on;
+        if !on {
+            for st in &mut self.input_cache {
+                for c in st.iter_mut() {
+                    *c = None;
+                }
+            }
+        }
+    }
+
+    /// Writes a bit of the global signal array (testbench input side).
+    pub fn poke(&mut self, index: u32, v: bool) {
+        self.global[index as usize] = v;
+    }
+
+    /// Reads a bit of the global signal array (testbench output side).
+    pub fn peek(&self, index: u32) -> bool {
+        self.global[index as usize]
+    }
+
+    /// Directly reads a word of RAM block `ram` (test setup/inspection).
+    pub fn ram_word(&self, ram: usize, addr: usize) -> u32 {
+        self.ram_mem[ram][addr]
+    }
+
+    /// Directly writes a word of RAM block `ram` (e.g. program loading).
+    pub fn set_ram_word(&mut self, ram: usize, addr: usize, value: u32) {
+        self.ram_mem[ram][addr] = value;
+    }
+
+    /// Executes one simulated design cycle: all stages, the RAM phase,
+    /// then the deferred commit.
+    pub fn step_cycle(&mut self) {
+        // Take the program tables out of `self` so cores can mutate the
+        // global array without aliasing (and without cloning programs).
+        let stages = std::mem::take(&mut self.stages);
+        for (si, stage) in stages.iter().enumerate() {
+            for (ci, core) in stage.iter().enumerate() {
+                self.run_core(core, si, ci);
+            }
+            // Stage boundary: device-wide synchronization makes immediate
+            // writes visible.
+            self.counters.device_syncs += 1;
+        }
+        self.stages = stages;
+        // RAM phase (read-first): capture read data, then apply writes.
+        for ri in 0..self.cfg.rams.len() {
+            let b = self.cfg.rams[ri].clone();
+            let addr_of = |g: &Vec<bool>, bits: &[u32; 13]| -> usize {
+                bits.iter()
+                    .enumerate()
+                    .filter(|(_, &i)| g[i as usize])
+                    .map(|(k, _)| 1usize << k)
+                    .sum()
+            };
+            let raddr = addr_of(&self.global, &b.raddr);
+            let word = self.ram_mem[ri][raddr];
+            for (k, &g) in b.rdata.iter().enumerate() {
+                self.deferred.push((g, (word >> k) & 1 == 1));
+            }
+            if self.global[b.we as usize] {
+                let waddr = addr_of(&self.global, &b.waddr);
+                let mut w = 0u32;
+                for (k, &g) in b.wdata.iter().enumerate() {
+                    if self.global[g as usize] {
+                        w |= 1 << k;
+                    }
+                }
+                self.ram_mem[ri][waddr] = w;
+            }
+            // One word read + potential write, plus the port-bit gathers.
+            self.counters.global_bytes += 8 + 59 / 8;
+            self.counters.global_transactions += 2;
+        }
+        if !self.cfg.rams.is_empty() {
+            self.counters.device_syncs += 1;
+        }
+        // Cycle boundary: commit deferred writes (flip-flops update, read
+        // data registers latch, outputs publish).
+        for (g, v) in self.deferred.drain(..) {
+            self.global[g as usize] = v;
+        }
+        self.counters.device_syncs += 1;
+        self.counters.cycles += 1;
+    }
+
+    fn run_core(&mut self, core: &LoadedCore, si: usize, ci: usize) {
+        let width = core.dec.width as usize;
+        if self.pruning {
+            let inputs: Vec<bool> = core
+                .dec
+                .reads
+                .iter()
+                .map(|r| self.global[r.global as usize])
+                .collect();
+            if self.input_cache[si][ci].as_ref() == Some(&inputs) {
+                // Unchanged read set: outputs are guaranteed identical and
+                // already present in the global array (immediate writes) or
+                // re-commit the same values (deferred). Charge only the
+                // input gather, not the bitstream stream or the folds.
+                self.counters.blocks_skipped += 1;
+                self.counters.global_bytes += 4 * core.dec.reads.len() as u64;
+                self.counters.global_transactions += 1 + core.dec.reads.len() as u64 / 32;
+                // Deferred writes must still commit (FF next-states equal
+                // their current values, but outputs may feed the testbench).
+                for w in &core.dec.writes {
+                    if w.deferred {
+                        let v = match w.src {
+                            WriteSrc::State { .. } => {
+                                // Value unchanged ⇒ current global content
+                                // is already correct; re-commit it.
+                                self.global[w.global as usize]
+                            }
+                            WriteSrc::Const(c) => c,
+                        };
+                        self.deferred.push((w.global, v));
+                    }
+                }
+                return;
+            }
+            self.input_cache[si][ci] = Some(inputs);
+        }
+        let mut state = vec![false; width];
+        for r in &core.dec.reads {
+            state[r.state as usize] = self.global[r.global as usize];
+        }
+        for layer in &core.dec.layers {
+            layer.execute(&mut state);
+        }
+        for w in &core.dec.writes {
+            let v = match w.src {
+                WriteSrc::State { addr, invert } => state[addr as usize] ^ invert,
+                WriteSrc::Const(c) => c,
+            };
+            if w.deferred {
+                self.deferred.push((w.global, v));
+            } else {
+                self.global[w.global as usize] = v;
+            }
+        }
+        self.counters += core.delta;
+    }
+
+    /// Accumulated counters.
+    pub fn counters(&self) -> &KernelCounters {
+        &self.counters
+    }
+
+    /// Number of pipeline stages.
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total cores (thread blocks) across stages.
+    pub fn num_cores(&self) -> usize {
+        self.stages.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_isa::{assemble_core, ReadEntry, WriteEntry};
+    use gem_place::{BoomerangLayer, CoreProgram, OutputSource, PermSource};
+
+    /// A one-core bitstream computing g2 = g0 AND g1 into global 2.
+    fn and_bitstream() -> (Bitstream, DeviceConfig) {
+        let width = 16u32;
+        let mut layer = BoomerangLayer::new(width);
+        layer.perm[0] = PermSource::State(0);
+        layer.perm[1] = PermSource::State(1);
+        layer.writeback[0][0] = Some(2);
+        let prog = CoreProgram {
+            width,
+            state_size: 3,
+            inputs: vec![],
+            layers: vec![layer],
+            outputs: vec![OutputSource::State {
+                addr: 2,
+                invert: false,
+            }],
+        };
+        let reads = vec![
+            ReadEntry { global: 0, state: 0 },
+            ReadEntry { global: 1, state: 1 },
+        ];
+        let writes = vec![WriteEntry {
+            global: 2,
+            src: gem_isa::WriteSrc::State {
+                addr: 2,
+                invert: false,
+            },
+            deferred: false,
+        }];
+        let bytes = assemble_core(&prog, &reads, &writes);
+        (
+            Bitstream {
+                width,
+                global_bits: 3,
+                stages: vec![vec![bytes]],
+            },
+            DeviceConfig {
+                global_bits: 3,
+                rams: vec![],
+                initial_ones: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn executes_simple_and() {
+        let (bs, cfg) = and_bitstream();
+        let mut gpu = GemGpu::load(&bs, cfg).expect("loads");
+        for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
+            gpu.poke(0, a);
+            gpu.poke(1, b);
+            gpu.step_cycle();
+            assert_eq!(gpu.peek(2), a && b);
+        }
+        let c = gpu.counters();
+        assert_eq!(c.cycles, 4);
+        assert!(c.global_bytes > 0);
+        assert!(c.device_syncs >= 8); // stage + cycle boundary per cycle
+    }
+
+    #[test]
+    fn counters_scale_linearly_with_cycles() {
+        let (bs, cfg) = and_bitstream();
+        let mut gpu = GemGpu::load(&bs, cfg).expect("loads");
+        gpu.poke(0, true);
+        gpu.poke(1, true);
+        gpu.step_cycle();
+        let one = *gpu.counters();
+        for _ in 0..9 {
+            gpu.step_cycle();
+        }
+        let ten = *gpu.counters();
+        assert_eq!(ten.global_bytes, one.global_bytes * 10);
+        assert_eq!(ten.blocks_run, 10);
+    }
+
+    #[test]
+    fn bad_global_index_rejected() {
+        let (mut bs, cfg) = and_bitstream();
+        // Corrupt: claim a smaller global space than the programs use.
+        bs.global_bits = 1;
+        let cfg = DeviceConfig {
+            global_bits: 1,
+            ..cfg
+        };
+        assert!(matches!(
+            GemGpu::load(&bs, cfg),
+            Err(MachineError::BadBinding(_))
+        ));
+    }
+
+    #[test]
+    fn ram_phase_read_first() {
+        // No cores: drive RAM ports directly through pokes.
+        let bs = Bitstream {
+            width: 16,
+            global_bits: 64 + 59,
+            stages: vec![],
+        };
+        let mut idx = 0u32;
+        let mut next = || {
+            let i = idx;
+            idx += 1;
+            i
+        };
+        let binding = RamBinding {
+            raddr: std::array::from_fn(|_| next()),
+            waddr: std::array::from_fn(|_| next()),
+            wdata: std::array::from_fn(|_| next()),
+            we: next(),
+            rdata: std::array::from_fn(|_| next()),
+        };
+        let cfg = DeviceConfig {
+            global_bits: 123,
+            rams: vec![binding.clone()],
+            initial_ones: vec![],
+        };
+        let mut gpu = GemGpu::load(&bs, cfg).expect("loads");
+        // Write 0b101 to address 0 while reading address 0.
+        gpu.poke(binding.we, true);
+        gpu.poke(binding.wdata[0], true);
+        gpu.poke(binding.wdata[2], true);
+        gpu.step_cycle();
+        assert!(!gpu.peek(binding.rdata[0]), "read-first returns old zero");
+        gpu.poke(binding.we, false);
+        gpu.step_cycle();
+        assert!(gpu.peek(binding.rdata[0]));
+        assert!(gpu.peek(binding.rdata[2]));
+        assert!(!gpu.peek(binding.rdata[1]));
+        assert_eq!(gpu.ram_word(0, 0), 0b101);
+    }
+}
+
+#[cfg(test)]
+mod pruning_tests {
+    use super::*;
+    use gem_isa::{assemble_core, ReadEntry, WriteEntry};
+    use gem_place::{BoomerangLayer, CoreProgram, OutputSource, PermSource};
+
+    /// Two cores: core A computes g2 = g0 & g1 (immediate), core B computes
+    /// g3 = !g2 (deferred), with a deliberately bursty input pattern so
+    /// pruning has skippable cycles.
+    fn two_core_machine() -> GemGpu {
+        let width = 16u32;
+        let mk_core = |perm0: u32, perm1: Option<u32>, invert: bool, out_g: u32, deferred: bool| {
+            let mut layer = BoomerangLayer::new(width);
+            layer.perm[0] = PermSource::State(0);
+            layer.perm[1] = match perm1 {
+                Some(_) => PermSource::State(1),
+                None => PermSource::ConstFalse,
+            };
+            if perm1.is_none() {
+                layer.folds[0].ob[0] = true; // bypass: out = A
+            }
+            layer.writeback[0][0] = Some(2);
+            let prog = CoreProgram {
+                width,
+                state_size: 3,
+                inputs: vec![],
+                layers: vec![layer],
+                outputs: vec![OutputSource::State {
+                    addr: 2,
+                    invert: false,
+                }],
+            };
+            let mut reads = vec![ReadEntry {
+                global: perm0,
+                state: 0,
+            }];
+            if let Some(g1) = perm1 {
+                reads.push(ReadEntry { global: g1, state: 1 });
+            }
+            let writes = vec![WriteEntry {
+                global: out_g,
+                src: gem_isa::WriteSrc::State {
+                    addr: 2,
+                    invert,
+                },
+                deferred,
+            }];
+            assemble_core(&prog, &reads, &writes)
+        };
+        let bs = Bitstream {
+            width,
+            global_bits: 4,
+            stages: vec![vec![mk_core(0, Some(1), false, 2, false)], vec![mk_core(2, None, true, 3, true)]],
+        };
+        GemGpu::load(
+            &bs,
+            DeviceConfig {
+                global_bits: 4,
+                rams: vec![],
+                initial_ones: vec![],
+            },
+        )
+        .expect("loads")
+    }
+
+    #[test]
+    fn pruning_preserves_outputs_exactly() {
+        let mut base = two_core_machine();
+        let mut pruned = two_core_machine();
+        pruned.set_pruning(true);
+        let pattern = [
+            (false, false),
+            (true, true),
+            (true, true), // repeat: core A skippable
+            (true, true),
+            (false, true),
+            (false, true),
+            (true, false),
+            (true, false),
+        ];
+        for (a, b) in pattern {
+            base.poke(0, a);
+            base.poke(1, b);
+            pruned.poke(0, a);
+            pruned.poke(1, b);
+            base.step_cycle();
+            pruned.step_cycle();
+            assert_eq!(base.peek(2), pruned.peek(2));
+            assert_eq!(base.peek(3), pruned.peek(3));
+            assert_eq!(base.peek(2), a && b);
+            assert_eq!(base.peek(3), !(a && b));
+        }
+        let c = pruned.counters();
+        assert!(c.blocks_skipped > 0, "repeats must be skipped");
+        assert!(
+            c.global_bytes < base.counters().global_bytes,
+            "pruning must save instruction traffic"
+        );
+    }
+
+    #[test]
+    fn pruning_off_by_default_and_resettable() {
+        let mut gpu = two_core_machine();
+        for _ in 0..4 {
+            gpu.step_cycle();
+        }
+        assert_eq!(gpu.counters().blocks_skipped, 0);
+        gpu.set_pruning(true);
+        for _ in 0..4 {
+            gpu.step_cycle();
+        }
+        assert!(gpu.counters().blocks_skipped > 0);
+        gpu.set_pruning(false);
+        let skipped = gpu.counters().blocks_skipped;
+        for _ in 0..4 {
+            gpu.step_cycle();
+        }
+        assert_eq!(gpu.counters().blocks_skipped, skipped);
+    }
+}

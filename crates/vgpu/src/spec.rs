@@ -1,0 +1,68 @@
+//! GPU hardware parameter sets.
+
+/// Parameters of a CUDA-capable GPU, the inputs of the timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Resident 256-thread blocks per SM under a cooperative launch.
+    pub blocks_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Achievable global-memory bandwidth in GB/s (≈85 % of peak).
+    pub mem_bandwidth_gbps: f64,
+    /// Latency of a device-wide cooperative-groups synchronization in
+    /// microseconds.
+    pub device_sync_us: f64,
+    /// Threads per block the GEM kernel launches.
+    pub threads_per_block: u32,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-40GB (the paper's primary platform).
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100",
+            sm_count: 108,
+            blocks_per_sm: 8,
+            clock_ghz: 1.41,
+            mem_bandwidth_gbps: 1300.0, // 1555 peak × ~0.85 achievable
+            device_sync_us: 2.5,
+            threads_per_block: 256,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090 (the paper's accessible alternative).
+    pub fn rtx3090() -> Self {
+        GpuSpec {
+            name: "RTX 3090",
+            sm_count: 82,
+            blocks_per_sm: 6,
+            clock_ghz: 1.70,
+            mem_bandwidth_gbps: 800.0, // 936 peak × ~0.85 achievable
+            device_sync_us: 3.0,
+            threads_per_block: 256,
+        }
+    }
+
+    /// Blocks that can be resident simultaneously (cooperative launch).
+    pub fn resident_blocks(&self) -> u32 {
+        self.sm_count * self.blocks_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let a = GpuSpec::a100();
+        let r = GpuSpec::rtx3090();
+        assert!(a.mem_bandwidth_gbps > r.mem_bandwidth_gbps);
+        assert_eq!(a.resident_blocks(), 864);
+        assert!(r.resident_blocks() > 216, "3090 must fit the paper's 216 blocks");
+    }
+}

@@ -1,0 +1,189 @@
+//! Converts per-cycle architectural event counts into estimated simulated
+//! cycles per second on a concrete GPU.
+//!
+//! GEM's steady-state cycle time is dominated by three terms:
+//!
+//! 1. **Instruction streaming** — the bitstream is re-read from global
+//!    memory every simulated cycle, so `bytes / bandwidth` is the floor
+//!    (e.g. OpenPiton8's 162 MB bitstream over an A100's ≈1.3 TB/s gives
+//!    ≈125 µs, i.e. ≈8 kHz, matching the paper's 7.3 kHz).
+//! 2. **Compute** — shared-memory gathers and fold operations, spread
+//!    across resident thread blocks; partitions beyond device capacity
+//!    execute in extra waves.
+//! 3. **Synchronization** — device-wide cooperative-group barriers at
+//!    stage and cycle boundaries (microseconds each), plus cheap
+//!    block-level barriers.
+//!
+//! Memory and compute overlap on a GPU, so the model takes their maximum
+//! and adds the serial synchronization cost.
+
+use crate::counters::KernelCounters;
+use crate::spec::GpuSpec;
+
+/// Timing model for one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// The GPU being modeled.
+    pub spec: GpuSpec,
+}
+
+impl TimingModel {
+    /// Creates a model for `spec`.
+    pub fn new(spec: GpuSpec) -> Self {
+        TimingModel { spec }
+    }
+
+    /// Estimated wall-clock seconds per simulated cycle given *per-cycle*
+    /// counters (see [`KernelCounters::per_cycle`]).
+    pub fn cycle_seconds(&self, c: &KernelCounters) -> f64 {
+        let s = &self.spec;
+        // Term 1: global memory traffic.
+        let t_mem = c.global_bytes as f64 / (s.mem_bandwidth_gbps * 1e9);
+        // Term 2: compute, distributed over resident blocks in waves.
+        let blocks = c.blocks_run.max(1) as f64;
+        let waves = (blocks / s.resident_blocks() as f64).ceil().max(1.0);
+        let per_block_thread_ops =
+            (c.shared_accesses + c.alu_ops) as f64 / blocks / s.threads_per_block as f64;
+        // Shared-memory ops retire roughly one per clock per thread.
+        let t_compute = waves * per_block_thread_ops / (s.clock_ghz * 1e9);
+        // Term 3: synchronization. Device-wide barriers are serial;
+        // block barriers cost ~30 cycles each and overlap across blocks.
+        let block_sync_s =
+            (c.block_syncs as f64 / blocks) * waves * 30.0 / (s.clock_ghz * 1e9);
+        let t_sync = c.device_syncs as f64 * s.device_sync_us * 1e-6 + block_sync_s;
+        t_mem.max(t_compute) + t_sync
+    }
+
+    /// Estimated simulation speed in simulated cycles per second (the
+    /// unit of Table II).
+    pub fn hz(&self, per_cycle: &KernelCounters) -> f64 {
+        1.0 / self.cycle_seconds(per_cycle)
+    }
+
+    /// **Extension E2** (paper future work: "multi-GPU support").
+    /// Estimated seconds per cycle when the partitions are sharded across
+    /// `gpus` identical devices: instruction streaming and compute divide
+    /// across devices, while every device-wide synchronization becomes an
+    /// inter-GPU barrier (NVLink/NCCL, ≈3× the single-device latency) and
+    /// stage-boundary signals cross the interconnect. Speed-up therefore
+    /// saturates once the design becomes synchronization-bound — the
+    /// quantitative version of why the paper lists multi-GPU as future
+    /// work rather than a free win.
+    pub fn multi_gpu_cycle_seconds(&self, c: &KernelCounters, gpus: u32) -> f64 {
+        let gpus = gpus.max(1);
+        if gpus == 1 {
+            return self.cycle_seconds(c);
+        }
+        let s = &self.spec;
+        let g = gpus as f64;
+        let t_mem = c.global_bytes as f64 / g / (s.mem_bandwidth_gbps * 1e9);
+        let blocks = (c.blocks_run.max(1) as f64 / g).ceil();
+        let waves = (blocks / s.resident_blocks() as f64).ceil().max(1.0);
+        let per_block_thread_ops = (c.shared_accesses + c.alu_ops) as f64
+            / c.blocks_run.max(1) as f64
+            / s.threads_per_block as f64;
+        let t_compute = waves * per_block_thread_ops / (s.clock_ghz * 1e9);
+        let block_sync_s =
+            (c.block_syncs as f64 / c.blocks_run.max(1) as f64) * waves * 30.0
+                / (s.clock_ghz * 1e9);
+        // Inter-GPU barrier instead of a device barrier.
+        let t_sync = c.device_syncs as f64 * s.device_sync_us * 3.0 * 1e-6 + block_sync_s;
+        // Cross-GPU exchange of stage-boundary signals over ~300 GB/s
+        // effective NVLink: each block publishes at most its core width
+        // (≈256 B of packed signals) to peers.
+        let t_link = c.blocks_run as f64 * 256.0 / 300e9;
+        t_mem.max(t_compute) + t_sync + t_link
+    }
+
+    /// Multi-GPU speed estimate; see
+    /// [`multi_gpu_cycle_seconds`](Self::multi_gpu_cycle_seconds).
+    pub fn multi_gpu_hz(&self, per_cycle: &KernelCounters, gpus: u32) -> f64 {
+        1.0 / self.multi_gpu_cycle_seconds(per_cycle, gpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn per_cycle(bytes: u64, blocks: u64, dev_syncs: u64) -> KernelCounters {
+        KernelCounters {
+            global_bytes: bytes,
+            global_transactions: bytes / 128,
+            shared_accesses: blocks * 8192 * 2 * 10,
+            alu_ops: blocks * 8191 * 10,
+            block_syncs: blocks * 14 * 10,
+            device_syncs: dev_syncs,
+            blocks_run: blocks,
+            blocks_skipped: 0,
+            cycles: 1,
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_designs_track_bitstream_size() {
+        let m = TimingModel::new(GpuSpec::a100());
+        // OpenPiton8-like: 162.4 MB bitstream per cycle.
+        let hz = m.hz(&per_cycle(162_400_000, 947, 4));
+        assert!(
+            (3_000.0..15_000.0).contains(&hz),
+            "OpenPiton8-like estimate {hz:.0} Hz (paper: 7285)"
+        );
+        // NVDLA-like: 11.2 MB.
+        let hz = m.hz(&per_cycle(11_200_000, 52, 3));
+        assert!(
+            (40_000.0..120_000.0).contains(&hz),
+            "NVDLA-like estimate {hz:.0} Hz (paper: 65385)"
+        );
+    }
+
+    #[test]
+    fn a100_beats_3090_when_bandwidth_bound() {
+        let a = TimingModel::new(GpuSpec::a100());
+        let r = TimingModel::new(GpuSpec::rtx3090());
+        let c = per_cycle(44_400_000, 143, 3);
+        assert!(a.hz(&c) > r.hz(&c));
+    }
+
+    #[test]
+    fn sync_overhead_caps_tiny_designs() {
+        let m = TimingModel::new(GpuSpec::a100());
+        let c = per_cycle(1_000, 1, 3);
+        // Even a tiny design cannot beat the device-sync floor (~7.5 µs
+        // for 3 barriers).
+        assert!(m.hz(&c) < 150_000.0);
+    }
+
+    #[test]
+    fn multi_gpu_helps_bandwidth_bound_designs_most() {
+        let m = TimingModel::new(GpuSpec::a100());
+        // OpenPiton8-like, bandwidth-bound.
+        let big = per_cycle(162_400_000, 947, 4);
+        let one = m.hz(&big);
+        let two = m.multi_gpu_hz(&big, 2);
+        let four = m.multi_gpu_hz(&big, 4);
+        assert!(two > one * 1.4, "2 GPUs: {one:.0} -> {two:.0}");
+        assert!(four > two, "4 GPUs must not regress");
+        // Tiny, sync-bound design: extra GPUs hurt (slower barriers).
+        let small = per_cycle(50_000, 4, 3);
+        assert!(m.multi_gpu_hz(&small, 4) < m.hz(&small));
+    }
+
+    #[test]
+    fn one_gpu_multi_model_matches_base() {
+        let m = TimingModel::new(GpuSpec::a100());
+        let c = per_cycle(9_200_000, 39, 3);
+        assert_eq!(m.multi_gpu_hz(&c, 1), m.hz(&c));
+    }
+
+    #[test]
+    fn speed_is_activity_independent() {
+        // Full-cycle execution: identical counters regardless of stimulus,
+        // so the model trivially yields one speed per design — asserted
+        // here as documentation of the paper's "consistent simulation
+        // speed for any stimuli".
+        let m = TimingModel::new(GpuSpec::a100());
+        let c = per_cycle(9_200_000, 39, 3);
+        assert_eq!(m.hz(&c), m.hz(&c.clone()));
+    }
+}

@@ -1,0 +1,3 @@
+//! Umbrella package holding the workspace examples and integration tests.
+//! See the member crates for the actual library.
+pub use gem_core as core;

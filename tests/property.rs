@@ -1,0 +1,188 @@
+//! Property-based tests over the core invariants: random RTL expression
+//! trees must survive the complete flow (synthesis → partitioning →
+//! placement → assembly → virtual-GPU execution) with bit-exact behaviour,
+//! and the foundational data structures must uphold their algebraic laws.
+
+use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_netlist::{Bits, Module, ModuleBuilder, NetId};
+use gem_sim::NetlistSim;
+use proptest::prelude::*;
+
+/// A recipe for one random combinational/sequential module.
+#[derive(Debug, Clone)]
+struct Recipe {
+    width: u32,
+    ops: Vec<u8>,
+    make_reg: bool,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    (2u32..10, prop::collection::vec(0u8..10, 1..14), any::<bool>()).prop_map(
+        |(width, ops, make_reg)| Recipe {
+            width,
+            ops,
+            make_reg,
+        },
+    )
+}
+
+fn build(recipe: &Recipe) -> Module {
+    let mut b = ModuleBuilder::new("prop");
+    let x = b.input("x", recipe.width);
+    let y = b.input("y", recipe.width);
+    let mut vals: Vec<NetId> = vec![x, y];
+    for (k, &op) in recipe.ops.iter().enumerate() {
+        let a = vals[k % vals.len()];
+        let c = vals[(k * 7 + 1) % vals.len()];
+        let v = match op {
+            0 => b.add(a, c),
+            1 => b.sub(a, c),
+            2 => b.and(a, c),
+            3 => b.or(a, c),
+            4 => b.xor(a, c),
+            5 => b.not(a),
+            6 => {
+                let s = b.ult(a, c);
+                b.mux(s, a, c)
+            }
+            7 => b.mul(a, c),
+            8 => {
+                let e = b.eq(a, c);
+                let t = b.not(a);
+                b.mux(e, t, c)
+            }
+            _ => b.neg(a),
+        };
+        vals.push(v);
+    }
+    let last = *vals.last().expect("nonempty");
+    if recipe.make_reg {
+        let q = b.dff(recipe.width);
+        let nx = b.xor(q, last);
+        b.connect_dff(q, nx);
+        b.output("out", q);
+    } else {
+        b.output("out", last);
+    }
+    b.finish().expect("valid module")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random module survives the whole flow bit-exactly.
+    #[test]
+    fn full_flow_matches_reference(recipe in recipe_strategy(), seed in any::<u64>()) {
+        let m = build(&recipe);
+        let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut gem = GemSimulator::new(&compiled).expect("loads");
+        let mut rtl = NetlistSim::new(&m);
+        let mut state = seed | 1;
+        for _ in 0..12 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let xv = Bits::from_u64(state & ((1 << recipe.width) - 1), recipe.width);
+            let yv = Bits::from_u64((state >> 17) & ((1 << recipe.width) - 1), recipe.width);
+            rtl.set_input("x", xv.clone());
+            rtl.set_input("y", yv.clone());
+            gem.set_input("x", xv);
+            gem.set_input("y", yv);
+            rtl.eval();
+            gem.step();
+            prop_assert_eq!(gem.output("out"), rtl.output("out"));
+            rtl.step();
+        }
+    }
+
+    /// Bits arithmetic agrees with u64 arithmetic for widths ≤ 32.
+    #[test]
+    fn bits_matches_u64(a in any::<u32>(), b in any::<u32>(), w in 1u32..=32) {
+        let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
+        let (av, bv) = (a & mask, b & mask);
+        let ba = Bits::from_u64(av as u64, w);
+        let bb = Bits::from_u64(bv as u64, w);
+        prop_assert_eq!(ba.add(&bb).to_u64(), (av.wrapping_add(bv) & mask) as u64);
+        prop_assert_eq!(ba.sub(&bb).to_u64(), (av.wrapping_sub(bv) & mask) as u64);
+        prop_assert_eq!(ba.mul(&bb).to_u64(), (av.wrapping_mul(bv) & mask) as u64);
+        prop_assert_eq!(ba.ult(&bb), av < bv);
+        prop_assert_eq!(ba.and(&bb).to_u64(), (av & bv) as u64);
+        prop_assert_eq!(ba.xor(&bb).to_u64(), (av ^ bv) as u64);
+        prop_assert_eq!(ba.not().to_u64(), (!av & mask) as u64);
+    }
+
+    /// Slicing and concatenation are inverses.
+    #[test]
+    fn bits_slice_concat_inverse(v in any::<u64>(), w in 2u32..=48, cut in 1u32..=47) {
+        prop_assume!(cut < w);
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        let b = Bits::from_u64(v & mask, w);
+        let lo = b.slice(0, cut);
+        let hi = b.slice(cut, w - cut);
+        prop_assert_eq!(lo.concat(&hi), b);
+    }
+
+    /// The E-AIG's AND builder is commutative, idempotent, and respects
+    /// identity/annihilator laws.
+    #[test]
+    fn eaig_and_laws(n_inputs in 2usize..6, pairs in prop::collection::vec((0usize..6, 0usize..6, any::<bool>(), any::<bool>()), 1..20)) {
+        use gem_aig::{Eaig, Lit};
+        let mut g = Eaig::new();
+        let ins: Vec<Lit> = (0..n_inputs).map(|i| g.input(format!("i{i}"))).collect();
+        for (a, b, fa, fb) in pairs {
+            let la = ins[a % n_inputs].flip_if(fa);
+            let lb = ins[b % n_inputs].flip_if(fb);
+            prop_assert_eq!(g.and(la, lb), g.and(lb, la), "commutative");
+            let x = g.and(la, la);
+            prop_assert_eq!(x, la, "idempotent");
+            prop_assert_eq!(g.and(la, Lit::TRUE), la, "identity");
+            prop_assert_eq!(g.and(la, Lit::FALSE), Lit::FALSE, "annihilator");
+            prop_assert_eq!(g.and(la, la.flip()), Lit::FALSE, "complement");
+        }
+    }
+
+    /// Placement preserves semantics on random partitions of random logic
+    /// (direct CoreProgram evaluation against the golden simulator).
+    #[test]
+    fn placement_preserves_semantics(seed in any::<u64>(), width_pow in 6u32..9) {
+        use gem_aig::{Eaig, Lit};
+        use gem_partition::{partition, PartitionOptions};
+        use gem_place::{place_partition, PlaceOptions};
+        use gem_sim::EaigSim;
+        let mut g = Eaig::new();
+        let mut lits: Vec<Lit> = (0..10).map(|i| g.input(format!("i{i}"))).collect();
+        let mut x = seed | 1;
+        for _ in 0..50 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = lits[(x >> 8) as usize % lits.len()];
+            let b = lits[(x >> 24) as usize % lits.len()];
+            lits.push(match (x >> 40) % 3 {
+                0 => g.and(a, b),
+                1 => g.or(a, b),
+                _ => g.xor(a, b),
+            });
+        }
+        let last = *lits.last().unwrap();
+        g.output("o", last);
+        let parts = partition(&g, &PartitionOptions { target_parts: 2, ..Default::default() });
+        let opts = PlaceOptions { core_width: 1 << width_pow, ..Default::default() };
+        let mut gold = EaigSim::new(&g);
+        let programs: Vec<_> = parts.stages[0]
+            .partitions
+            .iter()
+            .map(|p| place_partition(&g, p, &opts).expect("mappable"))
+            .collect();
+        for c in 0..8u64 {
+            let ins: Vec<bool> = (0..10).map(|i| (seed >> (c + i)) & 1 == 1).collect();
+            for (i, &v) in ins.iter().enumerate() {
+                gold.set_input(i, v);
+            }
+            gold.eval();
+            for (pi, (prog, _)) in programs.iter().enumerate() {
+                let outs = prog.evaluate(|n| gold.lit(Lit::from_node(n)));
+                for (k, &sink) in parts.stages[0].partitions[pi].sinks.iter().enumerate() {
+                    prop_assert_eq!(outs[k], gold.lit(sink));
+                }
+            }
+            gold.step();
+        }
+    }
+}
