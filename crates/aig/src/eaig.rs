@@ -171,9 +171,9 @@ impl Eaig {
     fn push(&mut self, node: Node) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         let level = match node {
-            Node::And(a, b) => self.levels[a.node().0 as usize]
-                .max(self.levels[b.node().0 as usize])
-                + 1,
+            Node::And(a, b) => {
+                self.levels[a.node().0 as usize].max(self.levels[b.node().0 as usize]) + 1
+            }
             _ => 0,
         };
         self.nodes.push(node);

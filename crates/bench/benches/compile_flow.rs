@@ -29,22 +29,18 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("partition");
     group.sample_size(10);
     for stages in [1usize, 2] {
-        group.bench_with_input(
-            BenchmarkId::new("stages", stages),
-            &stages,
-            |b, &stages| {
-                b.iter(|| {
-                    partition(
-                        &synth.eaig,
-                        &PartitionOptions {
-                            target_parts: 8,
-                            stages,
-                            ..Default::default()
-                        },
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("stages", stages), &stages, |b, &stages| {
+            b.iter(|| {
+                partition(
+                    &synth.eaig,
+                    &PartitionOptions {
+                        target_parts: 8,
+                        stages,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
     }
     group.finish();
 }
@@ -79,5 +75,10 @@ fn bench_placement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_synthesis, bench_partitioning, bench_placement);
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_partitioning,
+    bench_placement
+);
 criterion_main!(benches);

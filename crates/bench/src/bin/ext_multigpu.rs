@@ -31,7 +31,7 @@ fn main() {
             fmt_hz(hz[2]),
             fmt_hz(hz[3])
         );
-        records.push(serde_json::json!({
+        records.push(gem_telemetry::json!({
             "design": name, "hz_1": hz[0], "hz_2": hz[1], "hz_4": hz[2], "hz_8": hz[3],
         }));
     };
@@ -63,5 +63,5 @@ fn main() {
     println!("Bandwidth-bound designs scale toward linear; small designs are pinned by");
     println!("the (slower) inter-GPU barrier — the quantitative reason multi-GPU is");
     println!("future work rather than a free win.");
-    write_record("ext_multigpu", &serde_json::Value::Array(records));
+    write_record("ext_multigpu", &gem_telemetry::Json::Array(records));
 }

@@ -57,12 +57,7 @@ fn main() {
         let c = compile_design(&d, &opts);
         verify_gem(&d, &c, &d.workloads[0], 16);
         for w in &d.workloads {
-            let widths = |n: &str| {
-                d.module
-                    .port(n)
-                    .map(|p| d.module.width(p.net))
-                    .unwrap_or(1)
-            };
+            let widths = |n: &str| d.module.port(n).map(|p| d.module.width(p.net)).unwrap_or(1);
             let model = TimingModel::new(GpuSpec::a100());
             // Baseline.
             let mut base = GemSimulator::new(&c).expect("loads");
@@ -122,8 +117,8 @@ fn main() {
                 fmt_hz(pruned_hz),
                 pruned_hz / base_hz
             );
-            records.push(serde_json::json!({
-                "design": d.name, "test": w.name,
+            records.push(gem_telemetry::json!({
+                "design": d.name.as_str(), "test": w.name.as_str(),
                 "skip_fraction": skip_pct / 100.0,
                 "baseline_hz": base_hz, "pruned_hz": pruned_hz,
             }));
@@ -132,5 +127,5 @@ fn main() {
     println!();
     println!("Correctness: pruning is validated against the oblivious machine in");
     println!("gem-vgpu tests (identical outputs cycle-by-cycle).");
-    write_record("ext_pruning", &serde_json::Value::Array(records));
+    write_record("ext_pruning", &gem_telemetry::Json::Array(records));
 }

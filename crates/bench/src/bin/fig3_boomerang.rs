@@ -45,8 +45,8 @@ fn main() {
             "{:<12} {:>6} {:>16} {:>16} {:>9.1}x",
             d.name, cores, levelized_perms, boomerang_perms, ratio
         );
-        records.push(serde_json::json!({
-            "design": d.name,
+        records.push(gem_telemetry::json!({
+            "design": d.name.as_str(),
             "cores": cores,
             "levelized_permutations": levelized_perms,
             "boomerang_permutations": boomerang_perms,
@@ -56,5 +56,5 @@ fn main() {
     println!();
     println!("Paper claim: \"boomerang layer reduces the number of bit permutations and");
     println!("synchronizations inside a GPU thread block by more than 5x\"");
-    write_record("fig3_boomerang", &serde_json::Value::Array(records));
+    write_record("fig3_boomerang", &gem_telemetry::Json::Array(records));
 }

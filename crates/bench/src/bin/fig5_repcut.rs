@@ -64,7 +64,7 @@ fn main() {
             p2.replication_cost() * 100.0,
             p3.replication_cost() * 100.0,
         );
-        records.push(serde_json::json!({
+        records.push(gem_telemetry::json!({
             "parts": parts,
             "single_stage_replication": p1.replication_cost(),
             "two_stage_replication": p2.replication_cost(),
@@ -78,5 +78,5 @@ fn main() {
     println!("  RepCut (paper [17]): 1.30% at 8 threads, 10.95% at 48 threads");
     println!("  GEM paper: >200% single-stage at 216 blocks on a 500K-gate design,");
     println!("             <3% with one extra stage (1 added synchronization)");
-    write_record("fig5_repcut", &serde_json::Value::Array(records));
+    write_record("fig5_repcut", &gem_telemetry::Json::Array(records));
 }

@@ -20,7 +20,7 @@ fn sparkline(hist: &[u64], buckets: usize) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     sums.iter()
         .map(|&s| {
-            let i = if max == 0 { 0 } else { (s * 7 / max) as usize };
+            let i = (s * 7).checked_div(max).unwrap_or(0) as usize;
             BARS[i]
         })
         .collect()
@@ -47,8 +47,8 @@ fn main() {
             stats.frontier_fraction * 100.0,
             sparkline(&levels.histogram, 32),
         );
-        records.push(serde_json::json!({
-            "design": d.name,
+        records.push(gem_telemetry::json!({
+            "design": d.name.as_str(),
             "gates": stats.gates,
             "depth": stats.depth,
             "half_at_level": stats.levels_for_half_gates,
@@ -59,5 +59,5 @@ fn main() {
     println!();
     println!("Paper: \"A large portion of the gates reside in a few frontier levels whereas");
     println!("only a few gates are accountable for the rest of the levels.\"");
-    write_record("obs4_longtail", &serde_json::Value::Array(records));
+    write_record("obs4_longtail", &gem_telemetry::Json::Array(records));
 }

@@ -14,7 +14,15 @@ fn main() {
     println!("TABLE I — Design statistics and GEM mapping results (scale {scale})");
     println!(
         "{:<12} {:>12} {:>8} {:>7} {:>7} {:>6} {:>12} {:>8} {:>6}",
-        "Design", "#E-AIG Gates", "#Levels", "#Stages", "#Layers", "#Parts", "Bitstream", "Repl%", "L/l"
+        "Design",
+        "#E-AIG Gates",
+        "#Levels",
+        "#Stages",
+        "#Layers",
+        "#Parts",
+        "Bitstream",
+        "Repl%",
+        "L/l"
     );
     let mut records = Vec::new();
     for (d, opts) in suite(scale) {
@@ -34,8 +42,8 @@ fn main() {
             r.replication_cost * 100.0,
             compression,
         );
-        records.push(serde_json::json!({
-            "design": d.name,
+        records.push(gem_telemetry::json!({
+            "design": d.name.as_str(),
             "gates": r.gates,
             "levels": r.levels,
             "stages": r.stages,
@@ -56,5 +64,5 @@ fn main() {
     println!("  OpenPiton1 682,646 g / 66 lv / 2 st / 10 ly / 119 p / 18.4 MB");
     println!("  OpenPiton8 5,479,795 g / 66 lv / 2 st / 13 ly / 947 p / 162.4 MB");
     println!("  (layers are 6-8x fewer than levels in every row)");
-    write_record("table1", &serde_json::Value::Array(records));
+    write_record("table1", &gem_telemetry::Json::Array(records));
 }

@@ -17,8 +17,18 @@ fn main() {
     println!("TABLE II — Simulation speed (Hz) and speed-up vs GEM-A100 (scale {scale}, {cycles} measured cycles)");
     println!(
         "{:<12} {:<22} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>7} {:>7} {:>7} {:>7}",
-        "Design", "Test", "Comm.", "Verl-8t", "Verl-1t", "GL0AM", "GEM-A100", "GEM-3090",
-        "C/GEM", "V8/GEM", "V1/GEM", "GL/GEM"
+        "Design",
+        "Test",
+        "Comm.",
+        "Verl-8t",
+        "Verl-1t",
+        "GL0AM",
+        "GEM-A100",
+        "GEM-3090",
+        "C/GEM",
+        "V8/GEM",
+        "V1/GEM",
+        "GL/GEM"
     );
     let mut records = Vec::new();
     let mut sums = [0.0f64; 4];
@@ -58,8 +68,8 @@ fn main() {
                 su[2],
                 su[3],
             );
-            records.push(serde_json::json!({
-                "design": d.name, "test": w.name,
+            records.push(gem_telemetry::json!({
+                "design": d.name.as_str(), "test": w.name.as_str(),
                 "commercial_hz": comm, "verilator8_hz": v8, "verilator1_hz": v1,
                 "gl0am_hz": gl0am, "gem_a100_hz": gem_a100, "gem_3090_hz": gem_3090,
                 "events_per_cycle": events,
@@ -79,5 +89,5 @@ fn main() {
     println!();
     println!("Paper averages (full-scale): Comm. 9.15x, Verilator-8t 5.98x, Verilator-1t 24.87x, GL0AM 7.72x");
     println!("Paper peaks on NVDLA: 38.85x (Comm.), 64.76x (Verilator-1t)");
-    write_record("table2", &serde_json::Value::Array(records));
+    write_record("table2", &gem_telemetry::Json::Array(records));
 }

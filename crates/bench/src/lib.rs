@@ -55,11 +55,7 @@ pub fn suite(scale: u32) -> Vec<(Design, CompileOptions)> {
 
 /// Applies named-port inputs to a bit-level input vector using the E-AIG
 /// port layout.
-pub fn apply_to_bitvec(
-    layout: &[PortBits],
-    inputs: &[(String, Bits)],
-    bits: &mut [bool],
-) {
+pub fn apply_to_bitvec(layout: &[PortBits], inputs: &[(String, Bits)], bits: &mut [bool]) {
     for (name, v) in inputs {
         if let Some(pb) = layout.iter().find(|p| &p.name == name) {
             for i in 0..pb.width.min(v.width()) {
@@ -152,11 +148,7 @@ pub fn measure_gl0am(d: &Design, c: &Compiled, w: &Workload, cycles: u64) -> f64
         apply_to_bitvec(&c.eaig_inputs, &ins, &mut bits);
         sim.cycle(&bits);
     }
-    let per_cycle = sim
-        .counters()
-        .per_cycle()
-        .expect("cycles ran");
-    TimingModel::new(GpuSpec::a100()).hz(&per_cycle)
+    TimingModel::new(GpuSpec::a100()).hz_total(sim.counters())
 }
 
 /// Modeled GEM speed on both GPUs. Runs a few functional cycles on the
@@ -172,10 +164,10 @@ pub fn measure_gem(d: &Design, c: &Compiled, w: &Workload, cycles: u64) -> (f64,
         }
         sim.step();
     }
-    let per_cycle = sim.counters().per_cycle().expect("cycles ran");
+    let totals = sim.counters();
     (
-        TimingModel::new(GpuSpec::a100()).hz(&per_cycle),
-        TimingModel::new(GpuSpec::rtx3090()).hz(&per_cycle),
+        TimingModel::new(GpuSpec::a100()).hz_total(totals),
+        TimingModel::new(GpuSpec::rtx3090()).hz_total(totals),
     )
 }
 
@@ -230,8 +222,7 @@ fn port_width(d: &Design, name: &str) -> u32 {
 
 /// Compiles a design with its harness options (convenience for binaries).
 pub fn compile_design(d: &Design, opts: &CompileOptions) -> Compiled {
-    compile(&d.module, opts)
-        .unwrap_or_else(|e| panic!("design {} failed to compile: {e}", d.name))
+    compile(&d.module, opts).unwrap_or_else(|e| panic!("design {} failed to compile: {e}", d.name))
 }
 
 /// Formats a f64 Hz value with thousands separators, paper-style.
@@ -240,7 +231,7 @@ pub fn fmt_hz(hz: f64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, ch) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(ch);
@@ -249,14 +240,14 @@ pub fn fmt_hz(hz: f64) -> String {
 }
 
 /// Writes a JSON record under `target/gem-experiments/`.
-pub fn write_record(name: &str, value: &serde_json::Value) {
+pub fn write_record(name: &str, value: &gem_telemetry::Json) {
     let dir = std::path::Path::new("target/gem-experiments");
     let _ = std::fs::create_dir_all(dir);
     let path = dir.join(format!("{name}.json"));
-    if let Err(e) = std::fs::write(&path, serde_json::to_string_pretty(value).unwrap()) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+    if let Err(e) = std::fs::write(&path, value.to_string_pretty()) {
+        gem_telemetry::warn!("could not write {}: {e}", path.display());
     } else {
-        eprintln!("(wrote {})", path.display());
+        gem_telemetry::info!("wrote {}", path.display());
     }
 }
 

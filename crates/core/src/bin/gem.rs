@@ -18,6 +18,7 @@
 use gem_core::{compile, CompileOptions, GemSimulator, Package, VcdStimulus};
 use gem_netlist::vcd::VcdWriter;
 use gem_netlist::{verilog, Bits};
+use gem_telemetry::Json;
 use gem_vgpu::{GpuSpec, TimingModel};
 use std::process::ExitCode;
 
@@ -47,10 +48,15 @@ gem — GPU-accelerated emulator-inspired RTL simulation
 
 USAGE:
   gem compile <design.v> [-o out.gemb] [--width N] [--parts N] [--stages N]
+              [--emit-metrics out.json]
   gem run     <design.gemb|design.v> [--cycles N] [--poke port=hex ...]
               [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
-              [--gpu a100|3090]
-  gem stats   <design.v>
+              [--gpu a100|3090] [--emit-metrics out.json]
+  gem stats   <design.v> [--emit-metrics out.json]
+
+--emit-metrics writes a JSON document with the per-stage compile
+timings/sizes (when the design is compiled in this invocation) and the
+per-partition runtime counters (when it is run).
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -69,6 +75,27 @@ fn flag_u64(args: &[String], name: &str, default: u64) -> Result<u64, String> {
     }
 }
 
+/// Writes the `--emit-metrics` document if the flag is present:
+/// compile-side metrics (report + flow timings) when available, plus the
+/// runtime counter snapshot when a simulation ran.
+fn emit_metrics(
+    args: &[String],
+    compile_side: Option<Json>,
+    sim: Option<&GemSimulator>,
+) -> Result<(), String> {
+    let Some(path) = flag(args, "--emit-metrics") else {
+        return Ok(());
+    };
+    let mut doc = compile_side.unwrap_or_else(Json::object);
+    if let Some(sim) = sim {
+        doc.set("runtime", sim.metrics().to_json());
+    }
+    std::fs::write(&path, doc.to_string_pretty())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
+}
+
 fn positional(args: &[String]) -> Result<&String, String> {
     args.iter()
         .find(|a| !a.starts_with("--") && !a.starts_with('-'))
@@ -76,8 +103,7 @@ fn positional(args: &[String]) -> Result<&String, String> {
 }
 
 fn compile_verilog(path: &str, args: &[String]) -> Result<gem_core::Compiled, String> {
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let module = verilog::parse(&src).map_err(|e| format!("{path}: {e}"))?;
     let opts = CompileOptions {
         core_width: flag_u64(args, "--width", 2048)? as u32,
@@ -105,7 +131,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         r.gates, r.levels, r.stages, r.parts, r.layers
     );
     println!("wrote {out} ({} bytes)", r.bitstream_bytes);
-    Ok(())
+    emit_metrics(args, Some(compiled.metrics_json()), None)
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -122,26 +148,28 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("polyfilled bits:   {}", r.polyfilled_mem_bits);
     println!("replication cost:  {:.2}%", r.replication_cost * 100.0);
     println!("bitstream size:    {} bytes", r.bitstream_bytes);
-    Ok(())
+    emit_metrics(args, Some(compiled.metrics_json()), None)
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let input = positional(args)?;
     let cycles = flag_u64(args, "--cycles", 16)?;
-    let (mut sim, io) = if input.ends_with(".gemb") {
-        let bytes =
-            std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+    let (mut sim, io, compile_doc) = if input.ends_with(".gemb") {
+        let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
         let pkg = Package::from_bytes(&bytes).map_err(|e| e.to_string())?;
         let io = pkg.io.clone();
+        let mut doc = Json::object();
+        doc.set("report", pkg.report.to_json());
         let sim = pkg
             .into_simulator()
             .map_err(|e| format!("package rejected: {e}"))?;
-        (sim, io)
+        (sim, io, doc)
     } else {
         let compiled = compile_verilog(input, args)?;
         let io = compiled.io.clone();
+        let doc = compiled.metrics_json();
         let sim = GemSimulator::new(&compiled).map_err(|e| format!("load failed: {e}"))?;
-        (sim, io)
+        (sim, io, doc)
     };
     // Pokes: --poke name=hex (applied every cycle).
     let mut pokes: Vec<(String, Bits)> = Vec::new();
@@ -210,15 +238,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             }
         }
         if let Some((path, w, _)) = vcd {
-            std::fs::write(&path, w.finish())
-                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            std::fs::write(&path, w.finish()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
             println!("wrote {path}");
         }
-        if let Some(per_cycle) = sim.counters().per_cycle() {
-            let hz = TimingModel::new(GpuSpec::a100()).hz(&per_cycle);
+        if sim.counters().cycles > 0 {
+            let hz = TimingModel::new(GpuSpec::a100()).hz_total(sim.counters());
             println!("modeled speed on A100: {hz:.0} simulated cycles/second");
         }
-        return Ok(());
+        return emit_metrics(args, Some(compile_doc), Some(&sim));
     }
     for c in 0..cycles {
         sim.step();
@@ -239,15 +266,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, w.finish()).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         println!("wrote {path}");
     }
-    // Modeled speed.
-    if let Some(per_cycle) = sim.counters().per_cycle() {
+    // Modeled speed (hz_total is zero-safe; skip the line when no cycles
+    // ran rather than reporting a meaningless 0 Hz).
+    if sim.counters().cycles > 0 {
         let gpu = flag(args, "--gpu").unwrap_or_else(|| "a100".into());
         let spec = match gpu.as_str() {
             "3090" | "rtx3090" => GpuSpec::rtx3090(),
             _ => GpuSpec::a100(),
         };
-        let hz = TimingModel::new(spec.clone()).hz(&per_cycle);
-        println!("modeled speed on {}: {:.0} simulated cycles/second", spec.name, hz);
+        let hz = TimingModel::new(spec.clone()).hz_total(sim.counters());
+        println!(
+            "modeled speed on {}: {:.0} simulated cycles/second",
+            spec.name, hz
+        );
     }
-    Ok(())
+    emit_metrics(args, Some(compile_doc), Some(&sim))
 }

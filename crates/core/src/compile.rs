@@ -8,8 +8,8 @@ use gem_partition::repcut::Region;
 use gem_partition::{partition, Partition, PartitionOptions, Partitioning};
 use gem_place::{place_partition, CoreProgram, OutputSource, PlaceError, PlaceOptions};
 use gem_synth::{synthesize, PortBits, SynthError, SynthOptions, SynthResult};
+use gem_telemetry::{FlowRecorder, FlowReport, Json};
 use gem_vgpu::{DeviceConfig, RamBinding};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -57,7 +57,7 @@ impl CompileOptions {
 }
 
 /// Where a port's bits live in the device-global signal array.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PortIndices {
     /// Port name.
     pub name: String,
@@ -66,7 +66,7 @@ pub struct PortIndices {
 }
 
 /// Input/output binding of a compiled design.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IoMap {
     /// Input ports (poke these).
     pub inputs: Vec<PortIndices>,
@@ -87,7 +87,7 @@ impl IoMap {
 }
 
 /// The Table I numbers for one compiled design.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CompileReport {
     /// Live E-AIG AND gates.
     pub gates: u64,
@@ -109,6 +109,24 @@ pub struct CompileReport {
     pub polyfilled_mem_bits: u64,
 }
 
+impl CompileReport {
+    /// Serializes the report (field names are part of the metrics-file
+    /// format; see `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("gates", self.gates);
+        o.set("levels", self.levels);
+        o.set("stages", self.stages);
+        o.set("layers", self.layers);
+        o.set("parts", self.parts);
+        o.set("bitstream_bytes", self.bitstream_bytes);
+        o.set("replication_cost", self.replication_cost);
+        o.set("ram_blocks", self.ram_blocks);
+        o.set("polyfilled_mem_bits", self.polyfilled_mem_bits);
+        o
+    }
+}
+
 /// A fully compiled design.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -120,6 +138,9 @@ pub struct Compiled {
     pub io: IoMap,
     /// Statistics (Table I row).
     pub report: CompileReport,
+    /// Per-stage compile telemetry: wall time and size metrics for each
+    /// phase that ran (`synth` only when compiling from RTL).
+    pub flow: FlowReport,
     /// The synthesized E-AIG (kept for golden-model cross-checks and
     /// baseline simulators).
     pub eaig: Eaig,
@@ -133,6 +154,17 @@ pub struct Compiled {
     pub eaig_inputs: Vec<PortBits>,
     /// Output-port layout within the E-AIG's output list.
     pub eaig_outputs: Vec<PortBits>,
+}
+
+impl Compiled {
+    /// The combined compile-side metrics document: the Table I report
+    /// plus the per-stage flow timings, as one JSON object.
+    pub fn metrics_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("report", self.report.to_json());
+        o.set("compile_flow", self.flow.to_json());
+        o
+    }
 }
 
 /// Errors from [`compile`].
@@ -172,13 +204,33 @@ impl From<SynthError> for CompileError {
 /// made mappable (e.g. the design's width genuinely exceeds
 /// `target_parts × core_width`).
 pub fn compile(m: &Module, opts: &CompileOptions) -> Result<Compiled, CompileError> {
-    let synth = synthesize(m, &opts.synth)?;
-    compile_eaig(synth, opts)
+    let mut flow = FlowRecorder::new("compile");
+    let synth = {
+        let mut st = flow.stage("synth");
+        let synth = synthesize(m, &opts.synth)?;
+        st.metric("gates", synth.stats.gates as f64);
+        st.metric("levels", f64::from(synth.stats.levels));
+        st.metric("ram_blocks", synth.stats.ram_blocks as f64);
+        st.metric(
+            "polyfilled_mem_bits",
+            synth.stats.polyfilled_mem_bits as f64,
+        );
+        synth
+    };
+    compile_eaig_with(synth, opts, flow)
 }
 
 /// Compiles a synthesized design (entry point for callers that build the
 /// E-AIG directly).
 pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    compile_eaig_with(synth, opts, FlowRecorder::new("compile"))
+}
+
+fn compile_eaig_with(
+    synth: SynthResult,
+    opts: &CompileOptions,
+    mut flow: FlowRecorder,
+) -> Result<Compiled, CompileError> {
     let g = &synth.eaig;
     let place_opts = PlaceOptions {
         core_width: opts.core_width,
@@ -194,7 +246,10 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
     let mut stages_goal = opts.stages;
     let mut partitioning = None;
     let mut last_err = None;
+    let mut attempts = 0u32;
+    let mut part_stage = flow.stage("partition");
     for attempt in 0..8 {
+        attempts = attempt + 1;
         let popts = PartitionOptions {
             target_parts: parts_goal,
             stages: stages_goal,
@@ -208,6 +263,12 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
                 break;
             }
             Err(e) => {
+                gem_telemetry::debug!(
+                    "partition attempt {attempts} unmappable ({e}); retrying with \
+                     {} parts / {} stages",
+                    parts_goal * 2,
+                    (stages_goal + usize::from(attempt % 2 == 1)).min(4),
+                );
                 last_err = Some(e);
                 parts_goal *= 2;
                 if attempt % 2 == 1 && stages_goal < 4 {
@@ -216,10 +277,18 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
             }
         }
     }
+    part_stage.metric("attempts", f64::from(attempts));
+    if let Some(p) = &partitioning {
+        part_stage.metric("parts", p.max_parts() as f64);
+        part_stage.metric("stages", p.stages.len() as f64);
+        part_stage.metric("replication_cost", p.replication_cost());
+    }
+    drop(part_stage);
     let partitioning =
         partitioning.ok_or_else(|| CompileError::Place(last_err.expect("tried at least once")))?;
 
     // --- Algorithm 1: merge back under the width constraint.
+    let mut merge_stage = flow.stage("merge");
     let mut merged_stages = Vec::new();
     let mut stop = vec![false; g.len()];
     for stage in &partitioning.stages {
@@ -245,22 +314,37 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
         stages: merged_stages,
         original_gates: partitioning.original_gates,
     };
+    merge_stage.metric("parts", partitioning.max_parts() as f64);
+    merge_stage.metric(
+        "cut_lits",
+        partitioning
+            .stages
+            .iter()
+            .map(|s| s.cut_lits.len())
+            .sum::<usize>() as f64,
+    );
+    merge_stage.metric("replication_cost", partitioning.replication_cost());
+    drop(merge_stage);
 
     // --- Final placement.
+    let mut place_stage = flow.stage("place");
     let mut programs: Vec<Vec<CoreProgram>> = Vec::new();
     let mut max_layers = 0u32;
     for stage in &partitioning.stages {
         let mut progs = Vec::new();
         for p in &stage.partitions {
-            let (prog, stats) =
-                place_partition(g, p, &place_opts).map_err(CompileError::Place)?;
+            let (prog, stats) = place_partition(g, p, &place_opts).map_err(CompileError::Place)?;
             max_layers = max_layers.max(stats.layers);
             progs.push(prog);
         }
         programs.push(progs);
     }
+    place_stage.metric("max_layers", f64::from(max_layers));
+    place_stage.metric("cores", programs.iter().map(Vec::len).sum::<usize>() as f64);
+    drop(place_stage);
 
     // --- Global signal space.
+    let mut encode_stage = flow.stage("encode");
     let mut global_of: HashMap<u32, u32> = HashMap::new(); // node -> slot
     let mut next_slot = 0u32;
     let slot = |global_of: &mut HashMap<u32, u32>, next: &mut u32, node: u32| -> u32 {
@@ -453,6 +537,11 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
         });
     }
 
+    encode_stage.metric("bitstream_bytes", bitstream.total_bytes() as f64);
+    encode_stage.metric("global_bits", f64::from(global_bits));
+    encode_stage.metric("ram_blocks", ram_bindings.len() as f64);
+    drop(encode_stage);
+
     let report = CompileReport {
         gates: synth.stats.gates,
         levels: synth.stats.levels,
@@ -464,6 +553,14 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
         ram_blocks: synth.stats.ram_blocks,
         polyfilled_mem_bits: synth.stats.polyfilled_mem_bits,
     };
+    gem_telemetry::info!(
+        "compiled: {} gates, {} parts, {} stages, {} layers, {} B bitstream",
+        report.gates,
+        report.parts,
+        report.stages,
+        report.layers,
+        report.bitstream_bytes
+    );
     Ok(Compiled {
         bitstream,
         device: DeviceConfig {
@@ -473,6 +570,7 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
         },
         io,
         report,
+        flow: flow.finish(),
         eaig: synth.eaig,
         partitioning,
         programs,
@@ -481,11 +579,7 @@ pub fn compile_eaig(synth: SynthResult, opts: &CompileOptions) -> Result<Compile
     })
 }
 
-fn all_mappable(
-    g: &Eaig,
-    parts: &Partitioning,
-    opts: &PlaceOptions,
-) -> Result<(), PlaceError> {
+fn all_mappable(g: &Eaig, parts: &Partitioning, opts: &PlaceOptions) -> Result<(), PlaceError> {
     for stage in &parts.stages {
         for p in &stage.partitions {
             place_partition(g, p, opts)?;

@@ -45,9 +45,12 @@ pub mod replay;
 pub mod simulator;
 
 pub use compile::{
-    compile_eaig,
-    compile, CompileError, CompileOptions, CompileReport, Compiled, IoMap, PortIndices,
+    compile, compile_eaig, CompileError, CompileOptions, CompileReport, Compiled, IoMap,
+    PortIndices,
 };
-pub use package::{Package, ParsePackageError};
+pub use package::{
+    device_from_json, device_to_json, io_from_json, io_to_json, report_from_json, Package,
+    ParsePackageError,
+};
 pub use replay::{StimulusError, VcdStimulus};
 pub use simulator::GemSimulator;

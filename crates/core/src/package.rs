@@ -10,10 +10,10 @@
 //! "GEMPKG1\n"  | u32 meta_len | meta JSON | bitstream container bytes
 //! ```
 
-use crate::compile::{CompileReport, Compiled, IoMap};
+use crate::compile::{CompileReport, Compiled, IoMap, PortIndices};
 use gem_isa::Bitstream;
-use gem_vgpu::DeviceConfig;
-use serde::{Deserialize, Serialize};
+use gem_telemetry::Json;
+use gem_vgpu::{DeviceConfig, RamBinding};
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"GEMPKG1\n";
@@ -32,13 +32,6 @@ pub struct Package {
     pub bitstream: Bitstream,
 }
 
-#[derive(Serialize, Deserialize)]
-struct Meta {
-    device: DeviceConfig,
-    io: IoMap,
-    report: CompileReport,
-}
-
 /// Errors from [`Package::from_bytes`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParsePackageError {
@@ -46,7 +39,7 @@ pub enum ParsePackageError {
     BadMagic,
     /// Truncated file.
     Truncated,
-    /// Metadata JSON failed to parse; the string holds the serde message.
+    /// Metadata JSON failed to parse; the string names the violation.
     BadMeta(String),
     /// The embedded bitstream container failed to parse.
     BadBitstream(String),
@@ -65,6 +58,169 @@ impl fmt::Display for ParsePackageError {
 
 impl std::error::Error for ParsePackageError {}
 
+fn bad(msg: &str) -> ParsePackageError {
+    ParsePackageError::BadMeta(msg.to_string())
+}
+
+fn get<'a>(j: &'a Json, key: &str) -> Result<&'a Json, ParsePackageError> {
+    j.get(key).ok_or_else(|| bad(&format!("missing key {key}")))
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, ParsePackageError> {
+    get(j, key)?
+        .as_u64()
+        .ok_or_else(|| bad(&format!("{key} is not an unsigned integer")))
+}
+
+fn get_f64(j: &Json, key: &str) -> Result<f64, ParsePackageError> {
+    get(j, key)?
+        .as_f64()
+        .ok_or_else(|| bad(&format!("{key} is not a number")))
+}
+
+fn get_u32(j: &Json, key: &str) -> Result<u32, ParsePackageError> {
+    u32::try_from(get_u64(j, key)?).map_err(|_| bad(&format!("{key} exceeds u32")))
+}
+
+fn get_array<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], ParsePackageError> {
+    get(j, key)?
+        .as_array()
+        .ok_or_else(|| bad(&format!("{key} is not an array")))
+}
+
+fn u32_vec(j: &Json, key: &str) -> Result<Vec<u32>, ParsePackageError> {
+    get_array(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(&format!("{key} holds a non-u32 element")))
+        })
+        .collect()
+}
+
+fn u32_arr<const N: usize>(j: &Json, key: &str) -> Result<[u32; N], ParsePackageError> {
+    let v = u32_vec(j, key)?;
+    v.try_into()
+        .map_err(|_| bad(&format!("{key} must have exactly {N} elements")))
+}
+
+fn indices_json(bits: &[u32]) -> Json {
+    Json::Array(bits.iter().map(|&b| Json::from(b)).collect())
+}
+
+/// Serializes a [`DeviceConfig`] (package metadata schema).
+pub fn device_to_json(d: &DeviceConfig) -> Json {
+    let rams: Vec<Json> = d
+        .rams
+        .iter()
+        .map(|r| {
+            let mut o = Json::object();
+            o.set("raddr", indices_json(&r.raddr));
+            o.set("waddr", indices_json(&r.waddr));
+            o.set("wdata", indices_json(&r.wdata));
+            o.set("we", r.we);
+            o.set("rdata", indices_json(&r.rdata));
+            o
+        })
+        .collect();
+    let mut o = Json::object();
+    o.set("global_bits", d.global_bits);
+    o.set("rams", Json::Array(rams));
+    o.set("initial_ones", indices_json(&d.initial_ones));
+    o
+}
+
+/// Parses the [`device_to_json`] schema.
+///
+/// # Errors
+///
+/// Returns [`ParsePackageError::BadMeta`] naming the first violation.
+pub fn device_from_json(j: &Json) -> Result<DeviceConfig, ParsePackageError> {
+    let rams = get_array(j, "rams")?
+        .iter()
+        .map(|r| {
+            Ok(RamBinding {
+                raddr: u32_arr(r, "raddr")?,
+                waddr: u32_arr(r, "waddr")?,
+                wdata: u32_arr(r, "wdata")?,
+                we: get_u32(r, "we")?,
+                rdata: u32_arr(r, "rdata")?,
+            })
+        })
+        .collect::<Result<_, ParsePackageError>>()?;
+    Ok(DeviceConfig {
+        global_bits: get_u32(j, "global_bits")?,
+        rams,
+        initial_ones: u32_vec(j, "initial_ones")?,
+    })
+}
+
+/// Serializes an [`IoMap`] (package metadata schema).
+pub fn io_to_json(io: &IoMap) -> Json {
+    let ports = |ps: &[PortIndices]| -> Json {
+        Json::Array(
+            ps.iter()
+                .map(|p| {
+                    let mut o = Json::object();
+                    o.set("name", p.name.as_str());
+                    o.set("bits", indices_json(&p.bits));
+                    o
+                })
+                .collect(),
+        )
+    };
+    let mut o = Json::object();
+    o.set("inputs", ports(&io.inputs));
+    o.set("outputs", ports(&io.outputs));
+    o
+}
+
+/// Parses the [`io_to_json`] schema.
+///
+/// # Errors
+///
+/// Returns [`ParsePackageError::BadMeta`] naming the first violation.
+pub fn io_from_json(j: &Json) -> Result<IoMap, ParsePackageError> {
+    let ports = |key: &str| -> Result<Vec<PortIndices>, ParsePackageError> {
+        get_array(j, key)?
+            .iter()
+            .map(|p| {
+                Ok(PortIndices {
+                    name: get(p, "name")?
+                        .as_str()
+                        .ok_or_else(|| bad("port name is not a string"))?
+                        .to_string(),
+                    bits: u32_vec(p, "bits")?,
+                })
+            })
+            .collect()
+    };
+    Ok(IoMap {
+        inputs: ports("inputs")?,
+        outputs: ports("outputs")?,
+    })
+}
+
+/// Parses the [`CompileReport::to_json`] schema.
+///
+/// # Errors
+///
+/// Returns [`ParsePackageError::BadMeta`] naming the first violation.
+pub fn report_from_json(j: &Json) -> Result<CompileReport, ParsePackageError> {
+    Ok(CompileReport {
+        gates: get_u64(j, "gates")?,
+        levels: get_u32(j, "levels")?,
+        stages: get_u32(j, "stages")?,
+        layers: get_u32(j, "layers")?,
+        parts: get_u32(j, "parts")?,
+        bitstream_bytes: get_u64(j, "bitstream_bytes")?,
+        replication_cost: get_f64(j, "replication_cost")?,
+        ram_blocks: get_u64(j, "ram_blocks")?,
+        polyfilled_mem_bits: get_u64(j, "polyfilled_mem_bits")?,
+    })
+}
+
 impl Package {
     /// Extracts the loadable parts of a compilation result.
     pub fn from_compiled(c: &Compiled) -> Self {
@@ -78,12 +234,11 @@ impl Package {
 
     /// Serializes the package.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let meta = serde_json::to_vec(&Meta {
-            device: self.device.clone(),
-            io: self.io.clone(),
-            report: self.report,
-        })
-        .expect("metadata serializes");
+        let mut meta = Json::object();
+        meta.set("device", device_to_json(&self.device));
+        meta.set("io", io_to_json(&self.io));
+        meta.set("report", self.report.to_json());
+        let meta = meta.to_string().into_bytes();
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
@@ -114,14 +269,16 @@ impl Package {
         if bytes.len() < meta_start + meta_len {
             return Err(ParsePackageError::Truncated);
         }
-        let meta: Meta = serde_json::from_slice(&bytes[meta_start..meta_start + meta_len])
+        let meta_text = std::str::from_utf8(&bytes[meta_start..meta_start + meta_len])
+            .map_err(|e| bad(&format!("metadata is not UTF-8: {e}")))?;
+        let meta = gem_telemetry::parse_json(meta_text)
             .map_err(|e| ParsePackageError::BadMeta(e.to_string()))?;
         let bitstream = Bitstream::from_bytes(&bytes[meta_start + meta_len..])
             .map_err(ParsePackageError::BadBitstream)?;
         Ok(Package {
-            device: meta.device,
-            io: meta.io,
-            report: meta.report,
+            device: device_from_json(get(&meta, "device")?)?,
+            io: io_from_json(get(&meta, "io")?)?,
+            report: report_from_json(get(&meta, "report")?)?,
             bitstream,
         })
     }
@@ -195,5 +352,30 @@ mod tests {
         let mut trunc = bytes.clone();
         trunc.truncate(bytes.len() - 10);
         assert!(Package::from_bytes(&trunc).is_err());
+    }
+
+    #[test]
+    fn device_json_round_trips_ram_bindings() {
+        let mut idx = 0u32;
+        let mut next = || {
+            let i = idx;
+            idx += 1;
+            i
+        };
+        let d = DeviceConfig {
+            global_bits: 200,
+            rams: vec![RamBinding {
+                raddr: std::array::from_fn(|_| next()),
+                waddr: std::array::from_fn(|_| next()),
+                wdata: std::array::from_fn(|_| next()),
+                we: next(),
+                rdata: std::array::from_fn(|_| next()),
+            }],
+            initial_ones: vec![1, 5, 7],
+        };
+        let j = device_to_json(&d);
+        let text = j.to_string();
+        let back = device_from_json(&gem_telemetry::parse_json(&text).unwrap()).unwrap();
+        assert_eq!(back, d);
     }
 }

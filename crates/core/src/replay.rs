@@ -9,7 +9,7 @@
 
 use crate::simulator::GemSimulator;
 use crate::IoMap;
-use gem_netlist::vcd::{ParseVcdError, VcdDump, VarId};
+use gem_netlist::vcd::{ParseVcdError, VarId, VcdDump};
 use gem_netlist::Bits;
 use std::collections::HashMap;
 use std::fmt;
@@ -41,7 +41,10 @@ impl fmt::Display for StimulusError {
                 "stimulus variable {name:?} is {vcd} bits but the port is {port}"
             ),
             StimulusError::NoMatchingInputs => {
-                write!(f, "stimulus VCD shares no variable names with the design inputs")
+                write!(
+                    f,
+                    "stimulus VCD shares no variable names with the design inputs"
+                )
             }
         }
     }
@@ -169,10 +172,7 @@ mod tests {
         assert_eq!(stim.cycles(), 4);
         let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
         let outs = stim.replay(&mut sim);
-        let sums: Vec<u64> = outs
-            .iter()
-            .map(|cycle| cycle[0].1.to_u64())
-            .collect();
+        let sums: Vec<u64> = outs.iter().map(|cycle| cycle[0].1.to_u64()).collect();
         assert_eq!(sums, vec![3, 7, 15, 0 /* 15+1 wraps */]);
     }
 

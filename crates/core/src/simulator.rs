@@ -2,7 +2,9 @@
 
 use crate::compile::Compiled;
 use gem_netlist::Bits;
-use gem_vgpu::{GemGpu, KernelCounters, MachineError};
+use gem_telemetry::{MetricsSink, MetricsSnapshot};
+use gem_vgpu::{CounterBreakdown, GemGpu, KernelCounters, MachineError};
+use std::fmt;
 
 /// Runs a compiled design cycle by cycle.
 ///
@@ -32,10 +34,21 @@ use gem_vgpu::{GemGpu, KernelCounters, MachineError};
 /// assert_eq!(sim.output("z").to_u64(), 0b0110);
 /// # Ok::<(), gem_netlist::ValidateError>(())
 /// ```
-#[derive(Debug)]
 pub struct GemSimulator {
     gpu: GemGpu,
     io: crate::IoMap,
+    /// Periodic metrics export: sink plus snapshot interval in cycles.
+    sink: Option<(Box<dyn MetricsSink>, u64)>,
+}
+
+impl fmt::Debug for GemSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GemSimulator")
+            .field("gpu", &self.gpu)
+            .field("io", &self.io)
+            .field("sink_every_n", &self.sink.as_ref().map(|(_, n)| *n))
+            .finish()
+    }
 }
 
 impl GemSimulator {
@@ -46,7 +59,11 @@ impl GemSimulator {
     /// Returns [`MachineError`] if the bitstream fails validation (which
     /// would indicate a compiler bug).
     pub fn new(compiled: &Compiled) -> Result<Self, MachineError> {
-        Self::from_parts(&compiled.bitstream, compiled.device.clone(), compiled.io.clone())
+        Self::from_parts(
+            &compiled.bitstream,
+            compiled.device.clone(),
+            compiled.io.clone(),
+        )
     }
 
     /// Builds a simulator from the loadable parts (used when running a
@@ -63,6 +80,7 @@ impl GemSimulator {
         Ok(GemSimulator {
             gpu: GemGpu::load(bitstream, device)?,
             io,
+            sink: None,
         })
     }
 
@@ -89,6 +107,11 @@ impl GemSimulator {
     /// Executes one simulated clock cycle.
     pub fn step(&mut self) {
         self.gpu.step_cycle();
+        if let Some((sink, every_n)) = &mut self.sink {
+            if self.gpu.counters().cycles.is_multiple_of(*every_n) {
+                sink.record(&self.gpu.metrics_snapshot());
+            }
+        }
     }
 
     /// Enables event-based pruning: thread blocks whose inputs did not
@@ -134,6 +157,30 @@ impl GemSimulator {
     /// model).
     pub fn counters(&self) -> &KernelCounters {
         self.gpu.counters()
+    }
+
+    /// Device totals refined per partition and per boomerang layer.
+    pub fn breakdown(&self) -> CounterBreakdown {
+        self.gpu.breakdown()
+    }
+
+    /// A structured snapshot of the current runtime counters (device
+    /// scalars plus per-partition and per-layer families).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.gpu.metrics_snapshot()
+    }
+
+    /// Installs a metrics sink that receives a [`metrics`](Self::metrics)
+    /// snapshot every `every_n_cycles` simulated cycles (and replaces any
+    /// previous sink). `every_n_cycles` is clamped to at least 1.
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>, every_n_cycles: u64) {
+        self.sink = Some((sink, every_n_cycles.max(1)));
+    }
+
+    /// Removes the metrics sink, returning it (e.g. to flush or to read a
+    /// collector back out).
+    pub fn take_metrics_sink(&mut self) -> Option<Box<dyn MetricsSink>> {
+        self.sink.take().map(|(s, _)| s)
     }
 
     /// Direct access to a RAM block word (test setup, e.g. preloading a

@@ -168,10 +168,7 @@ fn report_fields_are_plausible() {
     assert!(r.layers >= 1);
     assert!(r.layers < r.levels, "boomerang must compress levels");
     assert!(r.bitstream_bytes > 0);
-    assert_eq!(
-        r.bitstream_bytes,
-        compiled.bitstream.total_bytes() as u64
-    );
+    assert_eq!(r.bitstream_bytes, compiled.bitstream.total_bytes() as u64);
 }
 
 #[test]

@@ -334,8 +334,8 @@ pub fn program(name: &str) -> Vec<u16> {
         ],
         // Load/store copy loop.
         "mt-memcpy" => vec![
-            Li(1, 0),   // src
-            Li(2, 64),  // dst
+            Li(1, 0),  // src
+            Li(2, 64), // dst
             Li(3, 1),
             // loop at 3:
             Lw(4, 1),
@@ -372,7 +372,7 @@ pub fn program(name: &str) -> Vec<u16> {
             Jmp(2),
         ],
         // Low activity: spin on a nop loop ("pmp"-like idle).
-        "pmp" | _ => vec![Nop, Nop, Jmp(0)],
+        _ => vec![Nop, Nop, Jmp(0)],
     };
     assemble(&insns)
 }
@@ -430,10 +430,10 @@ mod tests {
     fn cpu_load_store_round_trip() {
         use Insn::*;
         let prog = assemble(&[
-            Li(1, 7),   // address
-            Li(2, 99),  // value
-            Sw(1, 2),   // dmem[7] = 99
-            Lw(7, 1),   // r7 = dmem[7]
+            Li(1, 7),  // address
+            Li(2, 99), // value
+            Sw(1, 2),  // dmem[7] = 99
+            Lw(7, 1),  // r7 = dmem[7]
             Jmp(4),
         ]);
         let r7 = reference_run(&prog, 40);

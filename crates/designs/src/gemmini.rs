@@ -108,8 +108,14 @@ pub fn gemmini_reference_checksum(n: u32, cycles: u64) -> Bits {
     sim.set_input("load_w", Bits::from_u64(1, 1));
     for c in 0..cycles {
         let pattern = 0x0123_4567_89AB_CDEFu64.rotate_left(c as u32);
-        sim.set_input("a_bus", Bits::from_u64(pattern & ((1u64 << (8 * nn).min(63)) - 1), 8 * nn));
-        sim.set_input("w_bus", Bits::from_u64((pattern >> 8) & ((1u64 << (8 * nn).min(63)) - 1), 8 * nn));
+        sim.set_input(
+            "a_bus",
+            Bits::from_u64(pattern & ((1u64 << (8 * nn).min(63)) - 1), 8 * nn),
+        );
+        sim.set_input(
+            "w_bus",
+            Bits::from_u64((pattern >> 8) & ((1u64 << (8 * nn).min(63)) - 1), 8 * nn),
+        );
         sim.eval();
         sim.step();
     }

@@ -30,10 +30,10 @@ pub mod nvdla;
 pub mod openpiton;
 pub mod workload;
 
+pub use cpu::rocket_like;
 pub use gemmini::gemmini_like;
 pub use nvdla::nvdla_like;
 pub use openpiton::openpiton_like;
-pub use cpu::rocket_like;
 pub use workload::{Stimulus, Workload, WorkloadSpec};
 
 use gem_netlist::Module;

@@ -143,7 +143,10 @@ impl Stimulus {
                 } else {
                     (0, 0)
                 };
-                out.push(("host_addr".into(), Bits::from_u64(addr & ((1 << aw) - 1), aw)));
+                out.push((
+                    "host_addr".into(),
+                    Bits::from_u64(addr & ((1 << aw) - 1), aw),
+                ));
                 out.push(("host_data".into(), Bits::from_u64(data, dw)));
                 if let Some((name, v)) = tile_select {
                     let w = self.width_of[name];
@@ -232,9 +235,13 @@ mod tests {
         let mut s = w.stimulus(&widths);
         let c0 = s.next_inputs();
         assert!(c0.iter().any(|(n, v)| n == "host_we" && v.to_u64() == 1));
-        assert!(c0.iter().any(|(n, v)| n == "host_data" && v.to_u64() == 0xAAAA));
+        assert!(c0
+            .iter()
+            .any(|(n, v)| n == "host_data" && v.to_u64() == 0xAAAA));
         let c1 = s.next_inputs();
-        assert!(c1.iter().any(|(n, v)| n == "host_data" && v.to_u64() == 0xBBBB));
+        assert!(c1
+            .iter()
+            .any(|(n, v)| n == "host_data" && v.to_u64() == 0xBBBB));
         let c2 = s.next_inputs();
         assert!(c2.iter().any(|(n, v)| n == "host_we" && v.to_u64() == 0));
         assert!(c2.iter().any(|(n, v)| n == "rst" && v.to_u64() == 0));

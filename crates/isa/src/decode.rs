@@ -258,8 +258,14 @@ mod tests {
         for width in [16u32, 64, 8192] {
             let prog = sample_program(width);
             let reads = vec![
-                ReadEntry { global: 10, state: 3 },
-                ReadEntry { global: 11, state: 1 },
+                ReadEntry {
+                    global: 10,
+                    state: 3,
+                },
+                ReadEntry {
+                    global: 11,
+                    state: 1,
+                },
             ];
             let writes = vec![WriteEntry {
                 global: 42,
@@ -295,8 +301,7 @@ mod tests {
         let prog = sample_program(width);
         let bytes = assemble_core(&prog, &[], &[]);
         // INIT + 2 layers × (4 perm words + 1 fold word + 1 wb word).
-        let expect_bits =
-            crate::init_bits(width) + 2 * (4 + 1 + 1) * crate::wide_bits(width);
+        let expect_bits = crate::init_bits(width) + 2 * (4 + 1 + 1) * crate::wide_bits(width);
         assert_eq!(bytes.len() * 8, expect_bits);
     }
 

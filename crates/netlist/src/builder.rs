@@ -354,21 +354,17 @@ impl ModuleBuilder {
     pub fn read_port(&mut self, mem: MemId, addr: NetId, kind: ReadKind) -> NetId {
         let width = self.memories[mem.0 as usize].width;
         let data = self.add_net(width, None);
-        self.memories[mem.0 as usize].read_ports.push(ReadPort {
-            addr,
-            data,
-            kind,
-        });
+        self.memories[mem.0 as usize]
+            .read_ports
+            .push(ReadPort { addr, data, kind });
         data
     }
 
     /// Adds a write port to a memory.
     pub fn write_port(&mut self, mem: MemId, addr: NetId, data: NetId, enable: NetId) {
-        self.memories[mem.0 as usize].write_ports.push(WritePort {
-            addr,
-            data,
-            enable,
-        });
+        self.memories[mem.0 as usize]
+            .write_ports
+            .push(WritePort { addr, data, enable });
     }
 
     /// Validates and returns the finished module.
@@ -460,12 +456,7 @@ fn check_widths(m: &Module) -> Result<(), ValidateError> {
             CellKind::Binary { op, a, b } => match op {
                 Binary::Eq | Binary::Ult => {
                     if w(*a) != w(*b) || ow != 1 {
-                        return err(format!(
-                            "cmp widths {} vs {} out {}",
-                            w(*a),
-                            w(*b),
-                            ow
-                        ));
+                        return err(format!("cmp widths {} vs {} out {}", w(*a), w(*b), ow));
                     }
                 }
                 Binary::Shl | Binary::Lshr => {
@@ -475,12 +466,7 @@ fn check_widths(m: &Module) -> Result<(), ValidateError> {
                 }
                 _ => {
                     if w(*a) != w(*b) || w(*a) != ow {
-                        return err(format!(
-                            "binary widths {} vs {} out {}",
-                            w(*a),
-                            w(*b),
-                            ow
-                        ));
+                        return err(format!("binary widths {} vs {} out {}", w(*a), w(*b), ow));
                     }
                 }
             },
@@ -507,15 +493,13 @@ fn check_widths(m: &Module) -> Result<(), ValidateError> {
                 }
             }
             CellKind::Dff {
-                d, init, enable, reset,
+                d,
+                init,
+                enable,
+                reset,
             } => {
                 if w(*d) != ow || init.width() != ow {
-                    return err(format!(
-                        "dff d {} init {} out {}",
-                        w(*d),
-                        init.width(),
-                        ow
-                    ));
+                    return err(format!("dff d {} init {} out {}", w(*d), init.width(), ow));
                 }
                 if let Some(e) = enable {
                     if w(*e) != 1 {

@@ -59,7 +59,11 @@ impl Bits {
             if width < 64 {
                 debug_assert_eq!(v >> width, 0, "value {v:#x} does not fit in {width} bits");
             }
-            b.limbs[0] = if width >= 64 { v } else { v & ((1u64 << width) - 1) };
+            b.limbs[0] = if width >= 64 {
+                v
+            } else {
+                v & ((1u64 << width) - 1)
+            };
         }
         b
     }
@@ -88,7 +92,11 @@ impl Bits {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: u32) -> bool {
-        assert!(i < self.width, "bit index {i} out of range 0..{}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range 0..{}",
+            self.width
+        );
         (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
     }
 
@@ -98,7 +106,11 @@ impl Bits {
     ///
     /// Panics if `i >= width`.
     pub fn set_bit(&mut self, i: u32, v: bool) {
-        assert!(i < self.width, "bit index {i} out of range 0..{}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range 0..{}",
+            self.width
+        );
         let limb = &mut self.limbs[(i / 64) as usize];
         if v {
             *limb |= 1u64 << (i % 64);
@@ -220,9 +232,8 @@ impl Bits {
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
-                let t = acc[i + j] as u128
-                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
-                    + carry;
+                let t =
+                    acc[i + j] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
                 acc[i + j] = t as u64;
                 carry = t >> 64;
             }

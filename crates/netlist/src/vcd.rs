@@ -196,13 +196,15 @@ impl VcdDump {
                 continue;
             }
             if let Some(t) = line.strip_prefix('#') {
-                time = t
-                    .parse()
-                    .map_err(|_| ParseVcdError::BadLine(line.into()))?;
+                time = t.parse().map_err(|_| ParseVcdError::BadLine(line.into()))?;
             } else if let Some(rest) = line.strip_prefix('b') {
                 let mut it = rest.split_whitespace();
-                let bits = it.next().ok_or_else(|| ParseVcdError::BadLine(line.into()))?;
-                let code = it.next().ok_or_else(|| ParseVcdError::BadLine(line.into()))?;
+                let bits = it
+                    .next()
+                    .ok_or_else(|| ParseVcdError::BadLine(line.into()))?;
+                let code = it
+                    .next()
+                    .ok_or_else(|| ParseVcdError::BadLine(line.into()))?;
                 let id = *codes
                     .get(code)
                     .ok_or_else(|| ParseVcdError::UnknownId(code.into()))?;

@@ -82,10 +82,7 @@ impl From<ValidateError> for ParseVerilogError {
 /// inconsistent (e.g. a combinational cycle).
 pub fn parse(src: &str) -> Result<Module, ParseVerilogError> {
     let tokens = lex(src)?;
-    let mut parser = Parser {
-        tokens,
-        pos: 0,
-    };
+    let mut parser = Parser { tokens, pos: 0 };
     let ast = parser.module()?;
     elaborate(&ast)
 }
@@ -95,10 +92,7 @@ pub fn parse(src: &str) -> Result<Module, ParseVerilogError> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Tok {
     Ident(String),
-    Number {
-        width: Option<u32>,
-        value: u64,
-    },
+    Number { width: Option<u32>, value: u64 },
     Punct(&'static str),
 }
 
@@ -198,8 +192,8 @@ fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseVerilogError> {
             }
         } else {
             const PUNCTS: &[&str] = &[
-                "<=", ">=", "==", "!=", "<<", ">>", "&&", "||", "(", ")", "[", "]", "{", "}",
-                ",", ";", ":", "?", "=", "+", "-", "*", "&", "|", "^", "~", "!", "<", ">", "@",
+                "<=", ">=", "==", "!=", "<<", ">>", "&&", "||", "(", ")", "[", "]", "{", "}", ",",
+                ";", ":", "?", "=", "+", "-", "*", "&", "|", "^", "~", "!", "<", ">", "@",
             ];
             let rest = &src[i..];
             let mut matched = None;
@@ -234,13 +228,16 @@ enum Expr {
     Binary(&'static str, Box<Expr>, Box<Expr>),
     Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
     Concat(Vec<Expr>),
-    Index(String, Box<Expr>),        // ident[expr] — bit select or memory read
-    Range(String, u32, u32),         // ident[hi:lo]
+    Index(String, Box<Expr>), // ident[expr] — bit select or memory read
+    Range(String, u32, u32),  // ident[hi:lo]
 }
 
 #[derive(Debug, Clone)]
 enum Stmt {
-    NonBlocking { target: Target, rhs: Expr },
+    NonBlocking {
+        target: Target,
+        rhs: Expr,
+    },
     If {
         cond: Expr,
         then_branch: Vec<Stmt>,
@@ -640,9 +637,10 @@ impl Parser {
                     // Could be [expr] (index) or [hi:lo] (range). A range
                     // requires two constants separated by ':'.
                     let save = self.pos;
-                    if let (Some(Tok::Number { value: hi, .. }), Some(Tok::Punct(":"))) =
-                        (self.peek().cloned(), self.tokens.get(self.pos + 1).map(|t| t.tok.clone()))
-                    {
+                    if let (Some(Tok::Number { value: hi, .. }), Some(Tok::Punct(":"))) = (
+                        self.peek().cloned(),
+                        self.tokens.get(self.pos + 1).map(|t| t.tok.clone()),
+                    ) {
                         self.pos += 2;
                         let lo = self.const_u32()?;
                         self.expect_punct("]")?;
@@ -720,9 +718,7 @@ fn elaborate(ast: &AstModule) -> Result<Module, ParseVerilogError> {
     let names: Vec<String> = ast
         .decls
         .iter()
-        .filter(|d| {
-            matches!(d.kind, DeclKind::Wire | DeclKind::Output) && d.mem_depth.is_none()
-        })
+        .filter(|d| matches!(d.kind, DeclKind::Wire | DeclKind::Output) && d.mem_depth.is_none())
         .map(|d| d.name.clone())
         .collect();
     for name in &names {
@@ -732,9 +728,7 @@ fn elaborate(ast: &AstModule) -> Result<Module, ParseVerilogError> {
     let ffs: Vec<String> = ast
         .decls
         .iter()
-        .filter(|d| {
-            matches!(d.kind, DeclKind::Reg | DeclKind::OutputReg) && d.mem_depth.is_none()
-        })
+        .filter(|d| matches!(d.kind, DeclKind::Reg | DeclKind::OutputReg) && d.mem_depth.is_none())
         .map(|d| d.name.clone())
         .collect();
     let mut next: HashMap<String, NetId> = HashMap::new();
@@ -960,9 +954,7 @@ impl Elab<'_> {
                     Target::MemWord(name, idx) => {
                         let mem = match self.mems.get(name) {
                             Some(&m) => m,
-                            None => {
-                                return syntax_err(format!("{name:?} is not a memory"))
-                            }
+                            None => return syntax_err(format!("{name:?} is not a memory")),
                         };
                         let addr = self.expr(idx)?;
                         let data0 = self.rhs_expr(rhs)?;
@@ -1097,10 +1089,7 @@ mod tests {
     #[test]
     fn rejects_missing_endmodule() {
         let src = "module m(input a, output y); assign y = a;";
-        assert!(matches!(
-            parse(src),
-            Err(ParseVerilogError::Syntax { .. })
-        ));
+        assert!(matches!(parse(src), Err(ParseVerilogError::Syntax { .. })));
     }
 
     #[test]

@@ -188,7 +188,11 @@ impl Hypergraph {
                     continue; // stale heap entry
                 }
                 let w = self.vertex_weights[v_us] as f64;
-                let new_weight_a = if side[v_us] { weight_a + w } else { weight_a - w };
+                let new_weight_a = if side[v_us] {
+                    weight_a + w
+                } else {
+                    weight_a - w
+                };
                 if (new_weight_a - target_a).abs() > slack {
                     continue; // would break balance; leave locked out this pass
                 }
@@ -306,7 +310,12 @@ impl Hypergraph {
                     }
                 }
             }
-            work.push((left, part_lo, left_parts, s.wrapping_mul(0x9E3779B97F4A7C15)));
+            work.push((
+                left,
+                part_lo,
+                left_parts,
+                s.wrapping_mul(0x9E3779B97F4A7C15),
+            ));
             work.push((
                 right,
                 part_lo + left_parts,

@@ -202,7 +202,7 @@ mod tests {
         let region = Region::whole(&g);
         let p = extract_cone(&g, &region, &[x]);
         let w = estimate_width(&g, &p);
-        assert!(w >= 2 && w <= 3, "width {w}");
+        assert!((2..=3).contains(&w), "width {w}");
     }
 
     #[test]
@@ -214,9 +214,7 @@ mod tests {
             partitions: parts,
             cut_lits: vec![],
         };
-        let (merged, stats) = merge_partitions(&g, &region, &stage, &|p| {
-            width_mappable(&g, p, 64)
-        });
+        let (merged, stats) = merge_partitions(&g, &region, &stage, &|p| width_mappable(&g, p, 64));
         assert!(stats.after < stats.before);
         assert_eq!(stats.before - stats.merges, stats.after);
         // All sinks still covered.
@@ -234,9 +232,7 @@ mod tests {
             cut_lits: vec![],
         };
         let limit = 16;
-        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| {
-            width_mappable(&g, p, limit)
-        });
+        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| width_mappable(&g, p, limit));
         for p in &merged.partitions {
             assert!(estimate_width(&g, p) <= limit);
         }
@@ -268,9 +264,7 @@ mod tests {
             cut_lits: vec![],
         };
         let cap = 128;
-        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| {
-            width_mappable(&g, p, cap)
-        });
+        let (merged, _) = merge_partitions(&g, &region, &stage, &|p| width_mappable(&g, p, cap));
         let utilized = merged
             .partitions
             .iter()

@@ -272,11 +272,8 @@ mod tests {
         };
         let p = partition_staged(&g, &opts);
         assert_eq!(p.stages.len(), 2);
-        let cut_nodes: std::collections::HashSet<u32> = p.stages[0]
-            .cut_lits
-            .iter()
-            .map(|l| l.node().0)
-            .collect();
+        let cut_nodes: std::collections::HashSet<u32> =
+            p.stages[0].cut_lits.iter().map(|l| l.node().0).collect();
         for part in &p.stages[1].partitions {
             for n in &part.nodes {
                 assert!(

@@ -35,7 +35,12 @@ impl Region {
 }
 
 /// Partitions a region into (at most) `parts` partitions.
-pub fn partition_region(g: &Eaig, region: &Region, parts: usize, opts: &PartitionOptions) -> Vec<Partition> {
+pub fn partition_region(
+    g: &Eaig,
+    region: &Region,
+    parts: usize,
+    opts: &PartitionOptions,
+) -> Vec<Partition> {
     // Unique sink vertices by node (several sink literals on one node share
     // a cone and must not be separated).
     let mut vertex_of_node: HashMap<NodeId, u32> = HashMap::new();
@@ -86,18 +91,16 @@ pub fn partition_region(g: &Eaig, region: &Region, parts: usize, opts: &Partitio
     for (vid, n) in vertex_nodes.iter().enumerate() {
         sink_vertex_at.insert(n.0, vid as u32);
     }
-    let intern = |sets: &mut Vec<Vec<u32>>,
-                      interner: &mut HashMap<Vec<u32>, u32>,
-                      v: Vec<u32>|
-     -> u32 {
-        if let Some(&id) = interner.get(&v) {
-            return id;
-        }
-        let id = sets.len() as u32;
-        interner.insert(v.clone(), id);
-        sets.push(v);
-        id
-    };
+    let intern =
+        |sets: &mut Vec<Vec<u32>>, interner: &mut HashMap<Vec<u32>, u32>, v: Vec<u32>| -> u32 {
+            if let Some(&id) = interner.get(&v) {
+                return id;
+            }
+            let id = sets.len() as u32;
+            interner.insert(v.clone(), id);
+            sets.push(v);
+            id
+        };
     // Reverse topological = descending node id (construction order).
     for i in (0..g.len()).rev() {
         if !in_region[i] && !sink_vertex_at.contains_key(&(i as u32)) {
@@ -274,9 +277,7 @@ mod tests {
         let mut g = Eaig::new();
         for c in 0..n {
             let mut cur = g.input(format!("i{c}"));
-            let extra: Vec<Lit> = (0..depth)
-                .map(|k| g.input(format!("x{c}_{k}")))
-                .collect();
+            let extra: Vec<Lit> = (0..depth).map(|k| g.input(format!("x{c}_{k}"))).collect();
             for e in extra {
                 cur = g.xor(cur, e);
             }

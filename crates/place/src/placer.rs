@@ -294,9 +294,8 @@ impl<'a> Placer<'a> {
         let crit = self.criticalities();
         // occupancy per level: level 0 has `width` slots, level k has
         // width >> k.
-        let mut occ: Vec<Vec<Option<SlotOp>>> = (0..=folds)
-            .map(|k| vec![None; width >> k])
-            .collect();
+        let mut occ: Vec<Vec<Option<SlotOp>>> =
+            (0..=folds).map(|k| vec![None; width >> k]).collect();
         // used-slot counts per subtree root for pruning.
         let mut used: Vec<Vec<u32>> = (0..=folds).map(|k| vec![0u32; width >> k]).collect();
         let subtree_cap = |k: usize| -> u32 { ((2usize << k) - 1) as u32 };
@@ -373,8 +372,8 @@ impl<'a> Placer<'a> {
                 layer.perm[j] = PermSource::State(a);
             }
         }
-        for k in 1..=folds {
-            for (j, slot) in occ[k].iter().enumerate() {
+        for (k, row) in occ.iter().enumerate().take(folds + 1).skip(1) {
+            for (j, slot) in row.iter().enumerate() {
                 match slot {
                     Some(SlotOp::Compute { xa, xb, .. }) => {
                         layer.folds[k - 1].xa[j] = *xa;
@@ -467,12 +466,28 @@ impl<'a> Placer<'a> {
         };
         if available {
             if level == 0 {
-                occupy(occ, used, journal, self.folds, 0, slot, SlotOp::Read { local: v });
+                occupy(
+                    occ,
+                    used,
+                    journal,
+                    self.folds,
+                    0,
+                    slot,
+                    SlotOp::Read { local: v },
+                );
                 return true;
             }
             // Ride the value up a bypass chain rooted at the A child.
-            if !self.try_place(v, level - 1, 2 * slot, rem_level, occ, used, placed_at, journal)
-            {
+            if !self.try_place(
+                v,
+                level - 1,
+                2 * slot,
+                rem_level,
+                occ,
+                used,
+                placed_at,
+                journal,
+            ) {
                 return false;
             }
             occupy(
@@ -493,8 +508,16 @@ impl<'a> Placer<'a> {
         }
         if rl < level {
             // Pad down with bypasses until the natural level.
-            if !self.try_place(v, level - 1, 2 * slot, rem_level, occ, used, placed_at, journal)
-            {
+            if !self.try_place(
+                v,
+                level - 1,
+                2 * slot,
+                rem_level,
+                occ,
+                used,
+                placed_at,
+                journal,
+            ) {
                 return false;
             }
             occupy(
@@ -510,7 +533,16 @@ impl<'a> Placer<'a> {
         }
         // Compute here: children are the two fanins.
         let [(fa, ia), (fb, ib)] = self.fanins[vi];
-        if !self.try_place(fa, level - 1, 2 * slot, rem_level, occ, used, placed_at, journal) {
+        if !self.try_place(
+            fa,
+            level - 1,
+            2 * slot,
+            rem_level,
+            occ,
+            used,
+            placed_at,
+            journal,
+        ) {
             return false;
         }
         if !self.try_place(

@@ -153,7 +153,13 @@ fn boomerang_layers_fewer_than_levels() {
         cur = g.xor(cur, ins[k % ins.len()]);
     }
     g.output("o", cur);
-    let parts = partition(&g, &PartitionOptions { target_parts: 1, ..Default::default() });
+    let parts = partition(
+        &g,
+        &PartitionOptions {
+            target_parts: 1,
+            ..Default::default()
+        },
+    );
     let p = &parts.stages[0].partitions[0];
     let (prog, stats) = place_partition(&g, p, &PlaceOptions::default()).unwrap();
     assert!(stats.depth >= 40, "depth {}", stats.depth);
@@ -169,10 +175,23 @@ fn boomerang_layers_fewer_than_levels() {
 #[test]
 fn timing_driven_uses_no_more_layers_than_fifo() {
     let g = random_circuit(16, 400, 44);
-    let parts = partition(&g, &PartitionOptions { target_parts: 1, ..Default::default() });
+    let parts = partition(
+        &g,
+        &PartitionOptions {
+            target_parts: 1,
+            ..Default::default()
+        },
+    );
     let p = &parts.stages[0].partitions[0];
-    let (td, _) = place_partition(&g, p, &PlaceOptions { core_width: 1024, ..Default::default() })
-        .unwrap();
+    let (td, _) = place_partition(
+        &g,
+        p,
+        &PlaceOptions {
+            core_width: 1024,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let (fifo, _) = place_partition(
         &g,
         p,
@@ -201,7 +220,13 @@ fn unmappable_partition_reports_error() {
         let x = g.xor(a, b);
         g.output(format!("o{i}"), x);
     }
-    let parts = partition(&g, &PartitionOptions { target_parts: 1, ..Default::default() });
+    let parts = partition(
+        &g,
+        &PartitionOptions {
+            target_parts: 1,
+            ..Default::default()
+        },
+    );
     let p = &parts.stages[0].partitions[0];
     let r = place_partition(&g, p, &small_opts(16));
     assert!(r.is_err());

@@ -103,12 +103,7 @@ impl<'a> BatchSim<'a> {
                 }
             };
         }
-        let outs = self
-            .g
-            .outputs()
-            .iter()
-            .map(|(_, l)| self.lit(*l))
-            .collect();
+        let outs = self.g.outputs().iter().map(|(_, l)| self.lit(*l)).collect();
         // Sequential update.
         let new_ff: Vec<u64> = self.g.ffs().iter().map(|f| self.lit(f.next)).collect();
         for (ri, r) in self.g.rams().iter().enumerate() {
@@ -174,11 +169,11 @@ mod tests {
         for _ in 0..20 {
             let mut packed = vec![0u64; 6];
             let mut scalar_inputs = vec![[false; 6]; LANES];
-            for lane in 0..LANES {
+            for (lane, lane_inputs) in scalar_inputs.iter_mut().enumerate() {
                 seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
                 for i in 0..6 {
                     let bit = (seed >> (i * 7 + lane % 5)) & 1 == 1;
-                    scalar_inputs[lane][i] = bit;
+                    lane_inputs[i] = bit;
                     if bit {
                         packed[i] |= 1 << lane;
                     }
@@ -188,11 +183,7 @@ mod tests {
             for (lane, r) in refs.iter_mut().enumerate() {
                 let want = r.cycle(&scalar_inputs[lane]);
                 for (oi, &w) in want.iter().enumerate() {
-                    assert_eq!(
-                        (outs[oi] >> lane) & 1 == 1,
-                        w,
-                        "lane {lane} output {oi}"
-                    );
+                    assert_eq!((outs[oi] >> lane) & 1 == 1, w, "lane {lane} output {oi}");
                 }
             }
         }

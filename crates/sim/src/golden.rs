@@ -90,9 +90,7 @@ impl<'a> EaigSim<'a> {
                 Node::Input(idx) => self.inputs[idx as usize],
                 Node::And(a, b) => self.lit_from(a) && self.lit_from(b),
                 Node::FfOut(ff) => self.ff[ff.0 as usize],
-                Node::RamOut { ram, bit } => {
-                    (self.ram_rdata[ram.0 as usize] >> bit) & 1 == 1
-                }
+                Node::RamOut { ram, bit } => (self.ram_rdata[ram.0 as usize] >> bit) & 1 == 1,
             };
         }
         self.evaluated = true;
@@ -135,12 +133,7 @@ impl<'a> EaigSim<'a> {
         if !self.evaluated {
             self.eval();
         }
-        let new_ff: Vec<bool> = self
-            .g
-            .ffs()
-            .iter()
-            .map(|f| self.lit_from(f.next))
-            .collect();
+        let new_ff: Vec<bool> = self.g.ffs().iter().map(|f| self.lit_from(f.next)).collect();
         for (ri, r) in self.g.rams().iter().enumerate() {
             let raddr = self.addr_of(&r.read_addr);
             // Read-first: capture before the write.
@@ -261,7 +254,7 @@ mod tests {
         // Cycle 0: write 1 to address 1.
         let o = s.cycle(&[true, true, true]);
         assert!(!o[0]); // nothing read yet
-        // Cycle 1: read address 1 (no write). Read data appears next cycle.
+                        // Cycle 1: read address 1 (no write). Read data appears next cycle.
         let o = s.cycle(&[true, false, false]);
         assert!(!o[0]); // rdata register still holds cycle-0 read (of old 0)
 
@@ -281,7 +274,13 @@ mod tests {
         let mut wd = [Lit::FALSE; RAM_DATA_BITS];
         wd[0] = d0;
         // Read and write both at address 0.
-        g.set_ram_ports(r, [Lit::FALSE; RAM_ADDR_BITS], [Lit::FALSE; RAM_ADDR_BITS], wd, we);
+        g.set_ram_ports(
+            r,
+            [Lit::FALSE; RAM_ADDR_BITS],
+            [Lit::FALSE; RAM_ADDR_BITS],
+            wd,
+            we,
+        );
         g.output("q0", g.ram_out(r, 0));
         let mut s = EaigSim::new(&g);
         // Cycle 0: write 1 to addr 0 while reading addr 0 → read sees old 0.

@@ -37,7 +37,8 @@ impl SpinBarrier {
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.threads {
             self.count.store(0, Ordering::Release);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
@@ -181,8 +182,7 @@ impl<'a> LevelizedSim<'a> {
         for (ri, r) in self.g.rams().iter().enumerate() {
             let word = self.ram_rdata[ri];
             for (bit, id) in r.out.iter().enumerate() {
-                self.shared.vals[id.0 as usize]
-                    .store(((word >> bit) & 1) as u8, Ordering::Relaxed);
+                self.shared.vals[id.0 as usize].store(((word >> bit) & 1) as u8, Ordering::Relaxed);
             }
         }
         if self.threads == 1 {

@@ -238,8 +238,8 @@ impl<'a> NetlistSim<'a> {
             {
                 let cur = self.ff[ci].clone().expect("dff has state");
                 let dv = self.vals[d.0 as usize].clone();
-                let en = enable.map_or(true, |e| self.vals[e.0 as usize].bit(0));
-                let rst = reset.map_or(false, |r| self.vals[r.0 as usize].bit(0));
+                let en = enable.is_none_or(|e| self.vals[e.0 as usize].bit(0));
+                let rst = reset.is_some_and(|r| self.vals[r.0 as usize].bit(0));
                 let next = if rst {
                     init.clone()
                 } else if en {
@@ -408,7 +408,7 @@ mod tests {
         let mut s = NetlistSim::new(&m);
         s.eval();
         assert_eq!(s.output("q").to_u64(), 7); // init
-        // enable off: hold
+                                               // enable off: hold
         s.cycle(&[
             ("d", Bits::from_u64(3, 4)),
             ("en", Bits::from_u64(0, 1)),

@@ -132,9 +132,6 @@ impl std::error::Error for SynthError {}
 ///
 /// Returns [`SynthError::UnsupportedMemory`] for memory shapes outside the
 /// supported envelope (see [`memory`]).
-pub fn synthesize(
-    m: &gem_netlist::Module,
-    opts: &SynthOptions,
-) -> Result<SynthResult, SynthError> {
+pub fn synthesize(m: &gem_netlist::Module, opts: &SynthOptions) -> Result<SynthResult, SynthError> {
     lower::Lowerer::new(m, opts).run()
 }

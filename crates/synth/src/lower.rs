@@ -95,11 +95,8 @@ impl<'a> Lowerer<'a> {
         memory::postpass(&mut self)?;
         // 7. Outputs.
         let mut output_layout = Vec::new();
-        let output_ports: Vec<(String, NetId)> = self
-            .m
-            .outputs()
-            .map(|p| (p.name.clone(), p.net))
-            .collect();
+        let output_ports: Vec<(String, NetId)> =
+            self.m.outputs().map(|p| (p.name.clone(), p.net)).collect();
         for (name, net) in output_ports {
             let w = self.m.width(net);
             output_layout.push(PortBits {
@@ -143,10 +140,7 @@ impl<'a> Lowerer<'a> {
         let out_w = self.m.width(cell.out) as usize;
         let lits: Vec<Lit> = match &cell.kind {
             CellKind::Dff { .. } => return Ok(()), // seeded
-            CellKind::Const { value } => value
-                .iter()
-                .map(|b| Lit::FALSE.flip_if(b))
-                .collect(),
+            CellKind::Const { value } => value.iter().map(|b| Lit::FALSE.flip_if(b)).collect(),
             CellKind::Unary { op, a } => {
                 let av = self.net_bits(*a)?;
                 match op {
@@ -225,7 +219,10 @@ impl<'a> Lowerer<'a> {
         b: &[Lit],
         mut f: impl FnMut(&mut Eaig, Lit, Lit) -> Lit,
     ) -> Vec<Lit> {
-        a.iter().zip(b).map(|(&x, &y)| f(&mut self.g, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| f(&mut self.g, x, y))
+            .collect()
     }
 
     /// Balanced (or linear, for ablation) reduction.
@@ -353,11 +350,10 @@ impl<'a> Lowerer<'a> {
         let stages = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2(n)) for n>1
         let stages = if n <= 1 { 0 } else { stages };
         let mut cur = a.to_vec();
-        for k in 0..stages.min(amount.len()) {
+        for (k, &sel) in amount.iter().enumerate().take(stages) {
             let sh = 1usize << k;
-            let sel = amount[k];
             let mut shifted = vec![Lit::FALSE; n];
-            for i in 0..n {
+            for (i, out) in shifted.iter_mut().enumerate() {
                 let src = match dir {
                     ShiftDir::Left => i.checked_sub(sh),
                     ShiftDir::Right => {
@@ -365,7 +361,7 @@ impl<'a> Lowerer<'a> {
                         (s < n).then_some(s)
                     }
                 };
-                shifted[i] = src.map_or(Lit::FALSE, |s| cur[s]);
+                *out = src.map_or(Lit::FALSE, |s| cur[s]);
             }
             cur = cur
                 .iter()
@@ -375,11 +371,7 @@ impl<'a> Lowerer<'a> {
         }
         // Any amount bit ≥ width zeroes the result (including bits beyond
         // the stages we consumed).
-        let mut high_bits: Vec<Lit> = amount
-            .iter()
-            .copied()
-            .skip(stages)
-            .collect();
+        let mut high_bits: Vec<Lit> = amount.iter().copied().skip(stages).collect();
         // Also the consumed bits can sum to >= n when n is not a power of
         // two; handle by comparing amount[0..stages] ≥ n.
         if n.count_ones() != 1 && n > 1 {
@@ -391,7 +383,9 @@ impl<'a> Lowerer<'a> {
             return cur;
         }
         let any_high = self.reduce(&high_bits, ReduceOp::Or);
-        cur.iter().map(|&c| self.g.and(c, any_high.flip())).collect()
+        cur.iter()
+            .map(|&c| self.g.and(c, any_high.flip()))
+            .collect()
     }
 
     /// `bits >= k` for a constant k (unsigned).

@@ -234,10 +234,7 @@ pub(crate) fn postpass(lw: &mut Lowerer<'_>) -> Result<(), SynthError> {
                     let raddr = lw.net_bits(rp.addr)?;
                     // Register the high read-address bits.
                     for (k, &hreg) in haddr_regs[p].iter().enumerate() {
-                        let src = raddr
-                            .get(RAM_ADDR_BITS + k)
-                            .copied()
-                            .unwrap_or(Lit::FALSE);
+                        let src = raddr.get(RAM_ADDR_BITS + k).copied().unwrap_or(Lit::FALSE);
                         lw.g.set_ff_next(hreg, src);
                     }
                     if let Some(valid) = rvalid_regs[p] {
@@ -246,20 +243,16 @@ pub(crate) fn postpass(lw: &mut Lowerer<'_>) -> Result<(), SynthError> {
                     }
                     let read_low = pad_addr(&raddr);
                     let write_low = pad_addr(&waddr);
-                    for bank in 0..banks {
+                    for (bank, bank_rams) in ports[p].iter().enumerate().take(banks) {
                         // Per-bank write enable decodes the high address.
-                        let whigh: Vec<Lit> = waddr
-                            .iter()
-                            .copied()
-                            .skip(RAM_ADDR_BITS)
-                            .collect();
+                        let whigh: Vec<Lit> = waddr.iter().copied().skip(RAM_ADDR_BITS).collect();
                         let bank_we = if banks == 1 {
                             we
                         } else {
                             let hit = lw.eq_const(&whigh, bank as u64);
                             lw.g.and(we, hit)
                         };
-                        for (seg, &ram) in ports[p][bank].iter().enumerate() {
+                        for (seg, &ram) in bank_rams.iter().enumerate() {
                             let mut wd = [Lit::FALSE; RAM_DATA_BITS];
                             for (b, slot) in wd.iter_mut().enumerate() {
                                 *slot = wdata

@@ -1,0 +1,190 @@
+//! Structured per-stage reports for multi-stage flows (the compiler).
+//!
+//! [`FlowRecorder`] is the write side: open one per flow run, call
+//! [`stage`](FlowRecorder::stage) around each phase, attach size metrics,
+//! and [`finish`](FlowRecorder::finish) into an immutable [`FlowReport`].
+//! Every stage also closes a [`crate::Span`]-equivalent record through
+//! the global subscriber, so a run is observable live (stderr, capture)
+//! and post-hoc (the report JSON) from the same instrumentation.
+
+use crate::json::Json;
+use crate::trace::{self, Level, SpanRecord};
+use std::time::Instant;
+
+/// One completed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage name (stable; see `docs/OBSERVABILITY.md`).
+    pub name: String,
+    /// Wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Size/quality metrics, in recording order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl StageRecord {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A finished flow: ordered stages plus total wall time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowReport {
+    /// Flow name (e.g. `"compile"`).
+    pub flow: String,
+    /// Total wall time in nanoseconds (creation to finish).
+    pub total_wall_ns: u64,
+    /// Stages in execution order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl FlowReport {
+    /// Stage names in execution order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Looks up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageRecord> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> Json {
+        let stages: Vec<Json> = self
+            .stages
+            .iter()
+            .map(|s| {
+                let mut o = Json::object();
+                o.set("name", s.name.as_str());
+                o.set("wall_ns", s.wall_ns);
+                let mut metrics = Json::object();
+                for (k, v) in &s.metrics {
+                    metrics.set(k, *v);
+                }
+                o.set("metrics", metrics);
+                o
+            })
+            .collect();
+        let mut o = Json::object();
+        o.set("flow", self.flow.as_str());
+        o.set("total_wall_ns", self.total_wall_ns);
+        o.set("stages", Json::Array(stages));
+        o
+    }
+}
+
+/// The write side of a [`FlowReport`].
+#[derive(Debug)]
+pub struct FlowRecorder {
+    flow: String,
+    start: Instant,
+    stages: Vec<StageRecord>,
+}
+
+impl FlowRecorder {
+    /// Starts recording a named flow.
+    pub fn new(flow: impl Into<String>) -> Self {
+        FlowRecorder {
+            flow: flow.into(),
+            start: Instant::now(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Opens a stage; it is recorded when the guard drops.
+    pub fn stage(&mut self, name: &'static str) -> StageGuard<'_> {
+        StageGuard {
+            rec: self,
+            name,
+            start: Instant::now(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Closes the flow into its report.
+    pub fn finish(self) -> FlowReport {
+        FlowReport {
+            flow: self.flow,
+            total_wall_ns: self.start.elapsed().as_nanos() as u64,
+            stages: self.stages,
+        }
+    }
+}
+
+/// Open stage handle; drop (or let fall out of scope) to record it.
+#[derive(Debug)]
+pub struct StageGuard<'a> {
+    rec: &'a mut FlowRecorder,
+    name: &'static str,
+    start: Instant,
+    metrics: Vec<(String, f64)>,
+}
+
+impl StageGuard<'_> {
+    /// Attaches a numeric metric to the stage.
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+}
+
+impl Drop for StageGuard<'_> {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed();
+        let metrics = std::mem::take(&mut self.metrics);
+        self.rec.stages.push(StageRecord {
+            name: self.name.to_string(),
+            wall_ns: wall.as_nanos() as u64,
+            metrics: metrics.clone(),
+        });
+        trace::dispatch_span_record(SpanRecord {
+            level: Level::Info,
+            target: module_path!().to_string(),
+            name: format!("{}::{}", self.rec.flow, self.name),
+            wall,
+            fields: metrics,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_stages_in_order_with_metrics() {
+        let mut rec = FlowRecorder::new("testflow");
+        {
+            let mut s = rec.stage("alpha");
+            s.metric("n", 4.0);
+        }
+        {
+            rec.stage("beta");
+        }
+        let report = rec.finish();
+        assert_eq!(report.stage_names(), vec!["alpha", "beta"]);
+        assert_eq!(report.stage("alpha").unwrap().metric("n"), Some(4.0));
+        assert_eq!(report.stage("beta").unwrap().metrics.len(), 0);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut rec = FlowRecorder::new("f");
+        rec.stage("only").metric("x", 1.5);
+        let j = rec.finish().to_json();
+        assert_eq!(j.get("flow").unwrap().as_str(), Some("f"));
+        let stages = j.get("stages").unwrap().as_array().unwrap();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].get("name").unwrap().as_str(), Some("only"));
+        assert_eq!(
+            stages[0].get("metrics").unwrap().get("x").unwrap().as_f64(),
+            Some(1.5)
+        );
+    }
+}

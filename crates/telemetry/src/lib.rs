@@ -1,0 +1,38 @@
+//! Telemetry for the GEM-RS workspace: structured tracing, compile-flow
+//! reports, and runtime metrics.
+//!
+//! The build environment is sealed (no crates.io), so this crate provides
+//! a self-contained facade in the spirit of `tracing` +
+//! `tracing-subscriber` plus the serialization the workspace needs:
+//!
+//! * [`trace`] — leveled events ([`error!`](crate::error) …
+//!   [`trace!`](crate::trace)) and timed [`Span`]s dispatched to a global
+//!   [`Subscriber`]. The default subscriber prints to **stderr**, filtered
+//!   by the `GEM_LOG` environment variable (`error|warn|info|debug|trace`,
+//!   default `warn`), keeping stdout clean for CLI output.
+//! * [`flow`] — [`FlowRecorder`] builds a [`FlowReport`]: one record per
+//!   compiler stage with wall time and size metrics (the machine-readable
+//!   form of Table I's per-design statistics).
+//! * [`metrics`] — [`MetricsSnapshot`] is a label-oriented counter/gauge
+//!   snapshot (per-partition, per-layer virtual-GPU counters) with JSON
+//!   and Prometheus-text exporters behind the [`MetricsSink`] trait.
+//! * [`json`] — the minimal JSON value, parser, and [`json!`](crate::json)
+//!   macro everything above serializes through.
+//!
+//! See `docs/OBSERVABILITY.md` for the span hierarchy and metric names.
+
+pub mod flow;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use flow::{FlowRecorder, FlowReport, StageGuard, StageRecord};
+pub use json::{parse as parse_json, Json, JsonError};
+pub use metrics::{
+    CollectSink, JsonLinesSink, MetricFamily, MetricKind, MetricsSink, MetricsSnapshot,
+    PrometheusTextSink, Sample,
+};
+pub use trace::{
+    dispatch_event, set_subscriber, CaptureSubscriber, EventRecord, Level, Span, SpanRecord,
+    StderrSubscriber, Subscriber,
+};

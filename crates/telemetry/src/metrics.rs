@@ -1,0 +1,289 @@
+//! Label-oriented runtime metrics: snapshots, sinks, and exporters.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time set of metric families, each a
+//! list of labeled samples — the shape both the JSON exporter and the
+//! Prometheus text exposition understand natively. The virtual GPU
+//! converts its per-partition/per-layer counters into this form;
+//! [`MetricsSink`] implementations decide where snapshots go (a JSON-lines
+//! file, a Prometheus scrape file, memory for tests).
+
+use crate::json::Json;
+use std::io::Write;
+
+/// Metric family semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing total.
+    Counter,
+    /// Point-in-time value.
+    Gauge,
+}
+
+impl MetricKind {
+    fn prometheus_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One labeled sample within a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Label set, e.g. `[("stage", "0"), ("core", "3")]`.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A named metric with its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    /// Metric name (`gem_` prefix by convention).
+    pub name: String,
+    /// Human-readable description.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Labeled samples.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricFamily {
+    /// Sum of all sample values.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().map(|s| s.value).sum()
+    }
+}
+
+/// A point-in-time collection of metric families.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All families in the snapshot.
+    pub families: Vec<MetricFamily>,
+}
+
+impl MetricsSnapshot {
+    /// Adds a family.
+    pub fn push(&mut self, family: MetricFamily) {
+        self.families.push(family);
+    }
+
+    /// Looks up a family by name.
+    pub fn family(&self, name: &str) -> Option<&MetricFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// Convenience: adds a single-sample unlabeled family.
+    pub fn push_scalar(&mut self, name: &str, help: &str, kind: MetricKind, value: f64) {
+        self.families.push(MetricFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: vec![Sample {
+                labels: Vec::new(),
+                value,
+            }],
+        });
+    }
+
+    /// Serializes the snapshot as JSON.
+    pub fn to_json(&self) -> Json {
+        let families: Vec<Json> = self
+            .families
+            .iter()
+            .map(|f| {
+                let samples: Vec<Json> = f
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        let mut labels = Json::object();
+                        for (k, v) in &s.labels {
+                            labels.set(k, v.as_str());
+                        }
+                        let mut o = Json::object();
+                        o.set("labels", labels);
+                        o.set("value", s.value);
+                        o
+                    })
+                    .collect();
+                let mut o = Json::object();
+                o.set("name", f.name.as_str());
+                o.set("help", f.help.as_str());
+                o.set("kind", f.kind.prometheus_name());
+                o.set("samples", Json::Array(samples));
+                o
+            })
+            .collect();
+        let mut o = Json::object();
+        o.set("families", Json::Array(families));
+        o
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.prometheus_name()));
+            for s in &f.samples {
+                if s.labels.is_empty() {
+                    out.push_str(&format!("{} {}\n", f.name, s.value));
+                } else {
+                    let labels: Vec<String> = s
+                        .labels
+                        .iter()
+                        .map(|(k, v)| {
+                            format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+                        })
+                        .collect();
+                    out.push_str(&format!("{}{{{}}} {}\n", f.name, labels.join(","), s.value));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Consumes periodic snapshots.
+pub trait MetricsSink {
+    /// Receives one snapshot.
+    fn record(&mut self, snapshot: &MetricsSnapshot);
+}
+
+/// Writes each snapshot as one compact JSON line.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        JsonLinesSink { w }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> MetricsSink for JsonLinesSink<W> {
+    fn record(&mut self, snapshot: &MetricsSnapshot) {
+        if let Err(e) = writeln!(self.w, "{}", snapshot.to_json()) {
+            crate::warn!("metrics sink write failed: {e}");
+        }
+    }
+}
+
+/// Writes each snapshot as a full Prometheus text exposition (snapshots
+/// are appended; point a fresh writer at a scrape file per run).
+#[derive(Debug)]
+pub struct PrometheusTextSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> PrometheusTextSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        PrometheusTextSink { w }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+impl<W: Write> MetricsSink for PrometheusTextSink<W> {
+    fn record(&mut self, snapshot: &MetricsSnapshot) {
+        if let Err(e) = self.w.write_all(snapshot.to_prometheus_text().as_bytes()) {
+            crate::warn!("metrics sink write failed: {e}");
+        }
+    }
+}
+
+/// Keeps snapshots in memory (tests, report builders).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// All recorded snapshots, oldest first.
+    pub snapshots: Vec<MetricsSnapshot>,
+}
+
+impl MetricsSink for CollectSink {
+    fn record(&mut self, snapshot: &MetricsSnapshot) {
+        self.snapshots.push(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        s.push_scalar(
+            "gem_cycles_total",
+            "Simulated cycles",
+            MetricKind::Counter,
+            7.0,
+        );
+        s.push(MetricFamily {
+            name: "gem_alu_ops_total".into(),
+            help: "Fold ALU operations".into(),
+            kind: MetricKind::Counter,
+            samples: vec![
+                Sample {
+                    labels: vec![("stage".into(), "0".into()), ("core".into(), "0".into())],
+                    value: 10.0,
+                },
+                Sample {
+                    labels: vec![("stage".into(), "0".into()), ("core".into(), "1".into())],
+                    value: 5.0,
+                },
+            ],
+        });
+        s
+    }
+
+    #[test]
+    fn family_total_sums_samples() {
+        let s = snapshot();
+        assert_eq!(s.family("gem_alu_ops_total").unwrap().total(), 15.0);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE gem_cycles_total counter"));
+        assert!(text.contains("gem_cycles_total 7\n"));
+        assert!(text.contains("gem_alu_ops_total{stage=\"0\",core=\"1\"} 5\n"));
+    }
+
+    #[test]
+    fn json_round_trip_parses() {
+        let j = snapshot().to_json();
+        let parsed = crate::json::parse(&j.to_string()).expect("parses");
+        let fams = parsed.get("families").unwrap().as_array().unwrap();
+        assert_eq!(fams.len(), 2);
+    }
+
+    #[test]
+    fn sinks_receive_snapshots() {
+        let s = snapshot();
+        let mut collect = CollectSink::default();
+        collect.record(&s);
+        assert_eq!(collect.snapshots.len(), 1);
+
+        let mut jsonl = JsonLinesSink::new(Vec::new());
+        jsonl.record(&s);
+        let buf = jsonl.into_inner();
+        assert!(std::str::from_utf8(&buf).unwrap().ends_with("}\n"));
+
+        let mut prom = PrometheusTextSink::new(Vec::new());
+        prom.record(&s);
+        assert!(!prom.into_inner().is_empty());
+    }
+}

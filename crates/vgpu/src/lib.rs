@@ -26,7 +26,9 @@ pub mod machine;
 pub mod spec;
 pub mod timing;
 
-pub use counters::KernelCounters;
+pub use counters::{
+    CounterBreakdown, KernelCounters, KernelRates, LayerCounters, PartitionCounters,
+};
 pub use gl0am::Gl0amModel;
 pub use machine::{DeviceConfig, GemGpu, MachineError, RamBinding};
 pub use spec::GpuSpec;

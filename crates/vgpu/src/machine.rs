@@ -14,14 +14,14 @@
 //! registered RAM read data, primary outputs) commit at the cycle
 //! boundary, which is what makes full-cycle semantics race-free.
 
-use crate::counters::KernelCounters;
+use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
-use serde::{Deserialize, Serialize};
+use gem_telemetry::MetricsSnapshot;
 use std::fmt;
 
 /// Global-memory binding of one RAM block (all indices are bit positions
 /// in the device-global signal array).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RamBinding {
     /// Read-address bits, LSB first (immediate region).
     pub raddr: [u32; 13],
@@ -36,7 +36,7 @@ pub struct RamBinding {
 }
 
 /// Device-level configuration produced by the compiler.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct DeviceConfig {
     /// Size of the global signal array in bits.
     pub global_bits: u32,
@@ -79,6 +79,10 @@ impl From<DecodeError> for MachineError {
 struct LoadedCore {
     dec: DecodedCore,
     delta: KernelCounters,
+    /// Static cost of one boomerang layer of this core (all layers of a
+    /// core are structurally identical in cost): shared accesses, fold
+    /// ALU ops, block barriers.
+    layer_cost: (u64, u64, u64),
 }
 
 /// The virtual GPU; see the module docs.
@@ -90,6 +94,12 @@ pub struct GemGpu {
     deferred: Vec<(u32, bool)>,
     ram_mem: Vec<Box<[u32]>>,
     counters: KernelCounters,
+    /// Per-partition attribution of `counters` (same [stage][core] shape
+    /// as `stages`); device-level events (RAM phase, device barriers,
+    /// cycles) are not attributed.
+    part_counters: Vec<Vec<KernelCounters>>,
+    /// Per-boomerang-layer aggregation across all cores, indexed by layer.
+    layer_counters: Vec<LayerCounters>,
     /// Event-based pruning (the paper's proposed extension): skip a core
     /// whose read set is bit-identical to its previous execution. Sound
     /// because a core's cycle function is pure — all state lives in the
@@ -171,12 +181,21 @@ impl GemGpu {
                         .map(|w| u64::from(w.global) / LINE_BITS)
                         .collect(),
                 );
+                let layer_cost = (
+                    u64::from(width) * 2, // gather + fold reads
+                    u64::from(width) - 1,
+                    1 + folds,
+                );
                 for _layer in &dec.layers {
-                    delta.shared_accesses += u64::from(width) * 2; // gather + fold reads
-                    delta.alu_ops += u64::from(width) - 1;
-                    delta.block_syncs += 1 + folds;
+                    delta.shared_accesses += layer_cost.0;
+                    delta.alu_ops += layer_cost.1;
+                    delta.block_syncs += layer_cost.2;
                 }
-                cores.push(LoadedCore { dec, delta });
+                cores.push(LoadedCore {
+                    dec,
+                    delta,
+                    layer_cost,
+                });
             }
             stages.push(cores);
         }
@@ -217,11 +236,29 @@ impl GemGpu {
             .iter()
             .map(|st| st.iter().map(|_| None).collect())
             .collect();
+        let part_counters = stages
+            .iter()
+            .map(|st| vec![KernelCounters::default(); st.len()])
+            .collect();
+        let max_layers = stages
+            .iter()
+            .flatten()
+            .map(|c| c.dec.layers.len())
+            .max()
+            .unwrap_or(0);
+        let layer_counters = (0..max_layers)
+            .map(|li| LayerCounters {
+                layer: li as u32,
+                ..Default::default()
+            })
+            .collect();
         Ok(GemGpu {
             global,
             deferred: Vec::new(),
             ram_mem,
             counters: KernelCounters::default(),
+            part_counters,
+            layer_counters,
             input_cache,
             pruning: false,
             stages,
@@ -332,9 +369,14 @@ impl GemGpu {
                 // already present in the global array (immediate writes) or
                 // re-commit the same values (deferred). Charge only the
                 // input gather, not the bitstream stream or the folds.
-                self.counters.blocks_skipped += 1;
-                self.counters.global_bytes += 4 * core.dec.reads.len() as u64;
-                self.counters.global_transactions += 1 + core.dec.reads.len() as u64 / 32;
+                let skip_delta = KernelCounters {
+                    blocks_skipped: 1,
+                    global_bytes: 4 * core.dec.reads.len() as u64,
+                    global_transactions: 1 + core.dec.reads.len() as u64 / 32,
+                    ..Default::default()
+                };
+                self.counters += skip_delta;
+                self.part_counters[si][ci] += skip_delta;
                 // Deferred writes must still commit (FF next-states equal
                 // their current values, but outputs may feed the testbench).
                 for w in &core.dec.writes {
@@ -373,11 +415,46 @@ impl GemGpu {
             }
         }
         self.counters += core.delta;
+        self.part_counters[si][ci] += core.delta;
+        let (shared, alu, syncs) = core.layer_cost;
+        for lc in self.layer_counters[..core.dec.layers.len()].iter_mut() {
+            lc.shared_accesses += shared;
+            lc.alu_ops += alu;
+            lc.block_syncs += syncs;
+            lc.executions += 1;
+        }
     }
 
     /// Accumulated counters.
     pub fn counters(&self) -> &KernelCounters {
         &self.counters
+    }
+
+    /// Device totals refined per partition and per boomerang layer.
+    pub fn breakdown(&self) -> CounterBreakdown {
+        let partitions = self
+            .part_counters
+            .iter()
+            .enumerate()
+            .flat_map(|(si, st)| {
+                st.iter().enumerate().map(move |(ci, c)| PartitionCounters {
+                    stage: si as u32,
+                    core: ci as u32,
+                    counters: *c,
+                })
+            })
+            .collect();
+        CounterBreakdown {
+            total: self.counters,
+            partitions,
+            layers: self.layer_counters.clone(),
+        }
+    }
+
+    /// The current [`breakdown`](Self::breakdown) as exportable labeled
+    /// metric families.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.breakdown().to_metrics_snapshot()
     }
 
     /// Number of pipeline stages.
@@ -415,8 +492,14 @@ mod tests {
             }],
         };
         let reads = vec![
-            ReadEntry { global: 0, state: 0 },
-            ReadEntry { global: 1, state: 1 },
+            ReadEntry {
+                global: 0,
+                state: 0,
+            },
+            ReadEntry {
+                global: 1,
+                state: 1,
+            },
         ];
         let writes = vec![WriteEntry {
             global: 2,
@@ -471,6 +554,38 @@ mod tests {
         let ten = *gpu.counters();
         assert_eq!(ten.global_bytes, one.global_bytes * 10);
         assert_eq!(ten.blocks_run, 10);
+    }
+
+    #[test]
+    fn breakdown_reconciles_with_totals() {
+        let (bs, cfg) = and_bitstream();
+        let mut gpu = GemGpu::load(&bs, cfg).expect("loads");
+        gpu.poke(0, true);
+        gpu.poke(1, true);
+        for _ in 0..5 {
+            gpu.step_cycle();
+        }
+        let bd = gpu.breakdown();
+        let sum = bd.partition_sum();
+        let t = bd.total;
+        assert_eq!(sum.alu_ops, t.alu_ops);
+        assert_eq!(sum.shared_accesses, t.shared_accesses);
+        assert_eq!(sum.block_syncs, t.block_syncs);
+        assert_eq!(sum.blocks_run, t.blocks_run);
+        // RAM-free design: even global traffic reconciles exactly.
+        assert_eq!(sum.global_bytes, t.global_bytes);
+        assert_eq!(sum.global_transactions, t.global_transactions);
+        // Device-level events are never attributed to a partition.
+        assert_eq!(sum.device_syncs, 0);
+        assert_eq!(sum.cycles, 0);
+        assert_eq!(bd.partitions.len(), 1);
+        assert_eq!(bd.layers.len(), 1);
+        assert_eq!(bd.layers[0].executions, 5);
+        let snap = gpu.metrics_snapshot();
+        assert_eq!(
+            snap.family("gem_alu_ops_total").unwrap().total(),
+            t.alu_ops as f64
+        );
     }
 
     #[test]
@@ -567,14 +682,14 @@ mod pruning_tests {
                 state: 0,
             }];
             if let Some(g1) = perm1 {
-                reads.push(ReadEntry { global: g1, state: 1 });
+                reads.push(ReadEntry {
+                    global: g1,
+                    state: 1,
+                });
             }
             let writes = vec![WriteEntry {
                 global: out_g,
-                src: gem_isa::WriteSrc::State {
-                    addr: 2,
-                    invert,
-                },
+                src: gem_isa::WriteSrc::State { addr: 2, invert },
                 deferred,
             }];
             assemble_core(&prog, &reads, &writes)
@@ -582,7 +697,10 @@ mod pruning_tests {
         let bs = Bitstream {
             width,
             global_bits: 4,
-            stages: vec![vec![mk_core(0, Some(1), false, 2, false)], vec![mk_core(2, None, true, 3, true)]],
+            stages: vec![
+                vec![mk_core(0, Some(1), false, 2, false)],
+                vec![mk_core(2, None, true, 3, true)],
+            ],
         };
         GemGpu::load(
             &bs,

@@ -63,6 +63,9 @@ mod tests {
         let r = GpuSpec::rtx3090();
         assert!(a.mem_bandwidth_gbps > r.mem_bandwidth_gbps);
         assert_eq!(a.resident_blocks(), 864);
-        assert!(r.resident_blocks() > 216, "3090 must fit the paper's 216 blocks");
+        assert!(
+            r.resident_blocks() > 216,
+            "3090 must fit the paper's 216 blocks"
+        );
     }
 }

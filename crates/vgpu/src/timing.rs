@@ -48,8 +48,7 @@ impl TimingModel {
         let t_compute = waves * per_block_thread_ops / (s.clock_ghz * 1e9);
         // Term 3: synchronization. Device-wide barriers are serial;
         // block barriers cost ~30 cycles each and overlap across blocks.
-        let block_sync_s =
-            (c.block_syncs as f64 / blocks) * waves * 30.0 / (s.clock_ghz * 1e9);
+        let block_sync_s = (c.block_syncs as f64 / blocks) * waves * 30.0 / (s.clock_ghz * 1e9);
         let t_sync = c.device_syncs as f64 * s.device_sync_us * 1e-6 + block_sync_s;
         t_mem.max(t_compute) + t_sync
     }
@@ -58,6 +57,29 @@ impl TimingModel {
     /// unit of Table II).
     pub fn hz(&self, per_cycle: &KernelCounters) -> f64 {
         1.0 / self.cycle_seconds(per_cycle)
+    }
+
+    /// Estimated speed straight from cumulative counters, with no
+    /// integer truncation and no `Option`: returns `0.0` when no cycles
+    /// ran. This is the guard-free entry point callers should prefer over
+    /// `hz(&counters.per_cycle().unwrap())`.
+    pub fn hz_total(&self, totals: &KernelCounters) -> f64 {
+        if totals.cycles == 0 {
+            return 0.0;
+        }
+        let r = totals.rates();
+        let per_cycle = KernelCounters {
+            global_bytes: r.global_bytes.round() as u64,
+            global_transactions: r.global_transactions.round() as u64,
+            shared_accesses: r.shared_accesses.round() as u64,
+            alu_ops: r.alu_ops.round() as u64,
+            block_syncs: r.block_syncs.round() as u64,
+            device_syncs: r.device_syncs.round() as u64,
+            blocks_run: r.blocks_run.round() as u64,
+            blocks_skipped: r.blocks_skipped.round() as u64,
+            cycles: 1,
+        };
+        self.hz(&per_cycle)
     }
 
     /// **Extension E2** (paper future work: "multi-GPU support").
@@ -83,9 +105,8 @@ impl TimingModel {
             / c.blocks_run.max(1) as f64
             / s.threads_per_block as f64;
         let t_compute = waves * per_block_thread_ops / (s.clock_ghz * 1e9);
-        let block_sync_s =
-            (c.block_syncs as f64 / c.blocks_run.max(1) as f64) * waves * 30.0
-                / (s.clock_ghz * 1e9);
+        let block_sync_s = (c.block_syncs as f64 / c.blocks_run.max(1) as f64) * waves * 30.0
+            / (s.clock_ghz * 1e9);
         // Inter-GPU barrier instead of a device barrier.
         let t_sync = c.device_syncs as f64 * s.device_sync_us * 3.0 * 1e-6 + block_sync_s;
         // Cross-GPU exchange of stage-boundary signals over ~300 GB/s

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scalar = EaigSim::new(g);
     let t = Instant::now();
     for c in 0..cycles {
-        let ins: Vec<bool> = (0..n_in).map(|i| (c as usize + i) % 3 == 0).collect();
+        let ins: Vec<bool> = (0..n_in)
+            .map(|i| (c as usize + i).is_multiple_of(3))
+            .collect();
         scalar.cycle(&ins);
     }
     let scalar_hz = cycles as f64 / t.elapsed().as_secs_f64();
@@ -48,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..4 {
         gem.step();
     }
-    let gem_hz = TimingModel::new(GpuSpec::a100())
-        .hz(&gem.counters().per_cycle().expect("ran"));
+    let gem_hz = TimingModel::new(GpuSpec::a100()).hz(&gem.counters().per_cycle().expect("ran"));
 
     println!("design: {} ({} gates)", design.name, compiled.report.gates);
     println!("single-stimulus LATENCY (simulated cycles/second):");

@@ -12,7 +12,11 @@ fn all_designs_run_correctly_on_the_virtual_gpu() {
         let opts = CompileOptions {
             core_width: 1024,
             target_parts: 4,
-            stages: if design.name.starts_with("OpenPiton") { 2 } else { 1 },
+            stages: if design.name.starts_with("OpenPiton") {
+                2
+            } else {
+                1
+            },
             ..Default::default()
         };
         let compiled = compile(&design.module, &opts)

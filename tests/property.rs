@@ -1,12 +1,34 @@
-//! Property-based tests over the core invariants: random RTL expression
-//! trees must survive the complete flow (synthesis → partitioning →
-//! placement → assembly → virtual-GPU execution) with bit-exact behaviour,
-//! and the foundational data structures must uphold their algebraic laws.
+//! Randomized-but-deterministic tests over the core invariants: random
+//! RTL expression trees must survive the complete flow (synthesis →
+//! partitioning → placement → assembly → virtual-GPU execution) with
+//! bit-exact behaviour, and the foundational data structures must uphold
+//! their algebraic laws.
+//!
+//! The cases are generated from fixed seeds via SplitMix64 (the sealed
+//! build has no property-testing framework), so every run exercises the
+//! same inputs — failures reproduce by seed with no shrinking needed.
 
 use gem_core::{compile, CompileOptions, GemSimulator};
 use gem_netlist::{Bits, Module, ModuleBuilder, NetId};
 use gem_sim::NetlistSim;
-use proptest::prelude::*;
+
+/// SplitMix64: a tiny deterministic generator for test-case derivation.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
 
 /// A recipe for one random combinational/sequential module.
 #[derive(Debug, Clone)]
@@ -16,14 +38,14 @@ struct Recipe {
     make_reg: bool,
 }
 
-fn recipe_strategy() -> impl Strategy<Value = Recipe> {
-    (2u32..10, prop::collection::vec(0u8..10, 1..14), any::<bool>()).prop_map(
-        |(width, ops, make_reg)| Recipe {
-            width,
-            ops,
-            make_reg,
-        },
-    )
+impl Recipe {
+    fn random(g: &mut Gen) -> Recipe {
+        Recipe {
+            width: 2 + g.below(8) as u32,
+            ops: (0..1 + g.below(13)).map(|_| g.below(10) as u8).collect(),
+            make_reg: g.below(2) == 1,
+        }
+    }
 }
 
 fn build(recipe: &Recipe) -> Module {
@@ -67,19 +89,18 @@ fn build(recipe: &Recipe) -> Module {
     b.finish().expect("valid module")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any random module survives the whole flow bit-exactly.
-    #[test]
-    fn full_flow_matches_reference(recipe in recipe_strategy(), seed in any::<u64>()) {
+/// Any random module survives the whole flow bit-exactly.
+#[test]
+fn full_flow_matches_reference() {
+    for case in 0..24u64 {
+        let mut g = Gen(0xF10F_0000 + case);
+        let recipe = Recipe::random(&mut g);
         let m = build(&recipe);
         let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
         let mut gem = GemSimulator::new(&compiled).expect("loads");
         let mut rtl = NetlistSim::new(&m);
-        let mut state = seed | 1;
         for _ in 0..12 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let state = g.next();
             let xv = Bits::from_u64(state & ((1 << recipe.width) - 1), recipe.width);
             let yv = Bits::from_u64((state >> 17) & ((1 << recipe.width) - 1), recipe.width);
             rtl.set_input("x", xv.clone());
@@ -88,65 +109,87 @@ proptest! {
             gem.set_input("y", yv);
             rtl.eval();
             gem.step();
-            prop_assert_eq!(gem.output("out"), rtl.output("out"));
+            assert_eq!(
+                gem.output("out"),
+                rtl.output("out"),
+                "case {case} recipe {recipe:?}"
+            );
             rtl.step();
         }
     }
+}
 
-    /// Bits arithmetic agrees with u64 arithmetic for widths ≤ 32.
-    #[test]
-    fn bits_matches_u64(a in any::<u32>(), b in any::<u32>(), w in 1u32..=32) {
+/// Bits arithmetic agrees with u64 arithmetic for widths ≤ 32.
+#[test]
+fn bits_matches_u64() {
+    let mut g = Gen(0xB175);
+    for _ in 0..200 {
+        let w = 1 + g.below(32) as u32;
         let mask = if w == 32 { u32::MAX } else { (1u32 << w) - 1 };
-        let (av, bv) = (a & mask, b & mask);
+        let av = g.next() as u32 & mask;
+        let bv = g.next() as u32 & mask;
         let ba = Bits::from_u64(av as u64, w);
         let bb = Bits::from_u64(bv as u64, w);
-        prop_assert_eq!(ba.add(&bb).to_u64(), (av.wrapping_add(bv) & mask) as u64);
-        prop_assert_eq!(ba.sub(&bb).to_u64(), (av.wrapping_sub(bv) & mask) as u64);
-        prop_assert_eq!(ba.mul(&bb).to_u64(), (av.wrapping_mul(bv) & mask) as u64);
-        prop_assert_eq!(ba.ult(&bb), av < bv);
-        prop_assert_eq!(ba.and(&bb).to_u64(), (av & bv) as u64);
-        prop_assert_eq!(ba.xor(&bb).to_u64(), (av ^ bv) as u64);
-        prop_assert_eq!(ba.not().to_u64(), (!av & mask) as u64);
+        assert_eq!(ba.add(&bb).to_u64(), (av.wrapping_add(bv) & mask) as u64);
+        assert_eq!(ba.sub(&bb).to_u64(), (av.wrapping_sub(bv) & mask) as u64);
+        assert_eq!(ba.mul(&bb).to_u64(), (av.wrapping_mul(bv) & mask) as u64);
+        assert_eq!(ba.ult(&bb), av < bv);
+        assert_eq!(ba.and(&bb).to_u64(), (av & bv) as u64);
+        assert_eq!(ba.xor(&bb).to_u64(), (av ^ bv) as u64);
+        assert_eq!(ba.not().to_u64(), (!av & mask) as u64);
     }
+}
 
-    /// Slicing and concatenation are inverses.
-    #[test]
-    fn bits_slice_concat_inverse(v in any::<u64>(), w in 2u32..=48, cut in 1u32..=47) {
-        prop_assume!(cut < w);
+/// Slicing and concatenation are inverses.
+#[test]
+fn bits_slice_concat_inverse() {
+    let mut g = Gen(0x511CE);
+    for _ in 0..200 {
+        let w = 2 + g.below(47) as u32;
+        let cut = 1 + g.below(u64::from(w) - 1) as u32;
+        let v = g.next();
         let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
         let b = Bits::from_u64(v & mask, w);
         let lo = b.slice(0, cut);
         let hi = b.slice(cut, w - cut);
-        prop_assert_eq!(lo.concat(&hi), b);
+        assert_eq!(lo.concat(&hi), b, "w={w} cut={cut}");
     }
+}
 
-    /// The E-AIG's AND builder is commutative, idempotent, and respects
-    /// identity/annihilator laws.
-    #[test]
-    fn eaig_and_laws(n_inputs in 2usize..6, pairs in prop::collection::vec((0usize..6, 0usize..6, any::<bool>(), any::<bool>()), 1..20)) {
-        use gem_aig::{Eaig, Lit};
+/// The E-AIG's AND builder is commutative, idempotent, and respects
+/// identity/annihilator laws.
+#[test]
+fn eaig_and_laws() {
+    use gem_aig::{Eaig, Lit};
+    let mut gen = Gen(0xA1D);
+    for _ in 0..50 {
+        let n_inputs = 2 + gen.below(4) as usize;
         let mut g = Eaig::new();
         let ins: Vec<Lit> = (0..n_inputs).map(|i| g.input(format!("i{i}"))).collect();
-        for (a, b, fa, fb) in pairs {
-            let la = ins[a % n_inputs].flip_if(fa);
-            let lb = ins[b % n_inputs].flip_if(fb);
-            prop_assert_eq!(g.and(la, lb), g.and(lb, la), "commutative");
-            let x = g.and(la, la);
-            prop_assert_eq!(x, la, "idempotent");
-            prop_assert_eq!(g.and(la, Lit::TRUE), la, "identity");
-            prop_assert_eq!(g.and(la, Lit::FALSE), Lit::FALSE, "annihilator");
-            prop_assert_eq!(g.and(la, la.flip()), Lit::FALSE, "complement");
+        for _ in 0..1 + gen.below(19) {
+            let la = ins[gen.below(n_inputs as u64) as usize].flip_if(gen.below(2) == 1);
+            let lb = ins[gen.below(n_inputs as u64) as usize].flip_if(gen.below(2) == 1);
+            assert_eq!(g.and(la, lb), g.and(lb, la), "commutative");
+            assert_eq!(g.and(la, la), la, "idempotent");
+            assert_eq!(g.and(la, Lit::TRUE), la, "identity");
+            assert_eq!(g.and(la, Lit::FALSE), Lit::FALSE, "annihilator");
+            assert_eq!(g.and(la, la.flip()), Lit::FALSE, "complement");
         }
     }
+}
 
-    /// Placement preserves semantics on random partitions of random logic
-    /// (direct CoreProgram evaluation against the golden simulator).
-    #[test]
-    fn placement_preserves_semantics(seed in any::<u64>(), width_pow in 6u32..9) {
-        use gem_aig::{Eaig, Lit};
-        use gem_partition::{partition, PartitionOptions};
-        use gem_place::{place_partition, PlaceOptions};
-        use gem_sim::EaigSim;
+/// Placement preserves semantics on random partitions of random logic
+/// (direct CoreProgram evaluation against the golden simulator).
+#[test]
+fn placement_preserves_semantics() {
+    use gem_aig::{Eaig, Lit};
+    use gem_partition::{partition, PartitionOptions};
+    use gem_place::{place_partition, PlaceOptions};
+    use gem_sim::EaigSim;
+    for case in 0..12u64 {
+        let mut gen = Gen(0x91ACE + case);
+        let seed = gen.next();
+        let width_pow = 6 + gen.below(3) as u32;
         let mut g = Eaig::new();
         let mut lits: Vec<Lit> = (0..10).map(|i| g.input(format!("i{i}"))).collect();
         let mut x = seed | 1;
@@ -162,8 +205,17 @@ proptest! {
         }
         let last = *lits.last().unwrap();
         g.output("o", last);
-        let parts = partition(&g, &PartitionOptions { target_parts: 2, ..Default::default() });
-        let opts = PlaceOptions { core_width: 1 << width_pow, ..Default::default() };
+        let parts = partition(
+            &g,
+            &PartitionOptions {
+                target_parts: 2,
+                ..Default::default()
+            },
+        );
+        let opts = PlaceOptions {
+            core_width: 1 << width_pow,
+            ..Default::default()
+        };
         let mut gold = EaigSim::new(&g);
         let programs: Vec<_> = parts.stages[0]
             .partitions
@@ -179,7 +231,7 @@ proptest! {
             for (pi, (prog, _)) in programs.iter().enumerate() {
                 let outs = prog.evaluate(|n| gold.lit(Lit::from_node(n)));
                 for (k, &sink) in parts.stages[0].partitions[pi].sinks.iter().enumerate() {
-                    prop_assert_eq!(outs[k], gold.lit(sink));
+                    assert_eq!(outs[k], gold.lit(sink), "case {case} part {pi} sink {k}");
                 }
             }
             gold.step();
