@@ -1,0 +1,180 @@
+//! **Server baseline** — throughput of the multi-session simulation
+//! service (`gem-server`) under its designed-for load: several clients
+//! of the *same* design, so the compile cache collapses N compiles into
+//! one and the worker pool interleaves the sessions' cycles.
+//!
+//! Four concurrent sessions of an NVDLA-like MAC datapath are driven
+//! over real TCP loopback; the binary reports requests/sec and
+//! simulated cycles/sec, cross-checks the cache (exactly one compile),
+//! and records the baseline in `BENCH_server.json` (plus the usual
+//! `target/gem-experiments/ext_server.json`).
+//!
+//! Usage: `cargo run -p gem-bench --release --bin ext_server
+//!         [--sessions 4] [--reqs 64] [--cycles 16]`
+
+use gem_bench::{arg, fmt_hz, write_record};
+use gem_server::{GemClient, Server, ServerConfig};
+use gem_telemetry::Json;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// The NVDLA stand-in's inner loop, expressed in the Verilog subset: a
+/// bank of four 8-bit multiply–accumulate lanes feeding a 32-bit
+/// accumulator tree — the same shape as `gem_designs::nvdla_like`, sized
+/// for a service benchmark (compile cost is paid once; cycle cost is
+/// what the pool schedules).
+const NVDLA_MAC: &str = "
+module nvdla_mac(input clk, input rst, input start,
+                 input [31:0] act, input [31:0] wgt,
+                 output reg [31:0] acc, output [15:0] p0);
+  wire [15:0] m0;
+  wire [15:0] m1;
+  wire [15:0] m2;
+  wire [15:0] m3;
+  assign m0 = {8'd0, act[7:0]}   * {8'd0, wgt[7:0]};
+  assign m1 = {8'd0, act[15:8]}  * {8'd0, wgt[15:8]};
+  assign m2 = {8'd0, act[23:16]} * {8'd0, wgt[23:16]};
+  assign m3 = {8'd0, act[31:24]} * {8'd0, wgt[31:24]};
+  wire [31:0] sum;
+  assign sum = {16'd0, m0} + {16'd0, m1} + {16'd0, m2} + {16'd0, m3};
+  assign p0 = m0;
+  always @(posedge clk) begin
+    if (rst) acc <= 32'd0;
+    else if (start) acc <= acc + sum;
+  end
+endmodule
+";
+
+fn wire_opts() -> Json {
+    let mut o = Json::object();
+    o.set("width", 512u64);
+    o.set("parts", 4u64);
+    o.set("stages", 1u64);
+    o
+}
+
+fn metric(stats: &Json, family: &str) -> u64 {
+    let Some(families) = stats
+        .get("metrics")
+        .and_then(|m| m.get("families"))
+        .and_then(Json::as_array)
+    else {
+        return 0;
+    };
+    families
+        .iter()
+        .filter(|f| f.get("name").and_then(Json::as_str) == Some(family))
+        .filter_map(|f| f.get("samples").and_then(Json::as_array))
+        .flatten()
+        .filter_map(|s| s.get("value").and_then(Json::as_f64))
+        .sum::<f64>() as u64
+}
+
+/// One client session: open, stream `reqs` step requests of `cycles`
+/// each (retrying politely on backpressure), peek, close. Returns
+/// (requests sent, cycles simulated).
+fn drive_session(addr: std::net::SocketAddr, lane: u64, reqs: u64, cycles: u64) -> (u64, u64) {
+    let mut c = GemClient::connect(addr).expect("connect");
+    let opened = c.open(NVDLA_MAC, wire_opts()).expect("open");
+    let session = opened.get("session").and_then(Json::as_u64).expect("id");
+    let mut sent = 2; // open + the close below
+    c.poke(session, "rst", "0").expect("poke rst");
+    sent += 1;
+    for r in 0..reqs {
+        let act = format!("{:08x}", (r * 0x01010101 + lane * 0x11) & 0xffff_ffff);
+        let wgt = format!("{:08x}", (r * 0x0f0f_0f01 + lane) & 0xffff_ffff);
+        let pokes = vec![("start", "1"), ("act", act.as_str()), ("wgt", wgt.as_str())];
+        loop {
+            sent += 1;
+            match c.step(session, cycles, pokes.clone()) {
+                Ok(_) => break,
+                Err(e) if e.is_busy() => std::thread::sleep(Duration::from_millis(2)),
+                Err(e) => panic!("step failed: {e}"),
+            }
+        }
+    }
+    let acc = c.peek(session, "acc").expect("peek acc");
+    sent += 1;
+    assert!(!acc.is_empty());
+    c.close(session).expect("close");
+    (sent, reqs * cycles)
+}
+
+fn main() {
+    let sessions = arg("--sessions", 4).max(1);
+    let reqs = arg("--reqs", 64).max(1);
+    let cycles = arg("--cycles", 16).max(1);
+
+    println!("SERVER BASELINE — {sessions} concurrent NVDLA-like sessions over TCP loopback");
+
+    let server = Server::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+    let server = std::thread::spawn(move || server.run());
+
+    let start_line = Arc::new(Barrier::new(sessions as usize));
+    let t0 = Instant::now();
+    let drivers: Vec<_> = (0..sessions)
+        .map(|lane| {
+            let start_line = Arc::clone(&start_line);
+            std::thread::spawn(move || {
+                start_line.wait();
+                drive_session(addr, lane, reqs, cycles)
+            })
+        })
+        .collect();
+    let mut total_reqs = 0u64;
+    let mut total_cycles = 0u64;
+    for d in drivers {
+        let (r, c) = d.join().expect("driver thread");
+        total_reqs += r;
+        total_cycles += c;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut c = GemClient::connect(addr).expect("connect for stats");
+    let stats = c.stats().expect("stats");
+    c.shutdown().expect("shutdown");
+    server.join().expect("server thread").expect("server run");
+
+    let compiles = metric(&stats, "gem_server_compiles_total");
+    let hits = metric(&stats, "gem_server_cache_hits_total");
+    assert_eq!(compiles, 1, "all sessions must share one compile");
+    assert_eq!(hits, sessions - 1, "every duplicate open must cache-hit");
+    assert_eq!(
+        metrics
+            .cycles_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        total_cycles,
+        "server-side cycle count must match what the clients drove"
+    );
+
+    let req_per_s = total_reqs as f64 / wall;
+    let cyc_per_s = total_cycles as f64 / wall;
+    println!(
+        "  {total_reqs} requests, {total_cycles} cycles in {wall:.3} s \
+         → {} req/s, {} cycles/s (1 compile, {hits} cache hits)",
+        fmt_hz(req_per_s),
+        fmt_hz(cyc_per_s)
+    );
+
+    let mut rec = Json::object();
+    rec.set("experiment", "ext_server");
+    rec.set("design", "nvdla_mac");
+    rec.set("sessions", sessions);
+    rec.set("requests_per_session", reqs);
+    rec.set("cycles_per_request", cycles);
+    rec.set("wall_seconds", wall);
+    rec.set("requests_total", total_reqs);
+    rec.set("cycles_total", total_cycles);
+    rec.set("requests_per_sec", req_per_s);
+    rec.set("cycles_per_sec", cyc_per_s);
+    rec.set("compiles_total", compiles);
+    rec.set("cache_hits_total", hits);
+    write_record("ext_server", &rec);
+    if let Err(e) = std::fs::write("BENCH_server.json", rec.to_string_pretty()) {
+        eprintln!("could not write BENCH_server.json: {e}");
+    } else {
+        println!("  baseline recorded in BENCH_server.json");
+    }
+}

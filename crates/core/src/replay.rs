@@ -195,6 +195,104 @@ mod tests {
     }
 
     #[test]
+    fn empty_waveform_replays_zero_cycles() {
+        // A VCD that declares matching inputs but contains no value
+        // changes: binding succeeds, replay runs nothing, the simulator
+        // is untouched.
+        let compiled = adder_design();
+        let mut w = VcdWriter::new("tb");
+        w.add_var("x", 4);
+        w.add_var("y", 4);
+        let stim = VcdStimulus::new(&w.finish(), &compiled.io).expect("binds");
+        assert_eq!(stim.cycles(), 0);
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        let outs = stim.replay(&mut sim);
+        assert!(outs.is_empty());
+        assert_eq!(sim.counters().cycles, 0);
+    }
+
+    #[test]
+    fn clock_only_waveform_advances_cycles() {
+        // A waveform that only toggles a clock-like 1-bit input still
+        // drives one simulated cycle per timestamp (GEM's clock is
+        // implicit; the toggles are just input activity).
+        let mut b = ModuleBuilder::new("tick");
+        let clk = b.input("clk", 1);
+        let q = b.dff(4);
+        let one = b.lit(1, 4);
+        let inc = b.add(q, one);
+        let nxt = b.mux(clk, inc, q);
+        b.connect_dff(q, nxt);
+        b.output("q", q);
+        let m = b.finish().expect("valid");
+        let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut w = VcdWriter::new("tb");
+        let vclk = w.add_var("clk", 1);
+        w.begin();
+        for t in 0..6u64 {
+            w.timestamp(t);
+            w.change(vclk, &gem_netlist::Bits::from_u64(t % 2, 1));
+        }
+        let stim = VcdStimulus::new(&w.finish(), &compiled.io).expect("binds");
+        assert_eq!(stim.cycles(), 6);
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        let outs = stim.replay(&mut sim);
+        assert_eq!(outs.len(), 6);
+        assert_eq!(sim.counters().cycles, 6);
+        // clk=1 on odd timestamps: the counter increments on 3 of the 6
+        // cycles; the last cycle (t=5, clk=1) observes q after 2 earlier
+        // enabled edges.
+        assert_eq!(outs[5][0].1.to_u64(), 2);
+    }
+
+    #[test]
+    fn dumpoff_block_mid_stream_is_tolerated() {
+        let compiled = adder_design();
+        // Hand-written VCD with a $dumpoff/$dumpon checkpoint between
+        // changes (x values parse as 0).
+        let text = "$timescale 1ns $end\n$scope module tb $end\n\
+                    $var wire 4 ! x $end\n$var wire 4 \" y $end\n\
+                    $upscope $end\n$enddefinitions $end\n\
+                    #0\nb0011 !\nb0001 \"\n\
+                    #1\n$dumpoff\nbxxxx !\nbxxxx \"\n$end\n\
+                    #2\n$dumpon\nb0100 !\nb0010 \"\n$end\n";
+        let stim = VcdStimulus::new(text, &compiled.io).expect("binds");
+        assert_eq!(stim.cycles(), 3);
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        let outs = stim.replay(&mut sim);
+        let sums: Vec<u64> = outs.iter().map(|c| c[0].1.to_u64()).collect();
+        // 3+1, then the x/x checkpoint cycle (reads as 0+0), then 4+2.
+        assert_eq!(sums, vec![4, 0, 6]);
+    }
+
+    #[test]
+    fn poke_peek_interleaves_with_replay() {
+        // Server-driven stimuli mix direct pokes with waveform replay on
+        // the same session; values applied either way persist.
+        let compiled = adder_design();
+        let mut sim = crate::GemSimulator::new(&compiled).expect("loads");
+        // Direct poke phase.
+        sim.set_input("x", Bits::from_u64(9, 4));
+        sim.set_input("y", Bits::from_u64(1, 4));
+        sim.step();
+        assert_eq!(sim.output("s").to_u64(), 10);
+        // Replay phase: the waveform only drives x; y holds the poked 1.
+        let mut w = VcdWriter::new("tb");
+        let vx = w.add_var("x", 4);
+        w.begin();
+        w.timestamp(0);
+        w.change(vx, &Bits::from_u64(4, 4));
+        let stim = VcdStimulus::new(&w.finish(), &compiled.io).expect("binds");
+        let outs = stim.replay(&mut sim);
+        assert_eq!(outs[0][0].1.to_u64(), 5, "poked y persists into replay");
+        // Back to pokes: x holds the replayed 4.
+        sim.set_input("y", Bits::from_u64(8, 4));
+        sim.step();
+        assert_eq!(sim.output("s").to_u64(), 12, "replayed x persists");
+        assert_eq!(sim.counters().cycles, 3);
+    }
+
+    #[test]
     fn width_mismatch_rejected() {
         let compiled = adder_design();
         let mut w = VcdWriter::new("tb");

@@ -3,7 +3,7 @@
 use crate::compile::Compiled;
 use gem_netlist::Bits;
 use gem_telemetry::{MetricsSink, MetricsSnapshot};
-use gem_vgpu::{CounterBreakdown, GemGpu, KernelCounters, MachineError};
+use gem_vgpu::{CounterBreakdown, GemGpu, GpuSnapshot, KernelCounters, MachineError};
 use std::fmt;
 
 /// Runs a compiled design cycle by cycle.
@@ -38,7 +38,9 @@ pub struct GemSimulator {
     gpu: GemGpu,
     io: crate::IoMap,
     /// Periodic metrics export: sink plus snapshot interval in cycles.
-    sink: Option<(Box<dyn MetricsSink>, u64)>,
+    /// `Send` so a simulator (and its sink) can be owned by a server
+    /// worker thread.
+    sink: Option<(Box<dyn MetricsSink + Send>, u64)>,
 }
 
 impl fmt::Debug for GemSimulator {
@@ -173,14 +175,37 @@ impl GemSimulator {
     /// Installs a metrics sink that receives a [`metrics`](Self::metrics)
     /// snapshot every `every_n_cycles` simulated cycles (and replaces any
     /// previous sink). `every_n_cycles` is clamped to at least 1.
-    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink>, every_n_cycles: u64) {
+    pub fn set_metrics_sink(&mut self, sink: Box<dyn MetricsSink + Send>, every_n_cycles: u64) {
         self.sink = Some((sink, every_n_cycles.max(1)));
     }
 
     /// Removes the metrics sink, returning it (e.g. to flush or to read a
     /// collector back out).
-    pub fn take_metrics_sink(&mut self) -> Option<Box<dyn MetricsSink>> {
+    pub fn take_metrics_sink(&mut self) -> Option<Box<dyn MetricsSink + Send>> {
         self.sink.take().map(|(s, _)| s)
+    }
+
+    /// The compiled design's port bindings.
+    pub fn io(&self) -> &crate::IoMap {
+        &self.io
+    }
+
+    /// Captures the complete mutable machine state (signals, RAM
+    /// contents, counters) for later [`restore`](Self::restore) — the
+    /// substrate for session suspend/resume and checkpointing.
+    pub fn snapshot(&self) -> GpuSnapshot {
+        self.gpu.snapshot()
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot) taken from a simulator of
+    /// the same compiled design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotMismatch`] when the snapshot's
+    /// shape does not match this design; the simulator is left untouched.
+    pub fn restore(&mut self, s: &GpuSnapshot) -> Result<(), MachineError> {
+        self.gpu.restore(s)
     }
 
     /// Direct access to a RAM block word (test setup, e.g. preloading a
@@ -192,5 +217,60 @@ impl GemSimulator {
     /// Reads a RAM block word.
     pub fn ram_word(&self, ram: usize, addr: usize) -> u32 {
         self.gpu.ram_word(ram, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions, Package};
+    use gem_netlist::ModuleBuilder;
+
+    /// Compile-time thread-safety audit: a simulation service moves these
+    /// across threads (worker pools own sessions, compile jobs return
+    /// `Compiled`, caches share `Package`s). A regression — e.g. an `Rc`
+    /// or a non-`Send` trait object sneaking into any of them — fails
+    /// this test at compile time.
+    fn assert_send<T: Send>() {}
+    fn assert_send_static<T: Send + 'static>() {}
+
+    #[test]
+    fn simulation_types_are_send() {
+        assert_send::<GemSimulator>();
+        assert_send::<Compiled>();
+        assert_send::<Package>();
+        assert_send::<gem_vgpu::GemGpu>();
+        assert_send::<gem_vgpu::GpuSnapshot>();
+        assert_send::<crate::IoMap>();
+        assert_send_static::<GemSimulator>();
+        assert_send_static::<Compiled>();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_simulator() {
+        let mut b = ModuleBuilder::new("snap");
+        let en = b.input("en", 1);
+        let q = b.dff(8);
+        let one = b.lit(1, 8);
+        let inc = b.add(q, one);
+        let nxt = b.mux(en, inc, q);
+        b.connect_dff(q, nxt);
+        b.output("q", q);
+        let m = b.finish().expect("valid");
+        let c = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut sim = GemSimulator::new(&c).expect("loads");
+        sim.set_input("en", Bits::from_u64(1, 1));
+        for _ in 0..5 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        let q_at_snap = sim.output("q").to_u64();
+        for _ in 0..3 {
+            sim.step();
+        }
+        assert_ne!(sim.output("q").to_u64(), q_at_snap);
+        sim.restore(&snap).expect("restores");
+        sim.step();
+        assert_eq!(sim.output("q").to_u64(), q_at_snap + 1);
     }
 }

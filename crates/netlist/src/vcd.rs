@@ -216,8 +216,12 @@ impl VcdDump {
                     }
                 }
                 changes.push((time, id, v));
-            } else if line.starts_with("$dumpvars") || line.starts_with("$end") {
-                // ignore
+            } else if line.starts_with('$') {
+                // Body directives — `$dumpvars`, mid-stream `$dumpoff` /
+                // `$dumpon` / `$dumpall` blocks, `$comment`, and their
+                // closing `$end` — carry no two-state value information;
+                // the x-value entries inside a `$dumpoff` block parse as
+                // ordinary changes (x reads as 0).
             } else {
                 let (vch, code) = line.split_at(1);
                 let id = *codes
@@ -282,6 +286,19 @@ mod tests {
             VcdDump::parse(text),
             Err(ParseVcdError::UnknownId(_))
         ));
+    }
+
+    #[test]
+    fn body_directives_ignored() {
+        // A mid-stream $dumpoff … $dumpon sequence, as real simulators
+        // emit around checkpoints, must not break parsing; the x entries
+        // inside the off-block read as 0.
+        let text = "$var wire 1 ! v $end\n$enddefinitions $end\n\
+                    $dumpvars\n0!\n$end\n#0\n1!\n#5\n$dumpoff\nx!\n$end\n\
+                    #10\n$dumpon\n1!\n$end\n";
+        let d = VcdDump::parse(text).unwrap();
+        let vals: Vec<(u64, u64)> = d.changes.iter().map(|(t, _, v)| (*t, v.to_u64())).collect();
+        assert_eq!(vals, vec![(0, 0), (0, 1), (5, 0), (10, 1)]);
     }
 
     #[test]

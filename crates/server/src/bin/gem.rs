@@ -6,6 +6,9 @@
 //!             [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
 //!             [--gpu a100|3090]
 //! gem stats   <design.v>            # Table-I style report
+//! gem serve   [--addr host:port] [--workers N] [--queue N] [--cache N]
+//!             [--idle-ms N] [--port-file path]
+//! gem client  --addr host:port <action> [...]
 //! ```
 //!
 //! `compile` parses the synthesizable-Verilog subset, runs the full flow
@@ -13,14 +16,17 @@
 //! self-contained `.gemb` package. `run` executes a package (or compiles
 //! a Verilog file on the fly) on the virtual GPU, printing outputs each
 //! cycle, optionally dumping a VCD and reporting the modeled simulation
-//! speed.
+//! speed. `serve` starts the multi-session simulation service
+//! (`docs/SERVER.md`); `client` drives one against a running server.
 
 use gem_core::{compile, CompileOptions, GemSimulator, Package, VcdStimulus};
 use gem_netlist::vcd::VcdWriter;
 use gem_netlist::{verilog, Bits};
+use gem_server::{ClientError, GemClient, Server, ServerConfig};
 use gem_telemetry::Json;
 use gem_vgpu::{GpuSpec, TimingModel};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +34,8 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -53,10 +61,23 @@ USAGE:
               [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
               [--gpu a100|3090] [--emit-metrics out.json]
   gem stats   <design.v> [--emit-metrics out.json]
+  gem serve   [--addr 127.0.0.1:0] [--workers 4] [--queue 32] [--cache 8]
+              [--idle-ms 300000] [--port-file path] [--emit-metrics out.json]
+  gem client  --addr host:port <action>
+      ping     [--delay-ms N]
+      compile  <design.v> [--width N] [--parts N] [--stages N]
+      open     <design.v> [--width N] [--parts N] [--stages N]
+      poke     --session N --port name --value hex
+      peek     --session N --port name
+      step     --session N [--cycles N] [--poke port=hex ...]
+      replay   --session N --stimulus in.vcd [--vcd out.vcd]
+      close    --session N
+      stats | shutdown
 
 --emit-metrics writes a JSON document with the per-stage compile
 timings/sizes (when the design is compiled in this invocation) and the
-per-partition runtime counters (when it is run).
+per-partition runtime counters (when it is run). For `serve` it writes
+the gem_server_* families after shutdown.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -281,4 +302,165 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         );
     }
     emit_metrics(args, Some(compile_doc), Some(&sim))
+}
+
+// ------------------------------------------------------------- serving --
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let cfg = ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        workers: flag_u64(args, "--workers", 4)? as usize,
+        queue: flag_u64(args, "--queue", 32)? as usize,
+        cache: flag_u64(args, "--cache", 8)? as usize,
+        idle_timeout: Duration::from_millis(flag_u64(args, "--idle-ms", 300_000)?),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+    println!("listening on {addr}");
+    if let Some(path) = flag(args, "--port-file") {
+        // The port file carries the resolved address, so scripts binding
+        // port 0 can discover where the server actually listens.
+        std::fs::write(&path, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    if let Some(path) = flag(args, "--emit-metrics") {
+        std::fs::write(&path, metrics.snapshot().to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    println!("server stopped");
+    Ok(())
+}
+
+// -------------------------------------------------------------- client --
+
+fn client_opts(args: &[String]) -> Result<Json, String> {
+    let mut o = Json::object();
+    o.set("width", flag_u64(args, "--width", 2048)?);
+    o.set("parts", flag_u64(args, "--parts", 8)?);
+    o.set("stages", flag_u64(args, "--stages", 1)?);
+    Ok(o)
+}
+
+fn client_err(e: ClientError) -> String {
+    e.to_string()
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let addr =
+        flag(args, "--addr").ok_or_else(|| "client requires --addr host:port".to_string())?;
+    let action = args
+        .iter()
+        .find(|a| !a.starts_with('-') && **a != addr)
+        .ok_or_else(|| format!("missing client action\n{USAGE}"))?
+        .clone();
+    let rest: Vec<String> = args
+        .iter()
+        .skip_while(|a| **a != action)
+        .skip(1)
+        .cloned()
+        .collect();
+    let mut client =
+        GemClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action.as_str() {
+        "ping" => {
+            client
+                .ping(flag_u64(&rest, "--delay-ms", 0)?)
+                .map_err(client_err)?;
+            println!("pong");
+        }
+        "compile" | "open" => {
+            let file = positional(&rest)?;
+            let src =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let opts = client_opts(&rest)?;
+            let resp = if action == "open" {
+                client.open(&src, opts).map_err(client_err)?
+            } else {
+                client.compile(&src, opts).map_err(client_err)?
+            };
+            if let Some(s) = resp.get("session").and_then(Json::as_u64) {
+                println!("session {s}");
+            }
+            println!(
+                "key {} cached {}",
+                resp.get("key").and_then(Json::as_str).unwrap_or("?"),
+                resp.get("cached").and_then(Json::as_bool).unwrap_or(false),
+            );
+        }
+        "poke" => {
+            let session = flag_u64(&rest, "--session", 0)?;
+            let port = flag(&rest, "--port").ok_or("poke requires --port")?;
+            let value = flag(&rest, "--value").ok_or("poke requires --value")?;
+            client.poke(session, &port, &value).map_err(client_err)?;
+            println!("ok");
+        }
+        "peek" => {
+            let session = flag_u64(&rest, "--session", 0)?;
+            let port = flag(&rest, "--port").ok_or("peek requires --port")?;
+            let v = client.peek(session, &port).map_err(client_err)?;
+            println!("{port} = 0x{v}");
+        }
+        "step" => {
+            let session = flag_u64(&rest, "--session", 0)?;
+            let cycles = flag_u64(&rest, "--cycles", 1)?;
+            let mut pokes = Vec::new();
+            for (i, a) in rest.iter().enumerate() {
+                if a == "--poke" {
+                    let spec = rest
+                        .get(i + 1)
+                        .ok_or_else(|| "--poke expects port=hexvalue".to_string())?;
+                    let (name, val) = spec
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad poke {spec:?}"))?;
+                    pokes.push((name, val));
+                }
+            }
+            let resp = client.step(session, cycles, pokes).map_err(client_err)?;
+            println!(
+                "cycle {}",
+                resp.get("cycle").and_then(Json::as_u64).unwrap_or(0)
+            );
+            if let Some(Json::Object(outs)) = resp.get("outputs") {
+                for (name, v) in outs {
+                    println!("  {name} = 0x{}", v.as_str().unwrap_or("?"));
+                }
+            }
+        }
+        "replay" => {
+            let session = flag_u64(&rest, "--session", 0)?;
+            let path = flag(&rest, "--stimulus").ok_or("replay requires --stimulus in.vcd")?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let resp = client.replay(session, &text).map_err(client_err)?;
+            println!(
+                "replayed {} cycle(s)",
+                resp.get("cycles").and_then(Json::as_u64).unwrap_or(0)
+            );
+            if let Some(out) = flag(&rest, "--vcd") {
+                let text = resp.get("vcd").and_then(Json::as_str).unwrap_or_default();
+                std::fs::write(&out, text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+                println!("wrote {out}");
+            }
+        }
+        "close" => {
+            client
+                .close(flag_u64(&rest, "--session", 0)?)
+                .map_err(client_err)?;
+            println!("closed");
+        }
+        "stats" => {
+            let resp = client.stats().map_err(client_err)?;
+            println!("{}", resp.to_string_pretty());
+        }
+        "shutdown" => {
+            client.shutdown().map_err(client_err)?;
+            println!("server shutting down");
+        }
+        other => return Err(format!("unknown client action {other:?}\n{USAGE}")),
+    }
+    Ok(())
 }

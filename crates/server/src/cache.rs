@@ -1,0 +1,270 @@
+//! Content-hash-keyed, single-flight LRU cache of compiled designs.
+//!
+//! The GEM flow splits compile from execute: a compiled design (its
+//! bitstream and IO map) is immutable and reusable, so N sessions of the
+//! same source
+//! should pay for one compile. The cache keys on a content hash of
+//! `(source, options)` — not on file names — so identical designs
+//! submitted by different clients share an entry and any textual or
+//! option change misses.
+//!
+//! Lookups are *single-flight*: the first thread to miss installs a
+//! `Pending` slot and compiles outside the lock; concurrent lookups of
+//! the same key block on a condvar and are counted as **hits** when the
+//! compile lands (they paid no compile). Failed compiles are cached too
+//! (negative caching), so a design that does not parse is rejected once
+//! per revision instead of recompiled per request.
+
+use crate::metrics::{inc, ServerMetrics};
+use gem_core::{compile, CompileOptions, Compiled};
+use gem_netlist::verilog;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// FNV-1a 64-bit over the design source and the compile options.
+///
+/// The options participate through their canonical `Debug` form — every
+/// field of [`CompileOptions`] (and its nested `SynthOptions`) derives
+/// `Debug`, so any option change perturbs the key.
+pub fn content_hash(source: &str, opts: &CompileOptions) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(source.as_bytes());
+    eat(&[0xFF]); // separator: source/options boundary is unambiguous
+    eat(format!("{opts:?}").as_bytes());
+    h
+}
+
+/// A compile outcome held by the cache: the design or the error text.
+pub type CacheResult = Result<Arc<Compiled>, String>;
+
+enum Slot {
+    /// A thread is compiling this key right now.
+    Pending,
+    /// Compile finished; `u64` is the LRU tick of the last touch.
+    Ready(CacheResult, u64),
+}
+
+struct CacheState {
+    slots: HashMap<u64, Slot>,
+    tick: u64,
+}
+
+/// The cache. One instance per server, shared by all connections.
+pub struct CompileCache {
+    state: Mutex<CacheState>,
+    ready: Condvar,
+    capacity: usize,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl std::fmt::Debug for CompileCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompileCache")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl CompileCache {
+    /// A cache holding at most `capacity` compiled designs (clamped to at
+    /// least 1). Eviction is least-recently-used and never removes
+    /// `Pending` slots.
+    pub fn new(capacity: usize, metrics: Arc<ServerMetrics>) -> Self {
+        CompileCache {
+            state: Mutex::new(CacheState {
+                slots: HashMap::new(),
+                tick: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            metrics,
+        }
+    }
+
+    /// Returns the compiled design for `(source, opts)`, compiling at
+    /// most once per key however many threads ask concurrently.
+    ///
+    /// The second tuple element reports whether this lookup was served
+    /// from cache (`true`) or ran the compile itself (`false`).
+    pub fn get_or_compile(&self, source: &str, opts: &CompileOptions) -> (u64, CacheResult, bool) {
+        let key = content_hash(source, opts);
+        inc(&self.metrics.cache_lookups);
+        {
+            let mut st = self.state.lock().unwrap();
+            loop {
+                st.tick += 1;
+                let tick = st.tick;
+                match st.slots.get_mut(&key) {
+                    Some(Slot::Ready(res, touched)) => {
+                        *touched = tick;
+                        inc(&self.metrics.cache_hits);
+                        let res = res.clone();
+                        return (key, res, true);
+                    }
+                    Some(Slot::Pending) => {
+                        st = self.ready.wait(st).unwrap();
+                    }
+                    None => {
+                        st.slots.insert(key, Slot::Pending);
+                        break;
+                    }
+                }
+            }
+        }
+        // Compile outside the lock; waiters park on the condvar.
+        inc(&self.metrics.cache_misses);
+        inc(&self.metrics.compiles_total);
+        let result: CacheResult = verilog::parse(source)
+            .map_err(|e| e.to_string())
+            .and_then(|m| compile(&m, opts).map_err(|e| e.to_string()))
+            .map(Arc::new);
+        let mut st = self.state.lock().unwrap();
+        st.tick += 1;
+        let tick = st.tick;
+        st.slots.insert(key, Slot::Ready(result.clone(), tick));
+        self.evict_lru(&mut st);
+        self.metrics
+            .cache_entries
+            .store(st.slots.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        drop(st);
+        self.ready.notify_all();
+        (key, result, false)
+    }
+
+    /// Evicts least-recently-touched `Ready` slots until within capacity.
+    fn evict_lru(&self, st: &mut CacheState) {
+        while st.slots.len() > self.capacity {
+            let victim = st
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(_, touched) => Some((*k, *touched)),
+                    Slot::Pending => None,
+                })
+                .min_by_key(|&(_, touched)| touched)
+                .map(|(k, _)| k);
+            match victim {
+                Some(k) => {
+                    st.slots.remove(&k);
+                    inc(&self.metrics.cache_evictions);
+                }
+                None => break, // everything in flight; let it overshoot
+            }
+        }
+    }
+
+    /// Resident entry count (ready + pending).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    const COUNTER: &str = "
+module counter(input clk, input rst, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'd0;
+    else q <= q + 8'd1;
+  end
+endmodule
+";
+
+    fn opts() -> CompileOptions {
+        CompileOptions::small()
+    }
+
+    #[test]
+    fn hash_distinguishes_source_and_options() {
+        let a = content_hash(COUNTER, &opts());
+        assert_eq!(a, content_hash(COUNTER, &opts()));
+        assert_ne!(a, content_hash(&COUNTER.replace("8'd1", "8'd2"), &opts()));
+        let mut o2 = opts();
+        o2.core_width *= 2;
+        assert_ne!(a, content_hash(COUNTER, &o2));
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let m = Arc::new(ServerMetrics::default());
+        let cache = CompileCache::new(4, Arc::clone(&m));
+        let (k1, r1, cached1) = cache.get_or_compile(COUNTER, &opts());
+        assert!(r1.is_ok() && !cached1);
+        let (k2, r2, cached2) = cache.get_or_compile(COUNTER, &opts());
+        assert!(r2.is_ok() && cached2);
+        assert_eq!(k1, k2);
+        assert_eq!(m.compiles_total.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_lookups.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            m.cache_hits.load(Ordering::Relaxed) + m.cache_misses.load(Ordering::Relaxed),
+            2
+        );
+    }
+
+    #[test]
+    fn concurrent_same_key_compiles_once() {
+        let m = Arc::new(ServerMetrics::default());
+        let cache = Arc::new(CompileCache::new(4, Arc::clone(&m)));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let (_, r, _) = cache.get_or_compile(COUNTER, &CompileOptions::small());
+                    assert!(r.is_ok());
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.compiles_total.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_lookups.load(Ordering::Relaxed), 8);
+        assert_eq!(m.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let m = Arc::new(ServerMetrics::default());
+        let cache = CompileCache::new(2, Arc::clone(&m));
+        let v1 = COUNTER.to_string();
+        let v2 = COUNTER.replace("8'd1", "8'd2");
+        let v3 = COUNTER.replace("8'd1", "8'd3");
+        cache.get_or_compile(&v1, &opts());
+        cache.get_or_compile(&v2, &opts());
+        cache.get_or_compile(&v1, &opts()); // touch v1; v2 is now LRU
+        cache.get_or_compile(&v3, &opts()); // evicts v2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(m.cache_evictions.load(Ordering::Relaxed), 1);
+        let (_, _, cached) = cache.get_or_compile(&v1, &opts());
+        assert!(cached, "v1 must have survived eviction");
+        let (_, _, cached) = cache.get_or_compile(&v2, &opts());
+        assert!(!cached, "v2 must have been evicted");
+    }
+
+    #[test]
+    fn compile_errors_are_negative_cached() {
+        let m = Arc::new(ServerMetrics::default());
+        let cache = CompileCache::new(4, Arc::clone(&m));
+        let bad = "module broken(input clk, output w); endmodule garbage";
+        let (_, r1, cached1) = cache.get_or_compile(bad, &opts());
+        assert!(r1.is_err() && !cached1);
+        let (_, r2, cached2) = cache.get_or_compile(bad, &opts());
+        assert!(r2.is_err() && cached2);
+        assert_eq!(m.compiles_total.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! Server-wide metric registry (lock-free counters and gauges).
+//!
+//! One [`ServerMetrics`] instance is shared by every connection handler,
+//! the worker pool, the compile cache, and the session table. All fields
+//! are relaxed atomics — the registry is on the request hot path and
+//! never blocks. [`ServerMetrics::snapshot`] converts the registry into
+//! the workspace's standard [`MetricsSnapshot`] form, so server metrics
+//! flow through the same exporters (`--emit-metrics` JSON, Prometheus
+//! text) as the compile-flow and virtual-GPU families.
+//!
+//! Reconciliation invariants (asserted by the integration tests and
+//! documented in `docs/OBSERVABILITY.md`):
+//!
+//! * `jobs_submitted = jobs_completed + jobs_rejected` once the queue is
+//!   drained,
+//! * `cache_lookups = cache_hits + cache_misses`,
+//! * `sessions_opened = sessions_active + sessions_closed +
+//!   sessions_evicted`.
+
+use gem_telemetry::{MetricKind, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters/gauges for one server instance.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicU64,
+    /// Requests dispatched, all commands.
+    pub requests_total: AtomicU64,
+    /// Sessions opened.
+    pub sessions_opened: AtomicU64,
+    /// Sessions closed by the client.
+    pub sessions_closed: AtomicU64,
+    /// Sessions evicted by the idle reaper.
+    pub sessions_evicted: AtomicU64,
+    /// Currently live sessions.
+    pub sessions_active: AtomicU64,
+    /// Jobs offered to the worker pool (accepted or not).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: AtomicU64,
+    /// Jobs rejected with backpressure (queue full or shutting down).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: AtomicU64,
+    /// Cache lookups (each `get_or_compile` call counts once).
+    pub cache_lookups: AtomicU64,
+    /// Lookups served from cache (including waits on an in-flight
+    /// compile of the same design).
+    pub cache_hits: AtomicU64,
+    /// Lookups that compiled (or failed to compile) the design.
+    pub cache_misses: AtomicU64,
+    /// Entries dropped by LRU eviction.
+    pub cache_evictions: AtomicU64,
+    /// Resident cache entries.
+    pub cache_entries: AtomicU64,
+    /// Designs actually compiled (excludes cache hits).
+    pub compiles_total: AtomicU64,
+    /// Summed queue+execution latency of completed jobs, microseconds.
+    pub job_latency_micros: AtomicU64,
+    /// Simulated cycles executed on behalf of all sessions.
+    pub cycles_total: AtomicU64,
+}
+
+/// Relaxed increment helper: all metrics are monotonic or
+/// gauge-adjusted, never used for synchronization.
+pub(crate) fn inc(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Relaxed add helper.
+pub(crate) fn add(c: &AtomicU64, v: u64) {
+    c.fetch_add(v, Ordering::Relaxed);
+}
+
+/// Relaxed subtract helper (gauges only).
+pub(crate) fn dec(c: &AtomicU64) {
+    c.fetch_sub(1, Ordering::Relaxed);
+}
+
+impl ServerMetrics {
+    fn get(c: &AtomicU64) -> f64 {
+        c.load(Ordering::Relaxed) as f64
+    }
+
+    /// Exports every family under the `gem_server_` prefix.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::default();
+        let mut c = |name: &str, help: &str, v: &AtomicU64| {
+            s.push_scalar(name, help, MetricKind::Counter, Self::get(v));
+        };
+        c(
+            "gem_server_connections_total",
+            "Connections accepted",
+            &self.connections_total,
+        );
+        c(
+            "gem_server_requests_total",
+            "Requests dispatched",
+            &self.requests_total,
+        );
+        c(
+            "gem_server_sessions_opened_total",
+            "Sessions opened",
+            &self.sessions_opened,
+        );
+        c(
+            "gem_server_sessions_closed_total",
+            "Sessions closed by clients",
+            &self.sessions_closed,
+        );
+        c(
+            "gem_server_sessions_evicted_total",
+            "Sessions evicted after idle timeout",
+            &self.sessions_evicted,
+        );
+        c(
+            "gem_server_jobs_submitted_total",
+            "Jobs offered to the worker pool",
+            &self.jobs_submitted,
+        );
+        c(
+            "gem_server_jobs_completed_total",
+            "Jobs run to completion",
+            &self.jobs_completed,
+        );
+        c(
+            "gem_server_jobs_rejected_total",
+            "Jobs rejected with backpressure",
+            &self.jobs_rejected,
+        );
+        c(
+            "gem_server_cache_lookups_total",
+            "Compile-cache lookups",
+            &self.cache_lookups,
+        );
+        c(
+            "gem_server_cache_hits_total",
+            "Compile-cache hits",
+            &self.cache_hits,
+        );
+        c(
+            "gem_server_cache_misses_total",
+            "Compile-cache misses",
+            &self.cache_misses,
+        );
+        c(
+            "gem_server_cache_evictions_total",
+            "Compile-cache LRU evictions",
+            &self.cache_evictions,
+        );
+        c(
+            "gem_server_compiles_total",
+            "Designs compiled (cache misses that ran the flow)",
+            &self.compiles_total,
+        );
+        c(
+            "gem_server_job_latency_micros_total",
+            "Summed queue+execution latency of completed jobs (us)",
+            &self.job_latency_micros,
+        );
+        c(
+            "gem_server_cycles_total",
+            "Simulated cycles executed for all sessions",
+            &self.cycles_total,
+        );
+        let mut g = |name: &str, help: &str, v: &AtomicU64| {
+            s.push_scalar(name, help, MetricKind::Gauge, Self::get(v));
+        };
+        g(
+            "gem_server_connections_active",
+            "Currently open connections",
+            &self.connections_active,
+        );
+        g(
+            "gem_server_sessions_active",
+            "Currently live sessions",
+            &self.sessions_active,
+        );
+        g(
+            "gem_server_queue_depth",
+            "Jobs waiting in the worker-pool queue",
+            &self.queue_depth,
+        );
+        g(
+            "gem_server_cache_entries",
+            "Resident compile-cache entries",
+            &self.cache_entries,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_exports_all_families() {
+        let m = ServerMetrics::default();
+        inc(&m.requests_total);
+        add(&m.cycles_total, 41);
+        inc(&m.cycles_total);
+        let s = m.snapshot();
+        assert_eq!(s.family("gem_server_requests_total").unwrap().total(), 1.0);
+        assert_eq!(s.family("gem_server_cycles_total").unwrap().total(), 42.0);
+        assert!(s.family("gem_server_queue_depth").is_some());
+        // Prometheus export goes through the shared exporter unmodified.
+        assert!(s
+            .to_prometheus_text()
+            .contains("# TYPE gem_server_sessions_active gauge"));
+    }
+}

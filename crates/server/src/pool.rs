@@ -1,0 +1,270 @@
+//! Fixed worker thread pool with a bounded queue and explicit
+//! backpressure.
+//!
+//! Simulation work (compiles, stepped cycles, waveform replay) runs on a
+//! fixed number of OS threads so N greedy clients cannot oversubscribe
+//! the host. The queue is bounded: when it is full, [`WorkerPool::try_submit`]
+//! fails *immediately* with [`SubmitError::Full`] instead of blocking the
+//! connection handler — the server turns that into a `busy` wire response
+//! carrying a `retry_after_ms` hint. Rejecting at the edge keeps one slow
+//! client from head-of-line-blocking everyone else's control traffic
+//! (pokes, peeks, stats stay off the pool entirely).
+
+use crate::metrics::{add, dec, inc, ServerMetrics};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Why [`WorkerPool::try_submit`] declined a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry after the hinted backoff.
+    Full {
+        /// Jobs currently waiting (equals the configured capacity).
+        queued: usize,
+    },
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { queued } => write!(f, "job queue full ({queued} waiting)"),
+            SubmitError::ShuttingDown => write!(f, "worker pool shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct PoolState {
+    jobs: VecDeque<(Job, Instant)>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+    capacity: usize,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// The pool itself. Dropping it (or calling [`shutdown`](Self::shutdown))
+/// drains queued jobs and joins every worker.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads sharing a queue of at most `capacity`
+    /// waiting jobs. Both are clamped to at least 1.
+    pub fn new(workers: usize, capacity: usize, metrics: Arc<ServerMetrics>) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            metrics,
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gem-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Offers a job to the pool without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after [`shutdown`](Self::shutdown)
+    /// began. Either way the job is dropped and `jobs_rejected` counts it.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), SubmitError> {
+        let m = &self.shared.metrics;
+        inc(&m.jobs_submitted);
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            inc(&m.jobs_rejected);
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.jobs.len() >= self.shared.capacity {
+            inc(&m.jobs_rejected);
+            return Err(SubmitError::Full {
+                queued: st.jobs.len(),
+            });
+        }
+        st.jobs.push_back((Box::new(job), Instant::now()));
+        inc(&m.queue_depth);
+        drop(st);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// A backoff hint for rejected submissions: the average completed-job
+    /// latency so far, clamped to [1, 1000] ms. With no history it
+    /// defaults to 10 ms.
+    pub fn retry_after_ms(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        let done = self.shared.metrics.jobs_completed.load(Ordering::Relaxed);
+        if done == 0 {
+            return 10;
+        }
+        let total_us = self
+            .shared
+            .metrics
+            .job_latency_micros
+            .load(Ordering::Relaxed);
+        (total_us / done / 1000).clamp(1, 1000)
+    }
+
+    /// Stops accepting work, runs out the queue, and joins the workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let (job, enqueued_at) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(j) = st.jobs.pop_front() {
+                    dec(&shared.metrics.queue_depth);
+                    break j;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.available.wait(st).unwrap();
+            }
+        };
+        job();
+        add(
+            &shared.metrics.job_latency_micros,
+            enqueued_at.elapsed().as_micros() as u64,
+        );
+        inc(&shared.metrics.jobs_completed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_counters_reconcile() {
+        let m = Arc::new(ServerMetrics::default());
+        let pool = WorkerPool::new(2, 8, Arc::clone(&m));
+        let ran = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            let tx = tx.clone();
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..8 {
+            rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+        assert_eq!(m.jobs_submitted.load(Ordering::Relaxed), 8);
+        assert_eq!(m.jobs_completed.load(Ordering::Relaxed), 8);
+        assert_eq!(m.jobs_rejected.load(Ordering::Relaxed), 0);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let m = Arc::new(ServerMetrics::default());
+        let pool = WorkerPool::new(1, 1, Arc::clone(&m));
+        // Occupy the single worker until released.
+        let (hold_tx, hold_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel();
+        pool.try_submit(move || {
+            started_tx.send(()).unwrap();
+            hold_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        // One slot in the queue…
+        pool.try_submit(|| {}).unwrap();
+        // …then rejection, immediately.
+        let t0 = Instant::now();
+        match pool.try_submit(|| {}) {
+            Err(SubmitError::Full { queued }) => assert_eq!(queued, 1),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        hold_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(
+            m.jobs_submitted.load(Ordering::Relaxed),
+            m.jobs_completed.load(Ordering::Relaxed) + m.jobs_rejected.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn shutdown_runs_out_queued_jobs() {
+        let m = Arc::new(ServerMetrics::default());
+        let pool = WorkerPool::new(1, 16, Arc::clone(&m));
+        let ran = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,536 @@
+//! The TCP server: accept loop, connection handlers, and the command
+//! dispatcher.
+//!
+//! Threading model, smallest to largest scope:
+//!
+//! * **one thread per connection** reads frames and answers cheap
+//!   control commands (`poke`, `peek`, `close`, `stats`) inline;
+//! * **heavy commands** (`compile`, `open`, `step`, `replay`, delayed
+//!   `ping`) are offered to the shared [`WorkerPool`]; a full queue turns
+//!   into a `busy` response with a `retry_after_ms` hint instead of a
+//!   blocked handler;
+//! * **one reaper thread** evicts sessions idle past the configured
+//!   timeout;
+//! * the **accept loop** owns everything and joins all of it on
+//!   `shutdown`, so `Server::run` returning means no thread of this
+//!   server is left behind.
+
+use crate::cache::CompileCache;
+use crate::metrics::{dec, inc, ServerMetrics};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::protocol::{self, codes};
+use crate::session::SessionTable;
+use gem_core::{CompileOptions, GemSimulator, VcdStimulus};
+use gem_netlist::vcd::VcdWriter;
+use gem_telemetry::{read_frame, write_frame, FrameError, Json, DEFAULT_MAX_FRAME};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing simulation jobs.
+    pub workers: usize,
+    /// Bounded job-queue capacity (beyond-running jobs waiting).
+    pub queue: usize,
+    /// Compiled designs kept in the LRU cache.
+    pub cache: usize,
+    /// Sessions idle longer than this are evicted.
+    pub idle_timeout: Duration,
+    /// Largest accepted/emitted frame payload, bytes.
+    pub max_frame: usize,
+    /// How often the reaper scans for idle sessions.
+    pub reap_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 32,
+            cache: 8,
+            idle_timeout: Duration::from_secs(300),
+            max_frame: DEFAULT_MAX_FRAME,
+            reap_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+struct ServerState {
+    cfg: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    cache: CompileCache,
+    sessions: SessionTable,
+    pool: WorkerPool,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+    /// Clones of live connection streams, for unblocking reads at
+    /// shutdown. Keyed by connection id; handlers remove themselves.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.state.local_addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state (pool threads start
+    /// immediately; the accept loop starts in [`run`](Self::run)).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding `cfg.addr`.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let state = Arc::new(ServerState {
+            metrics: Arc::clone(&metrics),
+            cache: CompileCache::new(cfg.cache, Arc::clone(&metrics)),
+            sessions: SessionTable::new(Arc::clone(&metrics)),
+            pool: WorkerPool::new(cfg.workers, cfg.queue, Arc::clone(&metrics)),
+            stop: AtomicBool::new(false),
+            local_addr,
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(1),
+            cfg,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// The server's metric registry (shared; survives `run` returning).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.state.metrics)
+    }
+
+    /// Serves until a client issues `shutdown`. Joins every connection
+    /// handler, the reaper, and the worker pool before returning.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the accept loop (not from individual connections).
+    pub fn run(self) -> io::Result<()> {
+        let state = self.state;
+        let reaper = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("gem-reaper".into())
+                .spawn(move || {
+                    while !state.stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(state.cfg.reap_interval);
+                        state.sessions.evict_idle(state.cfg.idle_timeout);
+                    }
+                })
+                .expect("spawn reaper")
+        };
+        let mut handlers = Vec::new();
+        for incoming in self.listener.incoming() {
+            if state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                Err(_) if state.stop.load(Ordering::SeqCst) => break,
+                Err(e) => return Err(e),
+            };
+            let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                state.conns.lock().unwrap().insert(conn_id, clone);
+            }
+            inc(&state.metrics.connections_total);
+            inc(&state.metrics.connections_active);
+            let state2 = Arc::clone(&state);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name(format!("gem-conn-{conn_id}"))
+                    .spawn(move || handle_connection(&state2, stream, conn_id))
+                    .expect("spawn connection handler"),
+            );
+        }
+        // Unblock handlers still parked in read_frame, then join them.
+        for (_, c) in state.conns.lock().unwrap().drain() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = reaper.join();
+        // Dropping the state joins the worker pool (queue runs dry first).
+        Ok(())
+    }
+}
+
+/// Wakes a `run` loop blocked in `accept` after `stop` was set.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, conn_id: u64) {
+    loop {
+        let req = match read_frame(&mut stream, state.cfg.max_frame) {
+            Ok(v) => v,
+            Err(FrameError::Closed) => break,
+            Err(e) => {
+                // Framing is broken; report once (best effort) and drop.
+                let resp =
+                    protocol::err_response(0, codes::BAD_REQUEST, &format!("bad frame: {e}"));
+                let _ = write_frame(&mut stream, &resp, state.cfg.max_frame);
+                break;
+            }
+        };
+        inc(&state.metrics.requests_total);
+        let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let (resp, shutdown) = dispatch(state, id, &req);
+        if write_frame(&mut stream, &resp, state.cfg.max_frame).is_err() {
+            break;
+        }
+        if shutdown {
+            state.stop.store(true, Ordering::SeqCst);
+            wake_accept(state.local_addr);
+            break;
+        }
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    state.conns.lock().unwrap().remove(&conn_id);
+    dec(&state.metrics.connections_active);
+}
+
+/// Routes one request. Returns the response and whether this request
+/// asked the whole server to shut down.
+fn dispatch(state: &Arc<ServerState>, id: u64, req: &Json) -> (Json, bool) {
+    let cmd = match req.get("cmd").and_then(Json::as_str) {
+        Some(c) => c,
+        None => {
+            return (
+                protocol::err_response(id, codes::BAD_REQUEST, "missing field \"cmd\""),
+                false,
+            )
+        }
+    };
+    let result = match cmd {
+        "ping" => cmd_ping(state, id, req),
+        "compile" => cmd_compile(state, id, req),
+        "open" => cmd_open(state, id, req),
+        "poke" => cmd_poke(state, id, req),
+        "peek" => cmd_peek(state, id, req),
+        "step" => cmd_step(state, id, req),
+        "replay" => cmd_replay(state, id, req),
+        "save" => cmd_save(state, id, req),
+        "restore" => cmd_restore(state, id, req),
+        "close" => cmd_close(state, id, req),
+        "stats" => cmd_stats(state, id),
+        "shutdown" => return (protocol::ok_response(id), true),
+        other => Err((
+            codes::BAD_REQUEST.to_string(),
+            format!("unknown command {other:?}"),
+        )),
+    };
+    let resp = match result {
+        Ok(r) => r,
+        Err((code, message)) => {
+            let mut r = protocol::err_response(id, &code, &message);
+            if code == codes::BUSY {
+                r.set("retry_after_ms", state.pool.retry_after_ms());
+            }
+            r
+        }
+    };
+    (resp, false)
+}
+
+type CmdResult = Result<Json, (String, String)>;
+
+fn bad(msg: impl Into<String>) -> (String, String) {
+    (codes::BAD_REQUEST.to_string(), msg.into())
+}
+
+/// Offers `job` to the pool and waits for its response. A full queue
+/// becomes a `busy` error, so the connection thread never blocks on
+/// queue space — only on the job it successfully enqueued.
+fn run_on_pool(state: &Arc<ServerState>, job: impl FnOnce() -> Json + Send + 'static) -> CmdResult {
+    let (tx, rx) = mpsc::channel();
+    let submitted = state.pool.try_submit(move || {
+        let _ = tx.send(job());
+    });
+    match submitted {
+        Ok(()) => rx
+            .recv()
+            .map_err(|_| (codes::INTERNAL.to_string(), "worker dropped job".into())),
+        Err(e @ SubmitError::Full { .. }) | Err(e @ SubmitError::ShuttingDown) => {
+            Err((codes::BUSY.to_string(), e.to_string()))
+        }
+    }
+}
+
+/// Parses the optional `opts` object of `compile`/`open` requests.
+fn compile_opts(req: &Json) -> Result<CompileOptions, (String, String)> {
+    let mut opts = CompileOptions {
+        core_width: 2048,
+        target_parts: 8,
+        stages: 1,
+        ..Default::default()
+    };
+    if let Some(o) = req.get("opts") {
+        opts.core_width =
+            protocol::opt_u64(o, "width", opts.core_width as u64).map_err(bad)? as u32;
+        opts.target_parts =
+            protocol::opt_u64(o, "parts", opts.target_parts as u64).map_err(bad)? as usize;
+        opts.stages = protocol::opt_u64(o, "stages", opts.stages as u64).map_err(bad)? as usize;
+        opts.seed = protocol::opt_u64(o, "seed", opts.seed).map_err(bad)?;
+    }
+    Ok(opts)
+}
+
+fn cmd_ping(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let delay_ms = protocol::opt_u64(req, "delay_ms", 0).map_err(bad)?;
+    let mut resp = protocol::ok_response(id);
+    resp.set("pong", true);
+    if delay_ms == 0 {
+        return Ok(resp);
+    }
+    // Delayed pings run through the pool: they occupy a worker slot
+    // exactly like simulation work, which makes backpressure directly
+    // testable without racing a real compile.
+    run_on_pool(state, move || {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        resp
+    })
+}
+
+fn cmd_compile(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
+    let opts = compile_opts(req)?;
+    let state2 = Arc::clone(state);
+    run_on_pool(state, move || {
+        let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
+        match result {
+            Ok(design) => {
+                let mut r = protocol::ok_response(id);
+                r.set("key", format!("{key:016x}"));
+                r.set("cached", cached);
+                r.set("report", design.report.to_json());
+                r
+            }
+            Err(e) => protocol::err_response(id, codes::COMPILE_FAILED, &e),
+        }
+    })
+}
+
+fn cmd_open(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
+    let opts = compile_opts(req)?;
+    let state2 = Arc::clone(state);
+    run_on_pool(state, move || {
+        let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
+        let design = match result {
+            Ok(d) => d,
+            Err(e) => return protocol::err_response(id, codes::COMPILE_FAILED, &e),
+        };
+        let sim = match GemSimulator::new(&design) {
+            Ok(s) => s,
+            Err(e) => return protocol::err_response(id, codes::INTERNAL, &e.to_string()),
+        };
+        let session = state2.sessions.open(key, Arc::clone(&design), sim);
+        let mut r = protocol::ok_response(id);
+        r.set("session", session);
+        r.set("key", format!("{key:016x}"));
+        r.set("cached", cached);
+        r.set("report", design.report.to_json());
+        r
+    })
+}
+
+fn session_of(
+    state: &Arc<ServerState>,
+    req: &Json,
+) -> Result<Arc<crate::session::SessionEntry>, (String, String)> {
+    let sid = protocol::req_u64(req, "session").map_err(bad)?;
+    state
+        .sessions
+        .get(sid)
+        .ok_or_else(|| (codes::NOT_FOUND.to_string(), format!("no session {sid}")))
+}
+
+fn cmd_poke(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let port = protocol::req_str(req, "port").map_err(bad)?;
+    let value = protocol::req_str(req, "value").map_err(bad)?;
+    let mut sim = entry.sim.lock().unwrap();
+    let width = sim
+        .io()
+        .input(port)
+        .ok_or_else(|| bad(format!("no input port {port:?}")))?
+        .bits
+        .len() as u32;
+    let bits = protocol::bits_from_hex(value, width).map_err(bad)?;
+    sim.set_input(port, bits);
+    Ok(protocol::ok_response(id))
+}
+
+fn cmd_peek(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let port = protocol::req_str(req, "port").map_err(bad)?.to_string();
+    let sim = entry.sim.lock().unwrap();
+    if sim.io().output(&port).is_none() {
+        return Err(bad(format!("no output port {port:?}")));
+    }
+    let mut r = protocol::ok_response(id);
+    r.set("value", protocol::bits_to_hex(&sim.output(&port)));
+    Ok(r)
+}
+
+fn cmd_step(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let cycles = protocol::opt_u64(req, "cycles", 1).map_err(bad)?;
+    // Pokes applied before the first cycle: {"pokes": {"port": "hex"}}.
+    let pokes: Vec<(String, String)> = match req.get("pokes") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Object(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| bad(format!("poke {k:?} is not a hex string")))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err(bad("\"pokes\" must be an object")),
+    };
+    let state2 = Arc::clone(state);
+    run_on_pool(state, move || {
+        let mut sim = entry.sim.lock().unwrap();
+        for (port, value) in &pokes {
+            let Some(p) = sim.io().input(port) else {
+                return protocol::err_response(
+                    id,
+                    codes::BAD_REQUEST,
+                    &format!("no input port {port:?}"),
+                );
+            };
+            let width = p.bits.len() as u32;
+            match protocol::bits_from_hex(value, width) {
+                Ok(bits) => sim.set_input(port, bits),
+                Err(e) => return protocol::err_response(id, codes::BAD_REQUEST, &e),
+            }
+        }
+        for _ in 0..cycles {
+            sim.step();
+        }
+        crate::metrics::add(&state2.metrics.cycles_total, cycles);
+        let mut outputs = Json::object();
+        for p in sim.io().outputs.iter() {
+            outputs.set(&p.name, protocol::bits_to_hex(&sim.output(&p.name)));
+        }
+        let mut r = protocol::ok_response(id);
+        r.set("cycle", sim.counters().cycles);
+        r.set("outputs", outputs);
+        r
+    })
+}
+
+fn cmd_replay(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let vcd_text = protocol::req_str(req, "vcd").map_err(bad)?.to_string();
+    let state2 = Arc::clone(state);
+    run_on_pool(state, move || {
+        let mut sim = entry.sim.lock().unwrap();
+        let stim = match VcdStimulus::new(&vcd_text, sim.io()) {
+            Ok(s) => s,
+            Err(e) => return protocol::err_response(id, codes::BAD_REQUEST, &e.to_string()),
+        };
+        let rows = stim.replay(&mut sim);
+        crate::metrics::add(&state2.metrics.cycles_total, rows.len() as u64);
+        // The response carries the outputs both structured (per-cycle hex
+        // maps) and as a VCD document, so a client can `read-vcd` without
+        // a second round trip.
+        let mut w = VcdWriter::new("gem");
+        let vars: Vec<_> = sim
+            .io()
+            .outputs
+            .iter()
+            .map(|p| w.add_var(&p.name, p.bits.len() as u32))
+            .collect();
+        w.begin();
+        let mut cycles_json = Vec::with_capacity(rows.len());
+        for (t, row) in rows.iter().enumerate() {
+            w.timestamp(t as u64);
+            let mut obj = Json::object();
+            for (var, (name, v)) in vars.iter().zip(row) {
+                w.change(*var, v);
+                obj.set(name, protocol::bits_to_hex(v));
+            }
+            cycles_json.push(obj);
+        }
+        let mut r = protocol::ok_response(id);
+        r.set("cycles", rows.len() as u64);
+        r.set("outputs", Json::Array(cycles_json));
+        r.set("vcd", w.finish());
+        r
+    })
+}
+
+fn cmd_save(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let sim = entry.sim.lock().unwrap();
+    let snap = sim.snapshot();
+    let mut r = protocol::ok_response(id);
+    r.set("bytes", snap.approx_bytes() as u64);
+    *entry.saved.lock().unwrap() = Some(snap);
+    Ok(r)
+}
+
+fn cmd_restore(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let entry = session_of(state, req)?;
+    let saved = entry.saved.lock().unwrap();
+    let Some(snap) = saved.as_ref() else {
+        return Err((
+            codes::NOT_FOUND.to_string(),
+            "no saved checkpoint for this session".into(),
+        ));
+    };
+    let mut sim = entry.sim.lock().unwrap();
+    sim.restore(snap)
+        .map_err(|e| (codes::INTERNAL.to_string(), e.to_string()))?;
+    Ok(protocol::ok_response(id))
+}
+
+fn cmd_close(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let sid = protocol::req_u64(req, "session").map_err(bad)?;
+    if state.sessions.close(sid) {
+        Ok(protocol::ok_response(id))
+    } else {
+        Err((codes::NOT_FOUND.to_string(), format!("no session {sid}")))
+    }
+}
+
+fn cmd_stats(state: &Arc<ServerState>, id: u64) -> CmdResult {
+    let mut r = protocol::ok_response(id);
+    r.set("metrics", state.metrics.snapshot().to_json());
+    r.set("sessions", state.sessions.len() as u64);
+    r.set("cache_entries", state.cache.len() as u64);
+    Ok(r)
+}

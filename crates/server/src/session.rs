@@ -1,0 +1,198 @@
+//! Session table: per-client simulator instances with idle eviction.
+//!
+//! A session pairs one [`GemSimulator`] (mutable machine state) with the
+//! shared, immutable [`Compiled`] design it was instantiated from. The
+//! table hands out `Arc<SessionEntry>` so a connection handler and a pool
+//! worker can both hold the session while a job is in flight; the
+//! simulator itself sits behind a `Mutex`, serializing cycles per session
+//! while different sessions run fully in parallel.
+//!
+//! Sessions that go quiet are reclaimed by the idle reaper
+//! ([`SessionTable::evict_idle`], driven by a timer thread in the
+//! server): every request touches `last_used`, and entries older than the
+//! configured idle timeout are dropped and counted in
+//! `gem_server_sessions_evicted_total`.
+
+use crate::metrics::{dec, inc, ServerMetrics};
+use gem_core::{Compiled, GemSimulator};
+use gem_vgpu::GpuSnapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One live simulation session.
+pub struct SessionEntry {
+    /// Server-assigned session id (stable for the session's lifetime).
+    pub id: u64,
+    /// Compile-cache key of the design this session runs.
+    pub key: u64,
+    /// The shared compiled design (IO map, report, golden E-AIG).
+    pub design: Arc<Compiled>,
+    /// The session's machine state. Lock order: never hold this while
+    /// taking the table lock.
+    pub sim: Mutex<GemSimulator>,
+    /// Client-managed checkpoint filled by the `save` command and
+    /// consumed (non-destructively) by `restore`.
+    pub saved: Mutex<Option<GpuSnapshot>>,
+    last_used: Mutex<Instant>,
+}
+
+impl SessionEntry {
+    /// Marks the session as active now (resets the idle clock).
+    pub fn touch(&self) {
+        *self.last_used.lock().unwrap() = Instant::now();
+    }
+
+    fn idle_for(&self) -> Duration {
+        self.last_used.lock().unwrap().elapsed()
+    }
+}
+
+impl std::fmt::Debug for SessionEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionEntry")
+            .field("id", &self.id)
+            .field("key", &format_args!("{:016x}", self.key))
+            .finish()
+    }
+}
+
+/// All live sessions of one server.
+#[derive(Debug)]
+pub struct SessionTable {
+    entries: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new(metrics: Arc<ServerMetrics>) -> Self {
+        SessionTable {
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            metrics,
+        }
+    }
+
+    /// Registers a new session and returns its id.
+    pub fn open(&self, key: u64, design: Arc<Compiled>, sim: GemSimulator) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(SessionEntry {
+            id,
+            key,
+            design,
+            sim: Mutex::new(sim),
+            saved: Mutex::new(None),
+            last_used: Mutex::new(Instant::now()),
+        });
+        self.entries.lock().unwrap().insert(id, entry);
+        inc(&self.metrics.sessions_opened);
+        inc(&self.metrics.sessions_active);
+        id
+    }
+
+    /// Looks up a session and touches its idle clock.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        let entry = self.entries.lock().unwrap().get(&id).cloned()?;
+        entry.touch();
+        Some(entry)
+    }
+
+    /// Closes a session at the client's request. Returns `false` when the
+    /// id is unknown (already closed or evicted).
+    pub fn close(&self, id: u64) -> bool {
+        let removed = self.entries.lock().unwrap().remove(&id).is_some();
+        if removed {
+            inc(&self.metrics.sessions_closed);
+            dec(&self.metrics.sessions_active);
+        }
+        removed
+    }
+
+    /// Drops every session idle for longer than `max_idle`; returns how
+    /// many were evicted. In-flight sessions survive: a pool job holds
+    /// the `Arc`, so the machine state is freed only when the job ends,
+    /// and the job itself touched `last_used` at dispatch.
+    pub fn evict_idle(&self, max_idle: Duration) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        let victims: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| e.idle_for() > max_idle)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &victims {
+            entries.remove(id);
+            inc(&self.metrics.sessions_evicted);
+            dec(&self.metrics.sessions_active);
+        }
+        victims.len()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem_core::{compile, CompileOptions};
+    use gem_netlist::ModuleBuilder;
+
+    fn tiny_design() -> Arc<Compiled> {
+        let mut b = ModuleBuilder::new("t");
+        let a = b.input("a", 4);
+        let n = b.not(a);
+        b.output("y", n);
+        let m = b.finish().expect("valid");
+        Arc::new(compile(&m, &CompileOptions::small()).expect("compiles"))
+    }
+
+    #[test]
+    fn open_get_close_lifecycle() {
+        let m = Arc::new(ServerMetrics::default());
+        let table = SessionTable::new(Arc::clone(&m));
+        let design = tiny_design();
+        let sim = GemSimulator::new(&design).unwrap();
+        let id = table.open(7, Arc::clone(&design), sim);
+        assert!(table.get(id).is_some());
+        assert_eq!(table.len(), 1);
+        assert!(table.close(id));
+        assert!(!table.close(id), "double close reports unknown");
+        assert!(table.get(id).is_none());
+        assert_eq!(m.sessions_opened.load(Ordering::Relaxed), 1);
+        assert_eq!(m.sessions_closed.load(Ordering::Relaxed), 1);
+        assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn idle_sessions_evicted_touched_ones_survive() {
+        let m = Arc::new(ServerMetrics::default());
+        let table = SessionTable::new(Arc::clone(&m));
+        let design = tiny_design();
+        let id1 = table.open(1, Arc::clone(&design), GemSimulator::new(&design).unwrap());
+        let id2 = table.open(2, Arc::clone(&design), GemSimulator::new(&design).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        table.get(id2); // touch
+        let evicted = table.evict_idle(Duration::from_millis(15));
+        assert_eq!(evicted, 1);
+        assert!(table.get(id1).is_none());
+        assert!(table.get(id2).is_some());
+        assert_eq!(m.sessions_evicted.load(Ordering::Relaxed), 1);
+        // opened = active + closed + evicted
+        assert_eq!(
+            m.sessions_opened.load(Ordering::Relaxed),
+            m.sessions_active.load(Ordering::Relaxed)
+                + m.sessions_closed.load(Ordering::Relaxed)
+                + m.sessions_evicted.load(Ordering::Relaxed)
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! End-to-end wire-protocol tests: real TCP connections, concurrent
+//! clients, golden-model cross-checks, backpressure, and metric
+//! reconciliation.
+
+use gem_core::{compile, CompileOptions, Compiled};
+use gem_netlist::vcd::VcdWriter;
+use gem_netlist::{verilog, Bits};
+use gem_server::{GemClient, Server, ServerConfig};
+use gem_sim::EaigSim;
+use gem_telemetry::Json;
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Design A: gated accumulator (stateful, multi-port).
+const DESIGN_A: &str = "
+module accum(input clk, input en, input [7:0] delta, output reg [15:0] acc);
+  always @(posedge clk) begin
+    if (en) acc <= acc + {8'd0, delta};
+  end
+endmodule
+";
+
+/// Design B: combinational mix feeding a scrambling register.
+const DESIGN_B: &str = "
+module mixer(input clk, input [7:0] a, input [7:0] b,
+             output [7:0] x, output reg [7:0] r);
+  assign x = (a ^ b) + (a & b);
+  always @(posedge clk) r <= x ^ (r << 1);
+endmodule
+";
+
+/// The compile options the server derives from the wire `opts` below —
+/// must stay in lockstep with [`wire_opts`] for the golden comparison.
+fn small_opts() -> CompileOptions {
+    CompileOptions {
+        core_width: 256,
+        target_parts: 4,
+        stages: 1,
+        ..Default::default()
+    }
+}
+
+fn wire_opts() -> Json {
+    let mut o = Json::object();
+    o.set("width", 256u64);
+    o.set("parts", 4u64);
+    o.set("stages", 1u64);
+    o
+}
+
+fn start_server(cfg: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown_and_join(addr: SocketAddr, server: std::thread::JoinHandle<std::io::Result<()>>) {
+    let mut c = GemClient::connect(addr).expect("connect for shutdown");
+    c.shutdown().expect("shutdown acknowledged");
+    server
+        .join()
+        .expect("server thread")
+        .expect("server run result");
+}
+
+/// Drives one named input port of the golden E-AIG interpreter.
+fn golden_set(sim: &mut EaigSim<'_>, compiled: &Compiled, port: &str, value: u64) {
+    let p = compiled
+        .eaig_inputs
+        .iter()
+        .find(|p| p.name == port)
+        .unwrap_or_else(|| panic!("no input {port:?}"));
+    for i in 0..p.width {
+        sim.set_input(p.lsb_index + i as usize, (value >> i) & 1 == 1);
+    }
+}
+
+/// Reads one named output port from the golden interpreter.
+fn golden_get(sim: &mut EaigSim<'_>, compiled: &Compiled, port: &str) -> u64 {
+    let p = compiled
+        .eaig_outputs
+        .iter()
+        .find(|p| p.name == port)
+        .unwrap_or_else(|| panic!("no output {port:?}"));
+    sim.eval();
+    let mut v = 0u64;
+    for i in 0..p.width {
+        if sim.output(p.lsb_index + i as usize) {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+fn out_u64(resp: &Json, port: &str) -> u64 {
+    let hex = resp
+        .get("outputs")
+        .and_then(|o| o.get(port))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("step response missing output {port:?}"));
+    u64::from_str_radix(hex, 16).expect("hex output")
+}
+
+/// Sums every sample of one metric family in a `stats` response.
+fn metric(stats: &Json, family: &str) -> f64 {
+    let families = stats
+        .get("metrics")
+        .and_then(|m| m.get("families"))
+        .and_then(Json::as_array)
+        .expect("stats carry metric families");
+    families
+        .iter()
+        .find(|f| f.get("name").and_then(Json::as_str) == Some(family))
+        .and_then(|f| f.get("samples").and_then(Json::as_array))
+        .map(|samples| {
+            samples
+                .iter()
+                .filter_map(|s| s.get("value").and_then(Json::as_f64))
+                .sum()
+        })
+        .unwrap_or_else(|| panic!("no metric family {family:?}"))
+}
+
+/// Polls `stats` until the pool quiesces (submitted = completed +
+/// rejected); completion counters lag the response by one scheduler
+/// beat, so a fixed-point read needs a retry loop.
+fn quiesced_stats(client: &mut GemClient) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        let submitted = metric(&stats, "gem_server_jobs_submitted_total");
+        let done = metric(&stats, "gem_server_jobs_completed_total")
+            + metric(&stats, "gem_server_jobs_rejected_total");
+        if submitted == done {
+            return stats;
+        }
+        assert!(Instant::now() < deadline, "pool never quiesced");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The flagship scenario: two designs, two sessions each, opened
+/// concurrently by four clients over TCP. The compile cache must
+/// collapse the four compiles into two, every session's outputs must
+/// match the golden interpreter bit for bit, and the server's metrics
+/// must reconcile at quiesce.
+#[test]
+fn concurrent_sessions_share_compiles_and_match_golden() {
+    let (addr, server) = start_server(ServerConfig {
+        workers: 4,
+        queue: 16,
+        cache: 4,
+        ..ServerConfig::default()
+    });
+
+    // Four clients open concurrently: sessions 0,1 → design A; 2,3 → B.
+    let barrier = Arc::new(Barrier::new(4));
+    let handles: Vec<_> = (0..4usize)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = GemClient::connect(addr).expect("connect");
+                let source = if i < 2 { DESIGN_A } else { DESIGN_B };
+                barrier.wait();
+                let resp = client.open(source, wire_opts()).expect("open");
+                let session = resp.get("session").and_then(Json::as_u64).unwrap();
+                let cached = resp.get("cached").and_then(Json::as_bool).unwrap();
+                (i, client, session, cached)
+            })
+        })
+        .collect();
+    let opens: Vec<_> = handles
+        .into_iter()
+        .map(|t| t.join().expect("open thread"))
+        .collect();
+
+    // Exactly one compile per design: of the two clients per design, one
+    // (either one — the race is real) must have hit the cache.
+    for pair in opens.chunks(2) {
+        let hits = pair.iter().filter(|(_, _, _, cached)| *cached).count();
+        assert_eq!(hits, 1, "one of each design pair must hit the cache");
+    }
+
+    // Drive every session and its golden model with the same stimulus,
+    // all four sessions in parallel.
+    let compiled_a = Arc::new(compile(&verilog::parse(DESIGN_A).unwrap(), &small_opts()).unwrap());
+    let compiled_b = Arc::new(compile(&verilog::parse(DESIGN_B).unwrap(), &small_opts()).unwrap());
+    let drivers: Vec<_> = opens
+        .into_iter()
+        .map(|(i, mut client, session, _)| {
+            let compiled = if i < 2 {
+                Arc::clone(&compiled_a)
+            } else {
+                Arc::clone(&compiled_b)
+            };
+            std::thread::spawn(move || {
+                let mut golden = EaigSim::new(&compiled.eaig);
+                for cycle in 0..20u64 {
+                    if i < 2 {
+                        let en = (cycle + i as u64) % 3 != 0;
+                        let delta = (cycle * 7 + i as u64 * 13) & 0xFF;
+                        let delta_hex = format!("{delta:02x}");
+                        let resp = client
+                            .step(
+                                session,
+                                1,
+                                vec![("en", if en { "1" } else { "0" }), ("delta", &delta_hex)],
+                            )
+                            .expect("step");
+                        golden_set(&mut golden, &compiled, "en", en as u64);
+                        golden_set(&mut golden, &compiled, "delta", delta);
+                        assert_eq!(
+                            out_u64(&resp, "acc"),
+                            golden_get(&mut golden, &compiled, "acc"),
+                            "session {i} diverged from golden at cycle {cycle}"
+                        );
+                        golden.step();
+                    } else {
+                        let a = (cycle * 5 + i as u64) & 0xFF;
+                        let b = (cycle * 11 + 3 * i as u64) & 0xFF;
+                        let (ah, bh) = (format!("{a:02x}"), format!("{b:02x}"));
+                        let resp = client
+                            .step(session, 1, vec![("a", &ah), ("b", &bh)])
+                            .expect("step");
+                        golden_set(&mut golden, &compiled, "a", a);
+                        golden_set(&mut golden, &compiled, "b", b);
+                        assert_eq!(
+                            out_u64(&resp, "x"),
+                            golden_get(&mut golden, &compiled, "x"),
+                            "session {i} output x diverged at cycle {cycle}"
+                        );
+                        assert_eq!(
+                            out_u64(&resp, "r"),
+                            golden_get(&mut golden, &compiled, "r"),
+                            "session {i} output r diverged at cycle {cycle}"
+                        );
+                        golden.step();
+                    }
+                }
+                // Cheap inline path: peek returns the same value a step
+                // response reported.
+                let outputs = if i < 2 { vec!["acc"] } else { vec!["x", "r"] };
+                for port in outputs {
+                    client.peek(session, port).expect("peek");
+                }
+                client.close(session).expect("close");
+                client
+            })
+        })
+        .collect();
+    let mut clients: Vec<_> = drivers
+        .into_iter()
+        .map(|t| t.join().expect("driver thread"))
+        .collect();
+
+    // Metric reconciliation at quiesce.
+    let stats = quiesced_stats(&mut clients[0]);
+    assert_eq!(metric(&stats, "gem_server_compiles_total"), 2.0);
+    assert_eq!(metric(&stats, "gem_server_cache_misses_total"), 2.0);
+    assert_eq!(metric(&stats, "gem_server_cache_hits_total"), 2.0);
+    assert_eq!(metric(&stats, "gem_server_cache_lookups_total"), 4.0);
+    assert_eq!(metric(&stats, "gem_server_sessions_opened_total"), 4.0);
+    assert_eq!(metric(&stats, "gem_server_sessions_closed_total"), 4.0);
+    assert_eq!(metric(&stats, "gem_server_sessions_active"), 0.0);
+    assert_eq!(metric(&stats, "gem_server_cycles_total"), 80.0);
+    assert_eq!(stats.get("sessions").and_then(Json::as_u64), Some(0));
+
+    shutdown_and_join(addr, server);
+}
+
+/// A full queue answers `busy` with a retry hint — immediately, not
+/// after the queue drains.
+#[test]
+fn full_queue_rejects_with_retry_hint() {
+    let (addr, server) = start_server(ServerConfig {
+        workers: 1,
+        queue: 1,
+        ..ServerConfig::default()
+    });
+
+    // Occupy the single worker, then the single queue slot.
+    let t1 = std::thread::spawn(move || {
+        GemClient::connect(addr).unwrap().ping(400).expect("ping 1");
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let t2 = std::thread::spawn(move || {
+        GemClient::connect(addr).unwrap().ping(400).expect("ping 2");
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Third delayed ping must be rejected busy, fast.
+    let mut c3 = GemClient::connect(addr).expect("connect");
+    let t0 = Instant::now();
+    let err = c3.ping(10).expect_err("queue is full");
+    assert!(
+        t0.elapsed() < Duration::from_millis(250),
+        "reject was not immediate"
+    );
+    assert!(err.is_busy(), "expected busy, got {err}");
+    match err {
+        gem_server::ClientError::Server { retry_after_ms, .. } => {
+            assert!(retry_after_ms.is_some(), "busy must carry retry_after_ms");
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    t1.join().unwrap();
+    t2.join().unwrap();
+
+    // After the backlog drains, the same request succeeds.
+    c3.ping(1).expect("retry succeeds after drain");
+
+    let stats = quiesced_stats(&mut c3);
+    assert!(metric(&stats, "gem_server_jobs_rejected_total") >= 1.0);
+    assert_eq!(
+        metric(&stats, "gem_server_jobs_submitted_total"),
+        metric(&stats, "gem_server_jobs_completed_total")
+            + metric(&stats, "gem_server_jobs_rejected_total")
+    );
+
+    shutdown_and_join(addr, server);
+}
+
+/// Session lifecycle odds and ends over the wire: checkpoints restore
+/// bit-exact state, VCD replay matches stepping, errors carry their
+/// typed codes, and the idle reaper evicts abandoned sessions.
+#[test]
+fn lifecycle_checkpoints_replay_and_errors() {
+    let (addr, server) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(400),
+        reap_interval: Duration::from_millis(25),
+        ..ServerConfig::default()
+    });
+    let mut client = GemClient::connect(addr).expect("connect");
+
+    // --- checkpoint/restore -------------------------------------------
+    let resp = client.open(DESIGN_A, wire_opts()).expect("open");
+    let session = resp.get("session").and_then(Json::as_u64).unwrap();
+    for _ in 0..5 {
+        client
+            .step(session, 1, vec![("en", "1"), ("delta", "01")])
+            .expect("warm-up step");
+    }
+    client.save(session).expect("save");
+    let after_save = client
+        .step(session, 1, vec![("en", "1"), ("delta", "01")])
+        .expect("step");
+    let v1 = out_u64(&after_save, "acc");
+    client
+        .step(session, 2, vec![])
+        .expect("diverge past the checkpoint");
+    client.restore(session).expect("restore");
+    let replayed = client
+        .step(session, 1, vec![("en", "1"), ("delta", "01")])
+        .expect("step after restore");
+    assert_eq!(out_u64(&replayed, "acc"), v1, "restore must be bit-exact");
+
+    // --- VCD replay vs. golden ----------------------------------------
+    let compiled_a = compile(&verilog::parse(DESIGN_A).unwrap(), &small_opts()).unwrap();
+    let mut w = VcdWriter::new("tb");
+    let en = w.add_var("en", 1);
+    let delta = w.add_var("delta", 8);
+    w.begin();
+    for t in 0..6u64 {
+        w.timestamp(t);
+        w.change(en, &Bits::from_u64((t % 2 == 0) as u64, 1));
+        w.change(delta, &Bits::from_u64(t * 3 + 1, 8));
+    }
+    let vcd_text = w.finish();
+    let fresh = client.open(DESIGN_A, wire_opts()).expect("open fresh");
+    let fresh_session = fresh.get("session").and_then(Json::as_u64).unwrap();
+    let replayed = client.replay(fresh_session, &vcd_text).expect("replay");
+    assert_eq!(replayed.get("cycles").and_then(Json::as_u64), Some(6));
+    let rows = replayed
+        .get("outputs")
+        .and_then(Json::as_array)
+        .expect("per-cycle outputs");
+    let mut golden = EaigSim::new(&compiled_a.eaig);
+    for (t, row) in rows.iter().enumerate() {
+        golden_set(&mut golden, &compiled_a, "en", (t % 2 == 0) as u64);
+        golden_set(&mut golden, &compiled_a, "delta", t as u64 * 3 + 1);
+        let want = golden_get(&mut golden, &compiled_a, "acc");
+        let got = row.get("acc").and_then(Json::as_str).expect("acc hex");
+        assert_eq!(u64::from_str_radix(got, 16).unwrap(), want, "cycle {t}");
+        golden.step();
+    }
+    // The response's VCD document parses and covers the same cycles.
+    let vcd_out = replayed.get("vcd").and_then(Json::as_str).expect("vcd");
+    let dump = gem_netlist::vcd::VcdDump::parse(vcd_out).expect("valid vcd");
+    assert!(dump.var("acc").is_some());
+
+    // --- typed error codes --------------------------------------------
+    let err = client
+        .open(
+            "module broken(input clk, output w); endmodule garbage",
+            wire_opts(),
+        )
+        .expect_err("bad source");
+    match err {
+        gem_server::ClientError::Server { code, .. } => assert_eq!(code, "compile_failed"),
+        other => panic!("expected server error, got {other}"),
+    }
+    let err = client.peek(999_999, "acc").expect_err("unknown session");
+    match err {
+        gem_server::ClientError::Server { code, .. } => assert_eq!(code, "not_found"),
+        other => panic!("expected server error, got {other}"),
+    }
+    let err = client
+        .request("frobnicate", Vec::new())
+        .expect_err("unknown command");
+    match err {
+        gem_server::ClientError::Server { code, .. } => assert_eq!(code, "bad_request"),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // --- idle eviction -------------------------------------------------
+    // Leave both sessions untouched past the idle timeout; the reaper
+    // must evict them and later requests must see not_found.
+    std::thread::sleep(Duration::from_millis(700));
+    let err = client.peek(session, "acc").expect_err("evicted session");
+    assert!(matches!(
+        err,
+        gem_server::ClientError::Server { ref code, .. } if code == "not_found"
+    ));
+    let stats = quiesced_stats(&mut client);
+    assert!(metric(&stats, "gem_server_sessions_evicted_total") >= 2.0);
+    assert_eq!(
+        metric(&stats, "gem_server_sessions_opened_total"),
+        metric(&stats, "gem_server_sessions_active")
+            + metric(&stats, "gem_server_sessions_closed_total")
+            + metric(&stats, "gem_server_sessions_evicted_total")
+    );
+
+    shutdown_and_join(addr, server);
+}

@@ -226,6 +226,15 @@ fn write_escaped(out: &mut String, s: &str) {
             c if (c as u32) < 0x20 => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
+            c if (c as u32) > 0xFFFF => {
+                // Non-BMP scalars are written as UTF-16 surrogate pairs so
+                // the wire format stays within \uXXXX escapes (robust
+                // against consumers that mishandle 4-byte UTF-8).
+                let v = c as u32 - 0x1_0000;
+                let hi = 0xD800 + (v >> 10);
+                let lo = 0xDC00 + (v & 0x3FF);
+                out.push_str(&format!("\\u{hi:04x}\\u{lo:04x}"));
+            }
             c => out.push(c),
         }
     }
@@ -331,6 +340,7 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -341,9 +351,14 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     Ok(v)
 }
 
+/// Maximum container nesting accepted by [`parse`]. Adversarial inputs
+/// like `[[[[…` otherwise recurse once per byte and overflow the stack.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -395,12 +410,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -411,6 +436,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -419,11 +445,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(fields));
         }
         loop {
@@ -439,11 +467,23 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
         }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -470,15 +510,33 @@ impl Parser<'_> {
                         b'r' => s.push('\r'),
                         b't' => s.push('\t'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            let c = match code {
+                                // High surrogate: a low surrogate must
+                                // follow (JSON's only non-BMP encoding).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let v = 0x1_0000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(v).ok_or_else(|| self.err("bad \\u escape"))?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired low surrogate"));
+                                }
+                                _ => char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u escape"))?,
+                            };
+                            s.push(c);
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -594,6 +652,63 @@ mod tests {
         assert_eq!(v.get("b").unwrap().as_i64(), Some(-2));
         assert_eq!(v.get("b").unwrap().as_u64(), None);
         assert_eq!(v.get("c").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        // Every C0 control character must survive a serialize→parse trip.
+        let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Json::Str(s);
+        let text = v.to_string();
+        assert!(text.is_ascii(), "control chars must be escaped: {text}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_bmp_scalars_round_trip_as_surrogate_pairs() {
+        let v = Json::Str("emoji \u{1F600} and math \u{1D54A}".to_string());
+        let text = v.to_string();
+        assert!(
+            text.contains("\\ud83d\\ude00"),
+            "non-BMP must be escaped as a surrogate pair: {text}"
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+        // Raw (unescaped) UTF-8 non-BMP input also parses.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap(), Json::Str("😀".into()));
+    }
+
+    #[test]
+    fn lone_surrogates_rejected() {
+        assert!(parse("\"\\ud800\"").is_err()); // unpaired high
+        assert!(parse("\"\\udc00\"").is_err()); // unpaired low
+        assert!(parse("\"\\ud800x\"").is_err()); // high followed by junk
+        assert!(parse("\"\\ud800\\u0041\"").is_err()); // high + non-low
+        assert!(parse("\"\\ud83d\\ude0").is_err()); // truncated pair
+    }
+
+    #[test]
+    fn deep_nesting_rejected_not_crashed() {
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err());
+        let mixed = "{\"a\":".repeat(50_000) + "1" + &"}".repeat(50_000);
+        assert!(parse(&mixed).is_err());
+        // Nesting below the limit still parses.
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn adversarial_strings_round_trip() {
+        for s in [
+            "\\u0000 literal backslash-u",
+            "\"quoted\" and \\escaped\\",
+            "\u{7f}\u{80}\u{7FF}\u{FFFD}",
+            "mixed 😀\n\t\u{1}end",
+            "",
+        ] {
+            let v = Json::Str(s.to_string());
+            assert_eq!(parse(&v.to_string()).unwrap(), v, "round-trip of {s:?}");
+        }
     }
 
     #[test]

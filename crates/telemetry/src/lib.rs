@@ -18,6 +18,9 @@
 //!   and Prometheus-text exporters behind the [`MetricsSink`] trait.
 //! * [`json`] — the minimal JSON value, parser, and [`json!`](crate::json)
 //!   macro everything above serializes through.
+//! * [`wire`] — length-prefixed JSON framing with typed errors (frame
+//!   size limits, truncation detection) for socket transports such as
+//!   `gem-server`.
 //!
 //! See `docs/OBSERVABILITY.md` for the span hierarchy and metric names.
 
@@ -25,6 +28,7 @@ pub mod flow;
 pub mod json;
 pub mod metrics;
 pub mod trace;
+pub mod wire;
 
 pub use flow::{FlowRecorder, FlowReport, StageGuard, StageRecord};
 pub use json::{parse as parse_json, Json, JsonError};
@@ -36,3 +40,4 @@ pub use trace::{
     dispatch_event, set_subscriber, CaptureSubscriber, EventRecord, Level, Span, SpanRecord,
     StderrSubscriber, Subscriber,
 };
+pub use wire::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};

@@ -30,6 +30,6 @@ pub use counters::{
     CounterBreakdown, KernelCounters, KernelRates, LayerCounters, PartitionCounters,
 };
 pub use gl0am::Gl0amModel;
-pub use machine::{DeviceConfig, GemGpu, MachineError, RamBinding};
+pub use machine::{DeviceConfig, GemGpu, GpuSnapshot, MachineError, RamBinding};
 pub use spec::GpuSpec;
 pub use timing::TimingModel;

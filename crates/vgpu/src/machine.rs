@@ -46,7 +46,7 @@ pub struct DeviceConfig {
     pub initial_ones: Vec<u32>,
 }
 
-/// Errors from [`GemGpu::load`].
+/// Errors from [`GemGpu::load`] and [`GemGpu::restore`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MachineError {
     /// A core program failed to decode.
@@ -54,6 +54,9 @@ pub enum MachineError {
     /// A global index or state address is out of range; the string names
     /// the offender.
     BadBinding(String),
+    /// A snapshot's shape does not match the loaded design; the string
+    /// names the mismatch.
+    SnapshotMismatch(String),
 }
 
 impl fmt::Display for MachineError {
@@ -61,6 +64,7 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::Decode(e) => write!(f, "core program decode failed: {e}"),
             MachineError::BadBinding(s) => write!(f, "bad binding: {s}"),
+            MachineError::SnapshotMismatch(s) => write!(f, "snapshot mismatch: {s}"),
         }
     }
 }
@@ -107,6 +111,39 @@ pub struct GemGpu {
     pruning: bool,
     /// Cached read values per (stage, core) for pruning.
     input_cache: Vec<Vec<Option<Vec<bool>>>>,
+}
+
+/// A saved point-in-time copy of everything mutable in a [`GemGpu`]:
+/// the global signal array, RAM contents, deferred-write queue, all
+/// counters, and the pruning input caches. Restoring a snapshot onto a
+/// machine loaded with the *same* bitstream resumes execution
+/// bit-exactly — the substrate for session suspend/resume in
+/// `gem-server` and for checkpointed long simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSnapshot {
+    global: Vec<bool>,
+    deferred: Vec<(u32, bool)>,
+    ram_mem: Vec<Box<[u32]>>,
+    counters: KernelCounters,
+    part_counters: Vec<Vec<KernelCounters>>,
+    layer_counters: Vec<LayerCounters>,
+    input_cache: Vec<Vec<Option<Vec<bool>>>>,
+}
+
+impl GpuSnapshot {
+    /// Approximate heap footprint in bytes (capacity accounting for
+    /// server-side snapshot budgets).
+    pub fn approx_bytes(&self) -> usize {
+        self.global.len()
+            + self.ram_mem.iter().map(|r| r.len() * 4).sum::<usize>()
+            + self
+                .input_cache
+                .iter()
+                .flatten()
+                .flatten()
+                .map(Vec::len)
+                .sum::<usize>()
+    }
 }
 
 /// Bits per 128-byte global-memory transaction.
@@ -457,6 +494,74 @@ impl GemGpu {
         self.breakdown().to_metrics_snapshot()
     }
 
+    /// Captures the complete mutable state of the machine.
+    pub fn snapshot(&self) -> GpuSnapshot {
+        GpuSnapshot {
+            global: self.global.clone(),
+            deferred: self.deferred.clone(),
+            ram_mem: self.ram_mem.clone(),
+            counters: self.counters,
+            part_counters: self.part_counters.clone(),
+            layer_counters: self.layer_counters.clone(),
+            input_cache: self.input_cache.clone(),
+        }
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot), resuming execution
+    /// bit-exactly. The snapshot must come from a machine loaded with a
+    /// structurally identical bitstream and device configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::SnapshotMismatch`] (leaving the machine
+    /// untouched) when any state dimension differs from the loaded
+    /// design.
+    pub fn restore(&mut self, s: &GpuSnapshot) -> Result<(), MachineError> {
+        if s.global.len() != self.global.len() {
+            return Err(MachineError::SnapshotMismatch(format!(
+                "global array is {} bits, design has {}",
+                s.global.len(),
+                self.global.len()
+            )));
+        }
+        if s.ram_mem.len() != self.ram_mem.len() {
+            return Err(MachineError::SnapshotMismatch(format!(
+                "{} RAM blocks, design has {}",
+                s.ram_mem.len(),
+                self.ram_mem.len()
+            )));
+        }
+        let part_shape =
+            |pc: &Vec<Vec<KernelCounters>>| -> Vec<usize> { pc.iter().map(Vec::len).collect() };
+        if part_shape(&s.part_counters) != part_shape(&self.part_counters) {
+            return Err(MachineError::SnapshotMismatch(
+                "partition shape differs".to_string(),
+            ));
+        }
+        if s.layer_counters.len() != self.layer_counters.len() {
+            return Err(MachineError::SnapshotMismatch(format!(
+                "{} layers, design has {}",
+                s.layer_counters.len(),
+                self.layer_counters.len()
+            )));
+        }
+        let cache_shape =
+            |ic: &Vec<Vec<Option<Vec<bool>>>>| -> Vec<usize> { ic.iter().map(Vec::len).collect() };
+        if cache_shape(&s.input_cache) != cache_shape(&self.input_cache) {
+            return Err(MachineError::SnapshotMismatch(
+                "pruning cache shape differs".to_string(),
+            ));
+        }
+        self.global.clone_from(&s.global);
+        self.deferred.clone_from(&s.deferred);
+        self.ram_mem.clone_from(&s.ram_mem);
+        self.counters = s.counters;
+        self.part_counters.clone_from(&s.part_counters);
+        self.layer_counters.clone_from(&s.layer_counters);
+        self.input_cache.clone_from(&s.input_cache);
+        Ok(())
+    }
+
     /// Number of pipeline stages.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
@@ -586,6 +691,72 @@ mod tests {
             snap.family("gem_alu_ops_total").unwrap().total(),
             t.alu_ops as f64
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_exactly() {
+        let (bs, cfg) = and_bitstream();
+        let mut gpu = GemGpu::load(&bs, cfg.clone()).expect("loads");
+        gpu.poke(0, true);
+        gpu.poke(1, true);
+        gpu.step_cycle();
+        let snap = gpu.snapshot();
+        // Diverge, then restore and replay: the continuations must match.
+        gpu.poke(0, false);
+        gpu.step_cycle();
+        gpu.restore(&snap).expect("restores");
+        gpu.poke(0, true);
+        gpu.step_cycle();
+        assert!(gpu.peek(2));
+        assert_eq!(gpu.counters().cycles, 2, "counters restored with state");
+
+        // A second machine restored from the same snapshot tracks the
+        // first exactly.
+        let mut other = GemGpu::load(&bs, cfg).expect("loads");
+        other.restore(&snap).expect("restores");
+        other.poke(0, true);
+        other.poke(1, true);
+        other.step_cycle();
+        assert_eq!(other.peek(2), gpu.peek(2));
+        assert_eq!(other.counters(), gpu.counters());
+        assert!(snap.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn mismatched_snapshot_rejected() {
+        let (bs, cfg) = and_bitstream();
+        let gpu = GemGpu::load(&bs, cfg).expect("loads");
+        let snap = gpu.snapshot();
+        // A differently shaped machine must refuse the snapshot.
+        let bs2 = Bitstream {
+            width: 16,
+            global_bits: 64 + 59,
+            stages: vec![],
+        };
+        let mut idx = 0u32;
+        let mut next = || {
+            let i = idx;
+            idx += 1;
+            i
+        };
+        let cfg2 = DeviceConfig {
+            global_bits: 123,
+            rams: vec![RamBinding {
+                raddr: std::array::from_fn(|_| next()),
+                waddr: std::array::from_fn(|_| next()),
+                wdata: std::array::from_fn(|_| next()),
+                we: next(),
+                rdata: std::array::from_fn(|_| next()),
+            }],
+            initial_ones: vec![],
+        };
+        let mut other = GemGpu::load(&bs2, cfg2).expect("loads");
+        let before = other.snapshot();
+        assert!(matches!(
+            other.restore(&snap),
+            Err(MachineError::SnapshotMismatch(_))
+        ));
+        assert_eq!(other.snapshot(), before, "failed restore must not mutate");
     }
 
     #[test]
