@@ -59,10 +59,11 @@ USAGE:
               [--emit-metrics out.json]
   gem run     <design.gemb|design.v> [--cycles N] [--poke port=hex ...]
               [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
-              [--gpu a100|3090] [--emit-metrics out.json]
+              [--gpu a100|3090] [--threads N] [--emit-metrics out.json]
   gem stats   <design.v> [--emit-metrics out.json]
   gem serve   [--addr 127.0.0.1:0] [--workers 4] [--queue 32] [--cache 8]
-              [--idle-ms 300000] [--port-file path] [--emit-metrics out.json]
+              [--idle-ms 300000] [--sim-threads N] [--port-file path]
+              [--emit-metrics out.json]
   gem client  --addr host:port <action>
       ping     [--delay-ms N]
       compile  <design.v> [--width N] [--parts N] [--stages N]
@@ -73,6 +74,11 @@ USAGE:
       replay   --session N --stimulus in.vcd [--vcd out.vcd]
       close    --session N
       stats | shutdown
+
+--threads picks the virtual GPU's execution-engine width (0 = auto:
+GEM_THREADS env var, else host parallelism; 1 = serial). Waveforms and
+counters are identical for every setting. --sim-threads is the same
+knob per server session (0 = auto-budgeted against --workers).
 
 --emit-metrics writes a JSON document with the per-stage compile
 timings/sizes (when the design is compiled in this invocation) and the
@@ -192,6 +198,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let sim = GemSimulator::new(&compiled).map_err(|e| format!("load failed: {e}"))?;
         (sim, io, doc)
     };
+    sim.set_threads(flag_u64(args, "--threads", 0)? as usize);
     // Pokes: --poke name=hex (applied every cycle).
     let mut pokes: Vec<(String, Bits)> = Vec::new();
     for (i, a) in args.iter().enumerate() {
@@ -313,6 +320,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue: flag_u64(args, "--queue", 32)? as usize,
         cache: flag_u64(args, "--cache", 8)? as usize,
         idle_timeout: Duration::from_millis(flag_u64(args, "--idle-ms", 300_000)?),
+        sim_threads: flag_u64(args, "--sim-threads", 0)? as usize,
         ..ServerConfig::default()
     };
     let server = Server::bind(cfg).map_err(|e| format!("cannot bind: {e}"))?;

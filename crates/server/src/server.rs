@@ -47,6 +47,25 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// How often the reaper scans for idle sessions.
     pub reap_interval: Duration,
+    /// Worker threads *inside each session's* virtual-GPU execution
+    /// engine. `0` (the default) budgets automatically: the process-wide
+    /// thread target (`GEM_THREADS`, else host parallelism) divided by
+    /// `workers`, floored at 1 — so `workers` concurrently stepping
+    /// sessions together use about the host's parallelism instead of
+    /// oversubscribing it `workers`-fold (see docs/PARALLEL.md §4).
+    /// `1` forces the serial engine.
+    pub sim_threads: usize,
+}
+
+impl ServerConfig {
+    /// Resolves `sim_threads` to the per-session engine thread count.
+    pub fn resolved_sim_threads(&self) -> usize {
+        if self.sim_threads > 0 {
+            return self.sim_threads;
+        }
+        let target = gem_vgpu::ExecMode::resolved_default().threads();
+        (target / self.workers.max(1)).max(1)
+    }
 }
 
 impl Default for ServerConfig {
@@ -59,6 +78,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             max_frame: DEFAULT_MAX_FRAME,
             reap_interval: Duration::from_millis(100),
+            sim_threads: 0,
         }
     }
 }
@@ -351,10 +371,11 @@ fn cmd_open(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
             Ok(d) => d,
             Err(e) => return protocol::err_response(id, codes::COMPILE_FAILED, &e),
         };
-        let sim = match GemSimulator::new(&design) {
+        let mut sim = match GemSimulator::new(&design) {
             Ok(s) => s,
             Err(e) => return protocol::err_response(id, codes::INTERNAL, &e.to_string()),
         };
+        sim.set_threads(state2.cfg.resolved_sim_threads());
         let session = state2.sessions.open(key, Arc::clone(&design), sim);
         let mut r = protocol::ok_response(id);
         r.set("session", session);

@@ -25,12 +25,14 @@
 
 pub mod batch;
 pub mod event;
+pub mod fuzz;
 pub mod golden;
 pub mod levelized;
 pub mod netlist_sim;
 
 pub use batch::BatchSim;
 pub use event::EventSim;
+pub use fuzz::{random_module, FuzzConfig, FuzzRng};
 pub use golden::EaigSim;
 pub use levelized::LevelizedSim;
 pub use netlist_sim::NetlistSim;

@@ -1,0 +1,183 @@
+//! Property tests for the wire framing codec: randomized round-trips
+//! and the exact 16 MiB cap edge.
+//!
+//! Fixed-seed loops per the workspace convention (no external RNG): a
+//! SplitMix64 stream drives a random JSON document generator, and every
+//! document must survive `write_frame` → `read_frame` bit-exactly —
+//! including through a reader that trickles one byte at a time, and
+//! under every possible truncation point.
+
+use gem_telemetry::{read_frame, write_frame, FrameError, Json, DEFAULT_MAX_FRAME};
+use std::io::Read;
+
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Random JSON document. Depth-bounded; exercises every variant except
+/// `F64` (float formatting is not round-trip exact by design, so float
+/// equality is out of scope for the *framing* property).
+fn random_json(g: &mut Gen, depth: u32) -> Json {
+    let scalar_only = depth == 0;
+    match g.below(if scalar_only { 5 } else { 7 }) {
+        0 => Json::Null,
+        1 => Json::Bool(g.next() & 1 == 1),
+        2 => Json::U64(g.next()),
+        3 => Json::I64(-((g.next() >> 1) as i64)),
+        4 => Json::Str(random_string(g)),
+        5 => Json::Array((0..g.below(5)).map(|_| random_json(g, depth - 1)).collect()),
+        _ => Json::Object(
+            (0..g.below(5))
+                .map(|i| (format!("k{i}_{}", g.below(100)), random_json(g, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// Strings with the characters that stress the escaper: quotes,
+/// backslashes, control characters, multi-byte UTF-8.
+fn random_string(g: &mut Gen) -> String {
+    const ALPHABET: &[&str] = &[
+        "a", "Z", "9", "\"", "\\", "\n", "\t", "\u{1}", "é", "😀", "∀",
+    ];
+    (0..g.below(24))
+        .map(|_| ALPHABET[g.below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+/// A reader that returns at most `chunk` bytes per `read` call —
+/// simulates a dribbling TCP stream.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn random_documents_round_trip() {
+    let mut g = Gen(0xF4A3);
+    for case in 0..300 {
+        let doc = random_json(&mut g, 3);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc, DEFAULT_MAX_FRAME).expect("writes");
+        let back = read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME)
+            .unwrap_or_else(|e| panic!("case {case}: read failed: {e}\ndoc: {doc:?}"));
+        assert_eq!(back, doc, "case {case} did not round-trip");
+    }
+}
+
+#[test]
+fn round_trip_survives_trickling_reads() {
+    let mut g = Gen(0xBEEF);
+    for case in 0..60 {
+        let doc = random_json(&mut g, 2);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &doc, DEFAULT_MAX_FRAME).expect("writes");
+        for chunk in [1, 2, 3, 7] {
+            let mut r = Trickle {
+                data: &buf,
+                pos: 0,
+                chunk,
+            };
+            let back = read_frame(&mut r, DEFAULT_MAX_FRAME)
+                .unwrap_or_else(|e| panic!("case {case} chunk {chunk}: {e}"));
+            assert_eq!(back, doc, "case {case} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn every_truncation_point_reports_cleanly() {
+    // Cutting a valid frame at any byte must yield Closed (cut at 0) or
+    // Truncated (anywhere else) — never a panic, hang, or parse success.
+    let doc = Json::Str("truncate me — ✂".to_string());
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &doc, DEFAULT_MAX_FRAME).expect("writes");
+    for cut in 0..buf.len() {
+        match read_frame(&mut &buf[..cut], DEFAULT_MAX_FRAME) {
+            Err(FrameError::Closed) => assert_eq!(cut, 0, "Closed only at a frame boundary"),
+            Err(FrameError::Truncated { expected, got }) => {
+                assert!(
+                    got < expected,
+                    "cut {cut}: got {got} >= expected {expected}"
+                );
+            }
+            other => panic!("cut {cut}: unexpected result {other:?}"),
+        }
+    }
+}
+
+/// A string of `n` ASCII bytes serializes to a payload of exactly
+/// `n + 2` bytes (the quotes) — the knob for hitting the cap edge.
+fn doc_with_payload_len(payload_len: usize) -> Json {
+    Json::Str("a".repeat(payload_len - 2))
+}
+
+#[test]
+fn exact_cap_boundary_accepted_cap_plus_one_rejected() {
+    // Write side, exactly at the 16 MiB default cap: accepted.
+    let exact = doc_with_payload_len(DEFAULT_MAX_FRAME);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &exact, DEFAULT_MAX_FRAME).expect("exact-boundary frame must write");
+    assert_eq!(buf.len(), 4 + DEFAULT_MAX_FRAME);
+    // Read side, exactly at the cap: accepted and intact.
+    let back =
+        read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME).expect("exact-boundary frame must read");
+    assert_eq!(back, exact);
+
+    // Write side, one byte over: typed rejection, nothing written.
+    let over = doc_with_payload_len(DEFAULT_MAX_FRAME + 1);
+    let mut out = Vec::new();
+    match write_frame(&mut out, &over, DEFAULT_MAX_FRAME) {
+        Err(FrameError::TooLarge { len, max }) => {
+            assert_eq!(len, DEFAULT_MAX_FRAME + 1);
+            assert_eq!(max, DEFAULT_MAX_FRAME);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+    assert!(out.is_empty(), "rejected frame must not leak bytes");
+
+    // Read side, header declaring cap+1: typed rejection before any
+    // payload allocation (no payload bytes follow, yet the error is
+    // TooLarge, not Truncated — the limit check comes first).
+    let mut hdr = Vec::new();
+    hdr.extend_from_slice(&((DEFAULT_MAX_FRAME + 1) as u32).to_le_bytes());
+    match read_frame(&mut hdr.as_slice(), DEFAULT_MAX_FRAME) {
+        Err(FrameError::TooLarge { len, max }) => {
+            assert_eq!(len, DEFAULT_MAX_FRAME + 1);
+            assert_eq!(max, DEFAULT_MAX_FRAME);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+
+    // A reader with a *smaller* limit than the writer's rejects the
+    // same bytes the larger limit accepted (asymmetric peers).
+    match read_frame(&mut buf.as_slice(), DEFAULT_MAX_FRAME - 1) {
+        Err(FrameError::TooLarge { len, max }) => {
+            assert_eq!(len, DEFAULT_MAX_FRAME);
+            assert_eq!(max, DEFAULT_MAX_FRAME - 1);
+        }
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}

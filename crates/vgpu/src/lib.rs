@@ -21,6 +21,7 @@
 //! treatment for the LUT4 gate-level baseline the paper compares against.
 
 pub mod counters;
+pub mod exec;
 pub mod gl0am;
 pub mod machine;
 pub mod spec;
@@ -29,6 +30,7 @@ pub mod timing;
 pub use counters::{
     CounterBreakdown, KernelCounters, KernelRates, LayerCounters, PartitionCounters,
 };
+pub use exec::{ExecMode, ExecStats, StageWait};
 pub use gl0am::Gl0amModel;
 pub use machine::{DeviceConfig, GemGpu, GpuSnapshot, MachineError, RamBinding};
 pub use spec::GpuSpec;

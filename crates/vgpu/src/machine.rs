@@ -13,11 +13,24 @@
 //! device-wide synchronization; *deferred* writes (flip-flop next-states,
 //! registered RAM read data, primary outputs) commit at the cycle
 //! boundary, which is what makes full-cycle semantics race-free.
+//!
+//! Execution shape: the cores of a stage are mutually independent
+//! (replication-aided partitioning removes intra-stage communication),
+//! so each core runs as a *pure function* of the stage-start global
+//! array — [`execute_core`] reads an immutable snapshot and returns a
+//! [`CoreOutbox`] of buffered writes and counter deltas. The outboxes
+//! are merged in core order at the stage barrier. This holds for both
+//! [`ExecMode::Serial`] and [`ExecMode::Parallel`], which is what makes
+//! 1-thread and N-thread runs bit-identical (waveforms *and* merged
+//! counters; see `docs/PARALLEL.md`).
 
 use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
+use crate::exec::{CorePool, ExecMode, ExecStats};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
-use gem_telemetry::MetricsSnapshot;
+use gem_telemetry::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
 use std::fmt;
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// Global-memory binding of one RAM block (all indices are bit positions
 /// in the device-global signal array).
@@ -90,10 +103,18 @@ struct LoadedCore {
 }
 
 /// The virtual GPU; see the module docs.
+///
+/// Cloning is cheap on the program side: the decoded bitstream is
+/// shared read-only (`Arc`), as is the worker pool of a parallel
+/// machine — only the mutable state (signals, RAMs, counters) is
+/// deep-copied. Two clones stepping concurrently from different threads
+/// are safe: every stage barrier collects results over a private
+/// channel.
 #[derive(Debug, Clone)]
 pub struct GemGpu {
     cfg: DeviceConfig,
-    stages: Vec<Vec<LoadedCore>>,
+    /// Shared read-only bitstream: decoded programs plus static costs.
+    stages: Arc<Vec<Vec<LoadedCore>>>,
     global: Vec<bool>,
     deferred: Vec<(u32, bool)>,
     ram_mem: Vec<Box<[u32]>>,
@@ -111,6 +132,11 @@ pub struct GemGpu {
     pruning: bool,
     /// Cached read values per (stage, core) for pruning.
     input_cache: Vec<Vec<Option<Vec<bool>>>>,
+    /// Worker pool when the mode is parallel (shared by clones).
+    pool: Option<Arc<CorePool>>,
+    /// Host-side fan-out statistics (not simulated state; see
+    /// [`ExecStats`]).
+    exec_stats: ExecStats,
 }
 
 /// A saved point-in-time copy of everything mutable in a [`GemGpu`]:
@@ -153,6 +179,107 @@ fn line_transactions(mut indices: Vec<u64>) -> u64 {
     indices.sort_unstable();
     indices.dedup();
     indices.len() as u64
+}
+
+/// Everything one core produces in one cycle, buffered so nothing
+/// touches shared state while a stage is in flight. Outboxes are merged
+/// at the stage barrier in core order ([`GemGpu::merge_stage`]).
+struct CoreOutbox {
+    /// Core index within its stage (restores order after a parallel
+    /// stage, where completion order is nondeterministic).
+    ci: usize,
+    /// Immediate writes: visible to later stages after the barrier.
+    immediate: Vec<(u32, bool)>,
+    /// Deferred writes: committed at the cycle boundary.
+    deferred: Vec<(u32, bool)>,
+    /// Counter events charged to this core this cycle.
+    delta: KernelCounters,
+    /// Whether pruning skipped the fold work (layer counters then don't
+    /// record an execution).
+    skipped: bool,
+    /// New pruning input-cache value for this core (`None` when pruning
+    /// is off).
+    cache: Option<Vec<bool>>,
+}
+
+/// Executes one core as a pure function of the stage-start global array.
+/// Both execution engines call exactly this, which is the structural
+/// reason serial and parallel runs cannot diverge.
+fn execute_core(
+    core: &LoadedCore,
+    global: &[bool],
+    pruning: bool,
+    prev_cache: Option<Vec<bool>>,
+    ci: usize,
+) -> CoreOutbox {
+    let width = core.dec.width as usize;
+    let mut out = CoreOutbox {
+        ci,
+        immediate: Vec::new(),
+        deferred: Vec::new(),
+        delta: KernelCounters::default(),
+        skipped: false,
+        cache: None,
+    };
+    if pruning {
+        let inputs: Vec<bool> = core
+            .dec
+            .reads
+            .iter()
+            .map(|r| global[r.global as usize])
+            .collect();
+        if prev_cache.as_ref() == Some(&inputs) {
+            // Unchanged read set: outputs are guaranteed identical and
+            // already present in the global array (immediate writes) or
+            // re-commit the same values (deferred). Charge only the
+            // input gather, not the bitstream stream or the folds.
+            out.delta = KernelCounters {
+                blocks_skipped: 1,
+                global_bytes: 4 * core.dec.reads.len() as u64,
+                global_transactions: 1 + core.dec.reads.len() as u64 / 32,
+                ..Default::default()
+            };
+            out.skipped = true;
+            // Deferred writes must still commit (FF next-states equal
+            // their current values, but outputs may feed the testbench).
+            for w in &core.dec.writes {
+                if w.deferred {
+                    let v = match w.src {
+                        WriteSrc::State { .. } => {
+                            // Value unchanged ⇒ current global content
+                            // is already correct; re-commit it.
+                            global[w.global as usize]
+                        }
+                        WriteSrc::Const(c) => c,
+                    };
+                    out.deferred.push((w.global, v));
+                }
+            }
+            out.cache = prev_cache;
+            return out;
+        }
+        out.cache = Some(inputs);
+    }
+    let mut state = vec![false; width];
+    for r in &core.dec.reads {
+        state[r.state as usize] = global[r.global as usize];
+    }
+    for layer in &core.dec.layers {
+        layer.execute(&mut state);
+    }
+    for w in &core.dec.writes {
+        let v = match w.src {
+            WriteSrc::State { addr, invert } => state[addr as usize] ^ invert,
+            WriteSrc::Const(c) => c,
+        };
+        if w.deferred {
+            out.deferred.push((w.global, v));
+        } else {
+            out.immediate.push((w.global, v));
+        }
+    }
+    out.delta = core.delta;
+    out
 }
 
 impl GemGpu {
@@ -298,9 +425,59 @@ impl GemGpu {
             layer_counters,
             input_cache,
             pruning: false,
-            stages,
+            stages: Arc::new(stages),
             cfg,
+            pool: None,
+            exec_stats: ExecStats {
+                threads: 1,
+                ..ExecStats::default()
+            },
         })
+    }
+
+    /// Selects the execution engine: [`ExecMode::Serial`] steps every
+    /// core on the calling thread; [`ExecMode::Parallel(n)`] fans the
+    /// cores of each stage out over `n` persistent worker threads with a
+    /// barrier at the stage boundary. Execution results are bit-identical
+    /// in either mode (see the module docs); only host wall-clock
+    /// behaviour differs. Switching modes mid-simulation is allowed.
+    ///
+    /// [`ExecMode::Parallel(n)`]: ExecMode::Parallel
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        match mode {
+            ExecMode::Serial => {
+                self.pool = None;
+                self.exec_stats.threads = 1;
+            }
+            ExecMode::Parallel(n) => {
+                let n = n.max(2);
+                if self.pool.as_ref().map(|p| p.threads()) != Some(n) {
+                    self.pool = Some(Arc::new(CorePool::new(n)));
+                }
+                self.exec_stats.threads = n;
+            }
+        }
+    }
+
+    /// Convenience thread-count form of [`set_exec_mode`]
+    /// (`0`/`1` → serial).
+    ///
+    /// [`set_exec_mode`]: Self::set_exec_mode
+    pub fn set_threads(&mut self, threads: usize) {
+        self.set_exec_mode(ExecMode::from_threads(threads));
+    }
+
+    /// The current execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        match &self.pool {
+            Some(p) => ExecMode::Parallel(p.threads()),
+            None => ExecMode::Serial,
+        }
+    }
+
+    /// Host-side fan-out statistics (barrier waits, tasks dispatched).
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec_stats
     }
 
     /// Enables or disables event-based pruning (off by default; the
@@ -339,18 +516,17 @@ impl GemGpu {
     /// Executes one simulated design cycle: all stages, the RAM phase,
     /// then the deferred commit.
     pub fn step_cycle(&mut self) {
-        // Take the program tables out of `self` so cores can mutate the
-        // global array without aliasing (and without cloning programs).
-        let stages = std::mem::take(&mut self.stages);
+        let stages = Arc::clone(&self.stages);
         for (si, stage) in stages.iter().enumerate() {
-            for (ci, core) in stage.iter().enumerate() {
-                self.run_core(core, si, ci);
-            }
+            let outboxes = match self.pool.clone() {
+                Some(pool) if stage.len() > 1 => self.run_stage_parallel(&pool, si, stage),
+                _ => self.run_stage_serial(si, stage),
+            };
+            self.merge_stage(si, stage, outboxes);
             // Stage boundary: device-wide synchronization makes immediate
             // writes visible.
             self.counters.device_syncs += 1;
         }
-        self.stages = stages;
         // RAM phase (read-first): capture read data, then apply writes.
         for ri in 0..self.cfg.rams.len() {
             let b = self.cfg.rams[ri].clone();
@@ -392,73 +568,87 @@ impl GemGpu {
         self.counters.cycles += 1;
     }
 
-    fn run_core(&mut self, core: &LoadedCore, si: usize, ci: usize) {
-        let width = core.dec.width as usize;
-        if self.pruning {
-            let inputs: Vec<bool> = core
-                .dec
-                .reads
-                .iter()
-                .map(|r| self.global[r.global as usize])
-                .collect();
-            if self.input_cache[si][ci].as_ref() == Some(&inputs) {
-                // Unchanged read set: outputs are guaranteed identical and
-                // already present in the global array (immediate writes) or
-                // re-commit the same values (deferred). Charge only the
-                // input gather, not the bitstream stream or the folds.
-                let skip_delta = KernelCounters {
-                    blocks_skipped: 1,
-                    global_bytes: 4 * core.dec.reads.len() as u64,
-                    global_transactions: 1 + core.dec.reads.len() as u64 / 32,
-                    ..Default::default()
-                };
-                self.counters += skip_delta;
-                self.part_counters[si][ci] += skip_delta;
-                // Deferred writes must still commit (FF next-states equal
-                // their current values, but outputs may feed the testbench).
-                for w in &core.dec.writes {
-                    if w.deferred {
-                        let v = match w.src {
-                            WriteSrc::State { .. } => {
-                                // Value unchanged ⇒ current global content
-                                // is already correct; re-commit it.
-                                self.global[w.global as usize]
-                            }
-                            WriteSrc::Const(c) => c,
-                        };
-                        self.deferred.push((w.global, v));
-                    }
+    /// Runs every core of a stage on the calling thread, in core order.
+    fn run_stage_serial(&mut self, si: usize, stage: &[LoadedCore]) -> Vec<CoreOutbox> {
+        let mut outboxes = Vec::with_capacity(stage.len());
+        for (ci, core) in stage.iter().enumerate() {
+            let cache = std::mem::take(&mut self.input_cache[si][ci]);
+            outboxes.push(execute_core(core, &self.global, self.pruning, cache, ci));
+        }
+        outboxes
+    }
+
+    /// Fans the cores of a stage out over the worker pool and waits at
+    /// the barrier. The global array moves into an `Arc` snapshot for the
+    /// duration of the stage (no copy — workers drop their handles before
+    /// reporting, so it moves back out without cloning) and all writes
+    /// are buffered in the outboxes, so there is no shared mutable state
+    /// inside the stage.
+    fn run_stage_parallel(
+        &mut self,
+        pool: &CorePool,
+        si: usize,
+        stage: &[LoadedCore],
+    ) -> Vec<CoreOutbox> {
+        let global = Arc::new(std::mem::take(&mut self.global));
+        let stages = Arc::clone(&self.stages);
+        let (tx, rx) = mpsc::channel::<CoreOutbox>();
+        for ci in 0..stage.len() {
+            let stages = Arc::clone(&stages);
+            let global = Arc::clone(&global);
+            let cache = std::mem::take(&mut self.input_cache[si][ci]);
+            let pruning = self.pruning;
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                let out = execute_core(&stages[si][ci], &global, pruning, cache, ci);
+                // Release the snapshot handle *before* reporting so the
+                // coordinator can take the array back without a copy.
+                drop(global);
+                let _ = tx.send(out);
+            }));
+        }
+        drop(tx);
+        let barrier_from = Instant::now();
+        let mut outboxes: Vec<CoreOutbox> = rx.iter().collect();
+        self.exec_stats.record_stage(
+            si,
+            stage.len() as u64,
+            barrier_from.elapsed().as_nanos() as u64,
+        );
+        debug_assert_eq!(outboxes.len(), stage.len());
+        // Deterministic merge order regardless of completion order.
+        outboxes.sort_unstable_by_key(|o| o.ci);
+        self.global = Arc::try_unwrap(global).unwrap_or_else(|a| (*a).clone());
+        outboxes
+    }
+
+    /// Applies a stage's outboxes in core order: immediate writes land in
+    /// the global array (this *is* the stage-boundary visibility point),
+    /// deferred writes queue for the cycle boundary, and counters merge
+    /// into the device totals and their refinements. Core outputs are
+    /// disjoint (each global bit has a single writer), and counter
+    /// addition is commutative, so the result is independent of the order
+    /// cores finished in.
+    fn merge_stage(&mut self, si: usize, stage: &[LoadedCore], outboxes: Vec<CoreOutbox>) {
+        for out in outboxes {
+            let ci = out.ci;
+            for (g, v) in out.immediate {
+                self.global[g as usize] = v;
+            }
+            self.deferred.extend(out.deferred);
+            self.counters += out.delta;
+            self.part_counters[si][ci] += out.delta;
+            if !out.skipped {
+                let core = &stage[ci];
+                let (shared, alu, syncs) = core.layer_cost;
+                for lc in self.layer_counters[..core.dec.layers.len()].iter_mut() {
+                    lc.shared_accesses += shared;
+                    lc.alu_ops += alu;
+                    lc.block_syncs += syncs;
+                    lc.executions += 1;
                 }
-                return;
             }
-            self.input_cache[si][ci] = Some(inputs);
-        }
-        let mut state = vec![false; width];
-        for r in &core.dec.reads {
-            state[r.state as usize] = self.global[r.global as usize];
-        }
-        for layer in &core.dec.layers {
-            layer.execute(&mut state);
-        }
-        for w in &core.dec.writes {
-            let v = match w.src {
-                WriteSrc::State { addr, invert } => state[addr as usize] ^ invert,
-                WriteSrc::Const(c) => c,
-            };
-            if w.deferred {
-                self.deferred.push((w.global, v));
-            } else {
-                self.global[w.global as usize] = v;
-            }
-        }
-        self.counters += core.delta;
-        self.part_counters[si][ci] += core.delta;
-        let (shared, alu, syncs) = core.layer_cost;
-        for lc in self.layer_counters[..core.dec.layers.len()].iter_mut() {
-            lc.shared_accesses += shared;
-            lc.alu_ops += alu;
-            lc.block_syncs += syncs;
-            lc.executions += 1;
+            self.input_cache[si][ci] = out.cache;
         }
     }
 
@@ -489,9 +679,51 @@ impl GemGpu {
     }
 
     /// The current [`breakdown`](Self::breakdown) as exportable labeled
-    /// metric families.
+    /// metric families, plus the execution-engine families
+    /// (`gem_vgpu_threads`, stage-barrier counts and waits). The
+    /// breakdown families are deterministic; the barrier-wait families
+    /// are measured wall clock and are *not* covered by the 1-vs-N
+    /// determinism contract.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.breakdown().to_metrics_snapshot()
+        let mut snap = self.breakdown().to_metrics_snapshot();
+        let es = &self.exec_stats;
+        snap.push_scalar(
+            "gem_vgpu_threads",
+            "Configured execution engine worker threads (1 = serial)",
+            MetricKind::Gauge,
+            es.threads as f64,
+        );
+        snap.push_scalar(
+            "gem_vgpu_parallel_tasks_total",
+            "Core executions dispatched to the worker pool",
+            MetricKind::Counter,
+            es.parallel_tasks as f64,
+        );
+        let stage_metric =
+            |name: &str, help: &str, get: &dyn Fn(&crate::exec::StageWait) -> u64| MetricFamily {
+                name: name.to_string(),
+                help: help.to_string(),
+                kind: MetricKind::Counter,
+                samples: es
+                    .per_stage
+                    .iter()
+                    .map(|s| Sample {
+                        labels: vec![("stage".to_string(), s.stage.to_string())],
+                        value: get(s) as f64,
+                    })
+                    .collect(),
+            };
+        snap.push(stage_metric(
+            "gem_vgpu_stage_barriers_total",
+            "Stage barriers the coordinator waited on, per pipeline stage",
+            &|s| s.barriers,
+        ));
+        snap.push(stage_metric(
+            "gem_vgpu_barrier_wait_nanos_total",
+            "Nanoseconds the coordinator waited at each stage barrier",
+            &|s| s.wait_nanos,
+        ));
+        snap
     }
 
     /// Captures the complete mutable state of the machine.
@@ -813,6 +1045,279 @@ mod tests {
         assert!(gpu.peek(binding.rdata[2]));
         assert!(!gpu.peek(binding.rdata[1]));
         assert_eq!(gpu.ram_word(0, 0), 0b101);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use crate::exec::ExecMode;
+    use gem_isa::{assemble_core, ReadEntry, WriteEntry};
+    use gem_place::{BoomerangLayer, CoreProgram, OutputSource, PermSource};
+
+    /// One stage of `n` AND cores: core `i` computes
+    /// `g[2n+i] = g[2i] & g[2i+1]`, alternating immediate and deferred
+    /// writes so the merge path sees both write classes.
+    fn wide_machine(n: u32) -> GemGpu {
+        let width = 16u32;
+        let mut cores = Vec::new();
+        for i in 0..n {
+            let mut layer = BoomerangLayer::new(width);
+            layer.perm[0] = PermSource::State(0);
+            layer.perm[1] = PermSource::State(1);
+            layer.writeback[0][0] = Some(2);
+            let prog = CoreProgram {
+                width,
+                state_size: 3,
+                inputs: vec![],
+                layers: vec![layer],
+                outputs: vec![OutputSource::State {
+                    addr: 2,
+                    invert: false,
+                }],
+            };
+            let reads = vec![
+                ReadEntry {
+                    global: 2 * i,
+                    state: 0,
+                },
+                ReadEntry {
+                    global: 2 * i + 1,
+                    state: 1,
+                },
+            ];
+            let writes = vec![WriteEntry {
+                global: 2 * n + i,
+                src: gem_isa::WriteSrc::State {
+                    addr: 2,
+                    invert: false,
+                },
+                deferred: i % 2 == 1,
+            }];
+            cores.push(assemble_core(&prog, &reads, &writes));
+        }
+        let bs = Bitstream {
+            width,
+            global_bits: 3 * n,
+            stages: vec![cores],
+        };
+        GemGpu::load(
+            &bs,
+            DeviceConfig {
+                global_bits: 3 * n,
+                rams: vec![],
+                initial_ones: vec![],
+            },
+        )
+        .expect("loads")
+    }
+
+    /// Drives `serial` and `parallel` with an identical input pattern and
+    /// asserts bit-identical observable state and counters every cycle.
+    fn assert_lockstep(serial: &mut GemGpu, parallel: &mut GemGpu, n: u32, cycles: u64) {
+        for c in 0..cycles {
+            for i in 0..2 * n {
+                let v = (c.wrapping_mul(0x9E37) >> i) & 1 == 1;
+                serial.poke(i, v);
+                parallel.poke(i, v);
+            }
+            serial.step_cycle();
+            parallel.step_cycle();
+            for g in 0..3 * n {
+                assert_eq!(
+                    serial.peek(g),
+                    parallel.peek(g),
+                    "cycle {c}: global bit {g} diverged"
+                );
+            }
+            assert_eq!(serial.counters(), parallel.counters(), "cycle {c} counters");
+        }
+        assert_eq!(
+            serial.breakdown(),
+            parallel.breakdown(),
+            "per-partition and per-layer refinements must match exactly"
+        );
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        let n = 6;
+        let mut serial = wide_machine(n);
+        let mut parallel = wide_machine(n);
+        parallel.set_exec_mode(ExecMode::Parallel(3));
+        assert_eq!(parallel.exec_mode(), ExecMode::Parallel(3));
+        assert_eq!(serial.exec_mode(), ExecMode::Serial);
+        assert_lockstep(&mut serial, &mut parallel, n, 32);
+        let es = parallel.exec_stats();
+        assert_eq!(es.threads, 3);
+        assert_eq!(es.stage_barriers, 32, "one barrier per stage per cycle");
+        assert_eq!(es.parallel_tasks, 32 * u64::from(n));
+        assert_eq!(serial.exec_stats().stage_barriers, 0);
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_with_pruning() {
+        let n = 4;
+        let mut serial = wide_machine(n);
+        let mut parallel = wide_machine(n);
+        serial.set_pruning(true);
+        parallel.set_pruning(true);
+        parallel.set_exec_mode(ExecMode::Parallel(4));
+        assert_lockstep(&mut serial, &mut parallel, n, 24);
+        assert!(
+            parallel.counters().blocks_skipped > 0,
+            "the pattern repeats, so pruning must fire under the pool too"
+        );
+    }
+
+    #[test]
+    fn mode_switch_mid_simulation_keeps_the_trajectory() {
+        let n = 5;
+        let mut reference = wide_machine(n);
+        let mut switching = wide_machine(n);
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+        switching.set_exec_mode(ExecMode::Parallel(2));
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+        switching.set_exec_mode(ExecMode::Serial);
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+    }
+
+    #[test]
+    fn clones_share_the_pool_and_step_independently() {
+        let n = 4;
+        let mut a = wide_machine(n);
+        a.set_exec_mode(ExecMode::Parallel(2));
+        let mut b = a.clone();
+        let mut serial = wide_machine(n);
+        // Step the clones concurrently from two threads against one pool.
+        let ja = std::thread::spawn(move || {
+            for _ in 0..16 {
+                a.step_cycle();
+            }
+            a
+        });
+        let jb = std::thread::spawn(move || {
+            for _ in 0..16 {
+                b.step_cycle();
+            }
+            b
+        });
+        let a = ja.join().unwrap();
+        let b = jb.join().unwrap();
+        for _ in 0..16 {
+            serial.step_cycle();
+        }
+        assert_eq!(a.counters(), serial.counters());
+        assert_eq!(b.counters(), serial.counters());
+        for g in 0..3 * n {
+            assert_eq!(a.peek(g), serial.peek(g));
+            assert_eq!(b.peek(g), serial.peek(g));
+        }
+    }
+
+    #[test]
+    fn counter_merge_is_order_independent() {
+        // Run a real multi-core machine, then re-merge its per-core
+        // counters in shuffled orders: every order must reproduce the
+        // same aggregate (this is the invariant the parallel barrier
+        // merge leans on, since core completion order is arbitrary).
+        let n = 6;
+        let mut gpu = wide_machine(n);
+        gpu.set_exec_mode(ExecMode::Parallel(3));
+        for c in 0..12 {
+            for i in 0..2 * n {
+                gpu.poke(i, (c * 7 >> i) & 1 == 1);
+            }
+            gpu.step_cycle();
+        }
+        let bd = gpu.breakdown();
+        let deltas: Vec<KernelCounters> = bd.partitions.iter().map(|p| p.counters).collect();
+        let reference = {
+            let mut sum = KernelCounters::default();
+            for d in &deltas {
+                sum += *d;
+            }
+            sum
+        };
+        // Deterministic shuffles: rotate and a fixed LCG permutation.
+        let mut orders: Vec<Vec<usize>> = (0..deltas.len())
+            .map(|rot| {
+                (0..deltas.len())
+                    .map(|i| (i + rot) % deltas.len())
+                    .collect()
+            })
+            .collect();
+        let mut lcg = 0x2545F4914F6CDD1Du64;
+        let mut perm: Vec<usize> = (0..deltas.len()).collect();
+        for i in (1..perm.len()).rev() {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            perm.swap(i, (lcg >> 33) as usize % (i + 1));
+        }
+        orders.push(perm);
+        for order in orders {
+            let mut sum = KernelCounters::default();
+            for &i in &order {
+                sum += deltas[i];
+            }
+            assert_eq!(
+                sum, reference,
+                "merge order {order:?} changed the aggregate"
+            );
+        }
+        assert_eq!(reference.alu_ops, bd.total.alu_ops);
+        assert_eq!(reference.blocks_run, bd.total.blocks_run);
+    }
+
+    #[test]
+    fn exec_metrics_exported() {
+        let n = 4;
+        let mut gpu = wide_machine(n);
+        gpu.set_exec_mode(ExecMode::Parallel(2));
+        for _ in 0..4 {
+            gpu.step_cycle();
+        }
+        let snap = gpu.metrics_snapshot();
+        assert_eq!(snap.family("gem_vgpu_threads").unwrap().total(), 2.0);
+        assert_eq!(
+            snap.family("gem_vgpu_parallel_tasks_total")
+                .unwrap()
+                .total(),
+            (4 * n) as f64
+        );
+        let barriers = snap.family("gem_vgpu_stage_barriers_total").unwrap();
+        assert_eq!(barriers.total(), 4.0);
+        assert_eq!(barriers.samples[0].labels[0].0, "stage");
+        assert!(snap.family("gem_vgpu_barrier_wait_nanos_total").is_some());
+    }
+
+    #[test]
+    fn snapshot_restore_is_engine_agnostic() {
+        let n = 4;
+        let mut par = wide_machine(n);
+        par.set_exec_mode(ExecMode::Parallel(2));
+        for i in 0..2 * n {
+            par.poke(i, i % 3 == 0);
+        }
+        for _ in 0..5 {
+            par.step_cycle();
+        }
+        let snap = par.snapshot();
+        // A serial machine restored from a parallel machine's snapshot
+        // continues the identical trajectory (exec shape is not state).
+        let mut ser = wide_machine(n);
+        ser.restore(&snap).expect("restores");
+        for i in 0..2 * n {
+            ser.poke(i, i % 3 == 0);
+            par.poke(i, i % 3 == 0);
+        }
+        ser.step_cycle();
+        par.step_cycle();
+        for g in 0..3 * n {
+            assert_eq!(ser.peek(g), par.peek(g));
+        }
+        assert_eq!(ser.counters(), par.counters());
     }
 }
 

@@ -1,0 +1,117 @@
+//! Tier-1 smoke for the parallel execution engine: the differential
+//! fuzz harness, run from the workspace root so `cargo test -q` (the
+//! tier-1 gate) always exercises golden-vs-vGPU at 1 and 4 threads.
+//!
+//! The full 220-design sweep lives in
+//! `crates/sim/tests/differential_fuzz.rs` (`--ignored`, run by the
+//! CI `parallel-determinism` matrix). This copy is intentionally
+//! small and additionally asserts the parallel path really engaged
+//! (via `ExecStats`), which the per-crate suite leaves to unit tests.
+
+use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_sim::{random_module, EaigSim, FuzzConfig, FuzzRng};
+
+/// Returns the pool tasks the parallel engine dispatched for this seed.
+fn run_seed(seed: u64, cycles: u64) -> u64 {
+    let cfg = FuzzConfig::for_seed(seed);
+    let m = random_module(seed, &cfg);
+    // 64-bit cores: the widest setting that still forces multi-core
+    // placements on this corpus (256 swallows every design whole).
+    let opts = CompileOptions {
+        core_width: 64,
+        target_parts: 4,
+        ..Default::default()
+    };
+    let compiled =
+        compile(&m, &opts).unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
+    let mut gold = EaigSim::new(&compiled.eaig);
+    let mut gem1 = GemSimulator::new(&compiled).unwrap();
+    let mut gemn = GemSimulator::new(&compiled).unwrap();
+    gem1.set_threads(1);
+    gemn.set_threads(4);
+
+    let n_in = compiled.eaig.inputs().len();
+    let mut stim = FuzzRng::new(seed ^ 0x5717_B0B5);
+    for cycle in 0..cycles {
+        let mut bitvec = vec![false; n_in];
+        for p in m.inputs() {
+            let w = m.width(p.net);
+            let v = stim.bits(w);
+            gem1.set_input(&p.name, v.clone());
+            gemn.set_input(&p.name, v.clone());
+            let pb = compiled
+                .eaig_inputs
+                .iter()
+                .find(|pb| pb.name == p.name)
+                .unwrap();
+            for i in 0..w {
+                bitvec[pb.lsb_index + i as usize] = v.bit(i);
+            }
+        }
+        for (i, &v) in bitvec.iter().enumerate() {
+            gold.set_input(i, v);
+        }
+        gold.eval();
+        gem1.step();
+        gemn.step();
+        for pb in compiled.eaig_outputs.iter() {
+            let v1 = gem1.output(&pb.name);
+            let vn = gemn.output(&pb.name);
+            for i in 0..pb.width {
+                let want = gold.output(pb.lsb_index + i as usize);
+                assert_eq!(
+                    v1.bit(i),
+                    want,
+                    "seed {seed} cycle {cycle}: serial engine diverged on {}[{i}]",
+                    pb.name
+                );
+                assert_eq!(
+                    vn.bit(i),
+                    want,
+                    "seed {seed} cycle {cycle}: parallel engine diverged on {}[{i}]",
+                    pb.name
+                );
+            }
+        }
+        assert_eq!(
+            gem1.counters(),
+            gemn.counters(),
+            "seed {seed} cycle {cycle}: counters diverged between engines"
+        );
+        gold.step();
+    }
+    assert_eq!(gem1.breakdown(), gemn.breakdown(), "seed {seed}");
+
+    // Stages with a single core bypass the pool by design, so only
+    // demand barriers when this seed's placement actually produced a
+    // stage wide enough to fan out.
+    let stats = gemn.exec_stats();
+    assert_eq!(stats.threads, 4, "seed {seed}");
+    let bd = gemn.breakdown();
+    let widest_stage = (0..)
+        .map(|s| bd.partitions.iter().filter(|p| p.stage == s).count())
+        .take_while(|&n| n > 0)
+        .max()
+        .unwrap_or(0);
+    if widest_stage > 1 {
+        assert!(stats.stage_barriers >= cycles, "seed {seed}: {stats:?}");
+        assert!(
+            stats.parallel_tasks >= stats.stage_barriers,
+            "seed {seed}: {stats:?}"
+        );
+    }
+    assert_eq!(gem1.exec_stats().parallel_tasks, 0, "seed {seed}");
+    stats.parallel_tasks
+}
+
+/// Golden vs serial vs 4-thread vGPU on a dozen random designs. At
+/// least one seed in the range must be wide enough to exercise the
+/// pool, otherwise the smoke silently degrades to serial-vs-serial.
+#[test]
+fn parallel_fuzz_smoke() {
+    let mut pool_tasks = 0;
+    for seed in 0..12 {
+        pool_tasks += run_seed(seed, 10);
+    }
+    assert!(pool_tasks > 0, "no seed engaged the parallel engine");
+}
