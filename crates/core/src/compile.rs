@@ -29,6 +29,14 @@ pub struct CompileOptions {
     pub timing_driven: bool,
     /// Seed for all heuristics.
     pub seed: u64,
+    /// Run the static bitstream verifier (`gem_isa::verify`) after
+    /// encoding; a violation fails the compile with
+    /// [`CompileError::Verify`].
+    pub verify: bool,
+    /// Nonzero: corrupt the bitstream with a seeded mutation before the
+    /// verifier runs (`gem_isa::mutate::corrupt`). Exercises the verify
+    /// gate end to end — a fault-injected compile must *fail*.
+    pub verify_fault: u64,
 }
 
 impl Default for CompileOptions {
@@ -40,6 +48,8 @@ impl Default for CompileOptions {
             core_width: 8192,
             timing_driven: true,
             seed: 0xC0DE,
+            verify: true,
+            verify_fault: 0,
         }
     }
 }
@@ -107,6 +117,9 @@ pub struct CompileReport {
     pub ram_blocks: u64,
     /// State bits spent polyfilling asynchronous-read memories.
     pub polyfilled_mem_bits: u64,
+    /// Whether the static bitstream verifier ran and passed (false when
+    /// verification was disabled).
+    pub verified: bool,
 }
 
 impl CompileReport {
@@ -123,6 +136,7 @@ impl CompileReport {
         o.set("replication_cost", self.replication_cost);
         o.set("ram_blocks", self.ram_blocks);
         o.set("polyfilled_mem_bits", self.polyfilled_mem_bits);
+        o.set("verified", self.verified);
         o
     }
 }
@@ -174,6 +188,8 @@ pub enum CompileError {
     Synth(SynthError),
     /// A partition stayed unmappable even after excessive re-partitioning.
     Place(PlaceError),
+    /// The static bitstream verifier found invariant violations.
+    Verify(String),
     /// Internal inconsistency (a bug).
     Internal(String),
 }
@@ -183,6 +199,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Synth(e) => write!(f, "synthesis failed: {e}"),
             CompileError::Place(e) => write!(f, "placement failed: {e}"),
+            CompileError::Verify(s) => write!(f, "bitstream verification failed: {s}"),
             CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
         }
     }
@@ -542,6 +559,38 @@ fn compile_eaig_with(
     encode_stage.metric("ram_blocks", ram_bindings.len() as f64);
     drop(encode_stage);
 
+    let device = DeviceConfig {
+        global_bits,
+        rams: ram_bindings,
+        initial_ones,
+    };
+
+    // --- Static verification gate.
+    let bitstream = if opts.verify_fault != 0 {
+        gem_telemetry::warn!(
+            "injecting bitstream fault (verify_fault = {})",
+            opts.verify_fault
+        );
+        gem_isa::mutate::corrupt(&bitstream, opts.verify_fault)
+    } else {
+        bitstream
+    };
+    let mut verified = false;
+    if opts.verify {
+        let mut st = flow.stage("verify");
+        let vr = crate::verify::verify(&bitstream, &device, &io, Some(&programs));
+        st.metric("cores", vr.cores as f64);
+        st.metric("violations", vr.total_violations() as f64);
+        for c in &vr.checks {
+            st.metric(&format!("{}_violations", c.name), c.violations as f64);
+            st.metric(&format!("{}_wall_ns", c.name), c.wall_ns as f64);
+        }
+        if !vr.passed() {
+            return Err(CompileError::Verify(vr.summary()));
+        }
+        verified = true;
+    }
+
     let report = CompileReport {
         gates: synth.stats.gates,
         levels: synth.stats.levels,
@@ -552,6 +601,7 @@ fn compile_eaig_with(
         replication_cost: partitioning.replication_cost(),
         ram_blocks: synth.stats.ram_blocks,
         polyfilled_mem_bits: synth.stats.polyfilled_mem_bits,
+        verified,
     };
     gem_telemetry::info!(
         "compiled: {} gates, {} parts, {} stages, {} layers, {} B bitstream",
@@ -563,11 +613,7 @@ fn compile_eaig_with(
     );
     Ok(Compiled {
         bitstream,
-        device: DeviceConfig {
-            global_bits,
-            rams: ram_bindings,
-            initial_ones,
-        },
+        device,
         io,
         report,
         flow: flow.finish(),

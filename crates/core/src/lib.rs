@@ -43,6 +43,7 @@ pub mod compile;
 pub mod package;
 pub mod replay;
 pub mod simulator;
+pub mod verify;
 
 pub use compile::{
     compile, compile_eaig, CompileError, CompileOptions, CompileReport, Compiled, IoMap,
@@ -55,3 +56,4 @@ pub use package::{
 };
 pub use replay::{StimulusError, VcdStimulus};
 pub use simulator::GemSimulator;
+pub use verify::{verify, verify_metrics};

@@ -218,6 +218,8 @@ pub fn report_from_json(j: &Json) -> Result<CompileReport, ParsePackageError> {
         replication_cost: get_f64(j, "replication_cost")?,
         ram_blocks: get_u64(j, "ram_blocks")?,
         polyfilled_mem_bits: get_u64(j, "polyfilled_mem_bits")?,
+        // Absent in packages written before the verifier existed.
+        verified: j.get("verified").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 

@@ -28,7 +28,7 @@ fn compile_flow_stage_names_are_stable() {
     let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
     assert_eq!(
         compiled.flow.stage_names(),
-        vec!["synth", "partition", "merge", "place", "encode"],
+        vec!["synth", "partition", "merge", "place", "encode", "verify"],
         "stage names/order are part of the metrics-file format"
     );
     // Entering after synthesis skips exactly the synth stage.
@@ -36,6 +36,20 @@ fn compile_flow_stage_names_are_stable() {
     let from_eaig = compile_eaig(synth, &CompileOptions::small()).expect("compiles");
     assert_eq!(
         from_eaig.flow.stage_names(),
+        vec!["partition", "merge", "place", "encode", "verify"]
+    );
+    // Compiling with verification off drops exactly the verify stage.
+    let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
+    let unverified = compile_eaig(
+        synth,
+        &CompileOptions {
+            verify: false,
+            ..CompileOptions::small()
+        },
+    )
+    .expect("compiles");
+    assert_eq!(
+        unverified.flow.stage_names(),
         vec!["partition", "merge", "place", "encode"]
     );
     // Key size metrics are attached where documented.

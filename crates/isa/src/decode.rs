@@ -14,6 +14,9 @@ pub enum DecodeError {
     BadMagic(u32),
     /// A field holds an impossible value; the string names it.
     BadField(String),
+    /// The buffer holds this many bytes beyond the encoded program
+    /// (strict decoding only; see [`disassemble_core_exact`]).
+    TrailingBytes(usize),
 }
 
 impl fmt::Display for DecodeError {
@@ -22,6 +25,9 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "truncated core program"),
             DecodeError::BadMagic(m) => write!(f, "bad INIT magic {m:#010x}"),
             DecodeError::BadField(s) => write!(f, "bad field: {s}"),
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after the core program")
+            }
         }
     }
 }
@@ -80,12 +86,108 @@ impl<'a> BitReader<'a> {
     }
 }
 
+/// Reconstructs one boomerang layer from its `PERMUTE`/`FOLD`/`WRITEBACK`
+/// words, starting at word-aligned bit `cursor`. Returns the layer and
+/// the cursor one past its last word.
+///
+/// This is the *only* layer-reconstruction path in the workspace: the
+/// decoder (and through it the static verifier's round-trip check) both
+/// go through it, so the two can never disagree about the word layout.
+fn read_layer(
+    r: &mut BitReader<'_>,
+    mut cursor: usize,
+    width: u32,
+    folds: usize,
+) -> Result<(BoomerangLayer, usize), DecodeError> {
+    let mut layer = BoomerangLayer::new(width);
+    let pw = perm_words(width);
+    let codes_per_word = (width as usize).div_ceil(pw);
+    let mut idx = 0usize;
+    for _ in 0..pw {
+        let word_base = cursor;
+        for _ in 0..codes_per_word.min(width as usize - idx) {
+            let code = r.read_bits(16)? as u16;
+            layer.perm[idx] = if code & 0x8000 != 0 {
+                PermSource::ConstFalse
+            } else {
+                PermSource::State(code as u32)
+            };
+            idx += 1;
+        }
+        cursor = word_base + wide_bits(width);
+        r.seek(cursor)?;
+    }
+    // FOLD word.
+    let fold_base = cursor;
+    for k in 0..folds {
+        let slots = (width >> (k + 1)) as usize;
+        for j in 0..slots {
+            layer.folds[k].xa[j] = r.read_bit()?;
+        }
+        for j in 0..slots {
+            layer.folds[k].xb[j] = r.read_bit()?;
+        }
+        for j in 0..slots {
+            layer.folds[k].ob[j] = r.read_bit()?;
+        }
+    }
+    r.seek(fold_base + wide_bits(width) - 32)?;
+    let wb_words = r.read_bits(32)? as usize;
+    cursor = fold_base + wide_bits(width);
+    r.seek(cursor)?;
+    for _ in 0..wb_words {
+        let word_base = cursor;
+        let count = r.read_bits(32)? as usize;
+        if count > wb_entries(width).max(1) {
+            return Err(DecodeError::BadField(format!("wb count {count}")));
+        }
+        for _ in 0..count {
+            let level = r.read_bits(5)? as usize;
+            let slot = r.read_bits(14)? as usize;
+            let addr = r.read_bits(13)? as u32;
+            if level == 0 || level > folds || slot >= (width as usize >> level) {
+                return Err(DecodeError::BadField(format!(
+                    "writeback level {level} slot {slot}"
+                )));
+            }
+            layer.writeback[level - 1][slot] = Some(addr);
+        }
+        cursor = word_base + wide_bits(width);
+        r.seek(cursor)?;
+    }
+    Ok((layer, cursor))
+}
+
 /// Disassembles one core program produced by [`crate::assemble_core`].
+///
+/// Trailing bytes after the encoded program are tolerated (the container
+/// stores exact lengths, but a raw byte slice may be padded); use
+/// [`disassemble_core_exact`] to reject them.
 ///
 /// # Errors
 ///
 /// Returns a [`DecodeError`] on malformed input.
 pub fn disassemble_core(bytes: &[u8]) -> Result<DecodedCore, DecodeError> {
+    disassemble_inner(bytes).map(|(dec, _)| dec)
+}
+
+/// Like [`disassemble_core`], but additionally requires the buffer to end
+/// exactly where the encoded program does.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::TrailingBytes`] when the buffer is longer than
+/// the program, in addition to the lenient decoder's errors.
+pub fn disassemble_core_exact(bytes: &[u8]) -> Result<DecodedCore, DecodeError> {
+    let (dec, bits) = disassemble_inner(bytes)?;
+    let consumed = bits.div_ceil(8);
+    if consumed != bytes.len() {
+        return Err(DecodeError::TrailingBytes(bytes.len() - consumed));
+    }
+    Ok(dec)
+}
+
+fn disassemble_inner(bytes: &[u8]) -> Result<(DecodedCore, usize), DecodeError> {
     let mut r = BitReader { bytes, bit: 0 };
     let magic = r.read_bits(32)? as u32;
     if magic != u32::from_le_bytes(*b"GEMB") {
@@ -125,62 +227,8 @@ pub fn disassemble_core(bytes: &[u8]) -> Result<DecodedCore, DecodeError> {
     // Layers.
     let mut layers = Vec::with_capacity(num_layers);
     for _ in 0..num_layers {
-        let mut layer = BoomerangLayer::new(width);
-        let pw = perm_words(width);
-        let codes_per_word = (width as usize).div_ceil(pw);
-        let mut idx = 0usize;
-        for _ in 0..pw {
-            let word_base = cursor;
-            for _ in 0..codes_per_word.min(width as usize - idx) {
-                let code = r.read_bits(16)? as u16;
-                layer.perm[idx] = if code & 0x8000 != 0 {
-                    PermSource::ConstFalse
-                } else {
-                    PermSource::State(code as u32)
-                };
-                idx += 1;
-            }
-            cursor = word_base + wide_bits(width);
-            r.seek(cursor)?;
-        }
-        // FOLD word.
-        let fold_base = cursor;
-        for k in 0..folds {
-            let slots = (width >> (k + 1)) as usize;
-            for j in 0..slots {
-                layer.folds[k].xa[j] = r.read_bit()?;
-            }
-            for j in 0..slots {
-                layer.folds[k].xb[j] = r.read_bit()?;
-            }
-            for j in 0..slots {
-                layer.folds[k].ob[j] = r.read_bit()?;
-            }
-        }
-        r.seek(fold_base + wide_bits(width) - 32)?;
-        let wb_words = r.read_bits(32)? as usize;
-        cursor = fold_base + wide_bits(width);
-        r.seek(cursor)?;
-        for _ in 0..wb_words {
-            let word_base = cursor;
-            let count = r.read_bits(32)? as usize;
-            if count > wb_entries(width).max(1) {
-                return Err(DecodeError::BadField(format!("wb count {count}")));
-            }
-            for _ in 0..count {
-                let level = r.read_bits(5)? as usize;
-                let slot = r.read_bits(14)? as usize;
-                let addr = r.read_bits(13)? as u32;
-                if level == 0 || level > folds || slot >= (width as usize >> level) {
-                    return Err(DecodeError::BadField(format!(
-                        "writeback level {level} slot {slot}"
-                    )));
-                }
-                layer.writeback[level - 1][slot] = Some(addr);
-            }
-            cursor = word_base + wide_bits(width);
-            r.seek(cursor)?;
-        }
+        let (layer, next) = read_layer(&mut r, cursor, width, folds)?;
+        cursor = next;
         layers.push(layer);
     }
 
@@ -212,13 +260,16 @@ pub fn disassemble_core(bytes: &[u8]) -> Result<DecodedCore, DecodeError> {
         r.seek(cursor)?;
     }
 
-    Ok(DecodedCore {
-        width,
-        state_size,
-        reads,
-        layers,
-        writes,
-    })
+    Ok((
+        DecodedCore {
+            width,
+            state_size,
+            reads,
+            layers,
+            writes,
+        },
+        cursor,
+    ))
 }
 
 #[cfg(test)]
@@ -322,6 +373,79 @@ mod tests {
             disassemble_core(&bytes[..bytes.len() / 2]),
             Err(DecodeError::Truncated)
         ));
+    }
+
+    #[test]
+    fn exact_decode_rejects_trailing_bytes() {
+        let prog = sample_program(64);
+        let mut bytes = assemble_core(&prog, &[], &[]);
+        assert!(disassemble_core_exact(&bytes).is_ok());
+        bytes.extend_from_slice(&[0u8; 3]);
+        assert!(disassemble_core(&bytes).is_ok(), "lenient decode tolerates");
+        assert_eq!(
+            disassemble_core_exact(&bytes),
+            Err(DecodeError::TrailingBytes(3))
+        );
+    }
+
+    /// Pins the decoder's cursor walk (through the shared `read_layer`
+    /// helper) against the closed-form size accounting in
+    /// [`crate::core_size_bits`]: if either drifts, the verifier's budget
+    /// check and the decoder would disagree about where words end.
+    #[test]
+    fn decoder_and_size_accounting_agree() {
+        for width in [16u32, 64, 256, 8192] {
+            let prog = sample_program(width);
+            let reads: Vec<ReadEntry> = (0..5)
+                .map(|i| ReadEntry {
+                    global: i,
+                    state: i as u16,
+                })
+                .collect();
+            let writes = vec![WriteEntry {
+                global: 3,
+                src: WriteSrc::Const(true),
+                deferred: false,
+            }];
+            let bytes = assemble_core(&prog, &reads, &writes);
+            let dec = disassemble_core_exact(&bytes).expect("decodes with no slack");
+            let wb_counts: Vec<usize> = dec
+                .layers
+                .iter()
+                .map(|l| {
+                    l.writeback
+                        .iter()
+                        .map(|s| s.iter().filter(|a| a.is_some()).count())
+                        .sum()
+                })
+                .collect();
+            let expect = crate::core_size_bits(width, reads.len(), writes.len(), &wb_counts);
+            assert_eq!(bytes.len() * 8, expect, "width {width}");
+        }
+    }
+
+    /// Decode → canonical re-encode must reproduce the encoder's bytes
+    /// bit-for-bit (the verifier's round-trip invariant).
+    #[test]
+    fn reencode_of_decoded_core_is_identical() {
+        for width in [16u32, 64, 256] {
+            let prog = sample_program(width);
+            let reads = vec![ReadEntry {
+                global: 7,
+                state: 3,
+            }];
+            let writes = vec![WriteEntry {
+                global: 9,
+                src: WriteSrc::State {
+                    addr: 7,
+                    invert: false,
+                },
+                deferred: true,
+            }];
+            let bytes = assemble_core(&prog, &reads, &writes);
+            let dec = disassemble_core(&bytes).expect("decodes");
+            assert_eq!(crate::assemble_decoded(&dec), bytes, "width {width}");
+        }
     }
 
     #[test]

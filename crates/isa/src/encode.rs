@@ -193,6 +193,25 @@ pub fn assemble_core(prog: &CoreProgram, reads: &[ReadEntry], writes: &[WriteEnt
     out.bytes
 }
 
+/// Re-assembles a decoded core into its canonical byte form.
+///
+/// [`assemble_core`] consumes only the program's width, state size, and
+/// layers (source/sink bindings live in the `reads`/`writes` tables), so
+/// a [`crate::DecodedCore`] — which carries exactly those plus the
+/// tables — re-encodes without the compiler's node-identity metadata.
+/// For any output of the encoder, `assemble_decoded(disassemble(x)) == x`;
+/// the static verifier's round-trip check is built on this.
+pub fn assemble_decoded(dec: &crate::DecodedCore) -> Vec<u8> {
+    let prog = CoreProgram {
+        width: dec.width,
+        state_size: dec.state_size,
+        inputs: Vec::new(),
+        layers: dec.layers.clone(),
+        outputs: Vec::new(),
+    };
+    assemble_core(&prog, &dec.reads, &dec.writes)
+}
+
 /// A complete compiled design: per-stage core programs plus the global
 /// signal-space size.
 #[derive(Debug, Clone, PartialEq, Eq)]

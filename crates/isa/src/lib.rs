@@ -28,9 +28,12 @@
 
 pub mod decode;
 pub mod encode;
+pub mod mutate;
+pub mod verify;
 
-pub use decode::{disassemble_core, DecodeError, DecodedCore};
-pub use encode::{assemble_core, Bitstream, ReadEntry, WriteEntry, WriteSrc};
+pub use decode::{disassemble_core, disassemble_core_exact, DecodeError, DecodedCore};
+pub use encode::{assemble_core, assemble_decoded, Bitstream, ReadEntry, WriteEntry, WriteSrc};
+pub use verify::{verify_bitstream, VerifyContext, VerifyReport};
 
 /// Bits in an `INIT` word for core width `w` (floored so headers fit at
 /// the tiny widths used in tests; equals `w` from `w = 256` up).
@@ -75,4 +78,29 @@ pub const fn perm_words(w: u32) -> usize {
 /// count header).
 pub const fn wb_entries(w: u32) -> usize {
     wide_bits(w) / 32 - 1
+}
+
+/// Exact encoded size, in bits, of a core program with the given
+/// instruction counts (`layer_wb_entries[i]` = populated write-back
+/// entries of layer `i`).
+///
+/// This is the single size-accounting authority shared by the encoder's
+/// word emission, the decoder's cursor walk, and the static verifier's
+/// budget check; `decode::tests::decoder_and_size_accounting_agree` pins
+/// the three together.
+pub fn core_size_bits(
+    w: u32,
+    n_reads: usize,
+    n_writes: usize,
+    layer_wb_entries: &[usize],
+) -> usize {
+    let per_io_word = io_entries(w).max(1);
+    let mut bits = init_bits(w);
+    bits += n_reads.div_ceil(per_io_word) * io_bits(w);
+    for &wb in layer_wb_entries {
+        let wb_words = wb.div_ceil(wb_entries(w).max(1));
+        bits += (perm_words(w) + 1 + wb_words) * wide_bits(w);
+    }
+    bits += n_writes.div_ceil(per_io_word) * io_bits(w);
+    bits
 }

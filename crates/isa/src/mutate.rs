@@ -1,0 +1,485 @@
+//! Seeded bitstream mutator: the verifier's sparring partner.
+//!
+//! A static checker that nobody attacks silently rots — a refactor can
+//! weaken a check and every test still passes, because valid bitstreams
+//! exercise only the "accept" path. The mutation self-test harness
+//! (`tests/mutation_kill.rs`) closes that hole: it corrupts known-good
+//! bitstreams in each [`MutationClass`] and asserts
+//! [`crate::verify_bitstream`] kills every mutant. Each class targets a
+//! specific check family, so a surviving mutant names the check that
+//! regressed.
+//!
+//! Mutations come in two flavors:
+//!
+//! * **Structured** — decode a core, perturb the [`crate::DecodedCore`],
+//!   re-encode canonically. The mutant is a *well-formed* program whose
+//!   semantics are wrong, so only the semantic checks (`layers`,
+//!   `messages`, `bounds`, `budget`, `merge`) can catch it.
+//! * **Raw** — byte-level damage (truncation, trailing garbage, header
+//!   count corruption) that the `roundtrip` check must catch.
+//!
+//! All randomness is a local SplitMix64 over the caller's seed; the same
+//! `(bitstream, class, seed)` triple always yields the same mutant.
+
+use crate::{assemble_decoded, disassemble_core, Bitstream, DecodedCore, WriteSrc};
+use gem_place::PermSource;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The ways a bitstream can be corrupted, each aimed at one verifier
+/// check family (noted per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationClass {
+    /// Swap two distinct boomerang layers (`merge`, often `layers`).
+    SwapLayers,
+    /// Drop a `READ_GLOBAL` entry — a lost recv (`layers`/`merge`).
+    DropRead,
+    /// Drop a `WRITE_GLOBAL` entry whose slot someone reads — a lost
+    /// send (`messages`).
+    DropWrite,
+    /// Duplicate a write with a flipped source — two senders racing on
+    /// one slot (`messages`, `budget`).
+    DupWrite,
+    /// Point a read's inbox destination past the state array (`bounds`).
+    ReadAddrOob,
+    /// Point a write-back at `state_size` (`bounds`).
+    WritebackAddrOob,
+    /// Point a read or write past the global signal array (`bounds`).
+    GlobalOob,
+    /// Shrink the declared state size below the highest used address
+    /// (`bounds`).
+    StateSizeShrink,
+    /// Retarget a permutation source to constant-false (`merge`).
+    PermRetarget,
+    /// Flip one fold constant bit (`merge`).
+    FoldFlip,
+    /// Truncate a core program mid-word (`roundtrip`).
+    TruncateCore,
+    /// Append garbage bytes after a core program (`roundtrip`).
+    TrailingGarbage,
+    /// Bump the `INIT` layer count so the headers lie (`roundtrip`).
+    CorruptCounts,
+}
+
+/// Every mutation class, in a stable order (the self-test iterates this).
+pub const ALL_CLASSES: [MutationClass; 13] = [
+    MutationClass::SwapLayers,
+    MutationClass::DropRead,
+    MutationClass::DropWrite,
+    MutationClass::DupWrite,
+    MutationClass::ReadAddrOob,
+    MutationClass::WritebackAddrOob,
+    MutationClass::GlobalOob,
+    MutationClass::StateSizeShrink,
+    MutationClass::PermRetarget,
+    MutationClass::FoldFlip,
+    MutationClass::TruncateCore,
+    MutationClass::TrailingGarbage,
+    MutationClass::CorruptCounts,
+];
+
+/// The classes whose mutants are detectable from the bitstream and
+/// device context alone. The other three (`swap_layers`,
+/// `perm_retarget`, `fold_flip`) produce well-formed, in-bounds programs
+/// that only the `merge` consistency check — which needs placement
+/// metadata — can distinguish from the original; fault drills against
+/// `.gemb` packages (which carry no programs) must draw from this set.
+pub const PROGRAM_FREE_CLASSES: [MutationClass; 10] = [
+    MutationClass::DropRead,
+    MutationClass::DropWrite,
+    MutationClass::DupWrite,
+    MutationClass::ReadAddrOob,
+    MutationClass::WritebackAddrOob,
+    MutationClass::GlobalOob,
+    MutationClass::StateSizeShrink,
+    MutationClass::TruncateCore,
+    MutationClass::TrailingGarbage,
+    MutationClass::CorruptCounts,
+];
+
+impl MutationClass {
+    /// Stable snake_case name (used in test output and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::SwapLayers => "swap_layers",
+            MutationClass::DropRead => "drop_read",
+            MutationClass::DropWrite => "drop_write",
+            MutationClass::DupWrite => "dup_write",
+            MutationClass::ReadAddrOob => "read_addr_oob",
+            MutationClass::WritebackAddrOob => "writeback_addr_oob",
+            MutationClass::GlobalOob => "global_oob",
+            MutationClass::StateSizeShrink => "state_size_shrink",
+            MutationClass::PermRetarget => "perm_retarget",
+            MutationClass::FoldFlip => "fold_flip",
+            MutationClass::TruncateCore => "truncate_core",
+            MutationClass::TrailingGarbage => "trailing_garbage",
+            MutationClass::CorruptCounts => "corrupt_counts",
+        }
+    }
+}
+
+impl fmt::Display for MutationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// SplitMix64, kept local so the ISA crate stays dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Applies `class` to one core of `bs`, chosen by seeded rotation over
+/// the cores until one admits the mutation. Returns `None` when no core
+/// does (e.g. `SwapLayers` on a design whose every core has fewer than
+/// two distinct layers) — the self-test treats that as "class not
+/// applicable to this fixture", never as a pass.
+pub fn mutate(bs: &Bitstream, class: MutationClass, seed: u64) -> Option<Bitstream> {
+    let coords: Vec<(usize, usize)> = bs
+        .stages
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| (0..s.len()).map(move |ci| (si, ci)))
+        .collect();
+    if coords.is_empty() {
+        return None;
+    }
+    // Slots some core reads: the drop-write class must hit one of these
+    // so the lost send is observable.
+    let read_globals: HashSet<u32> = coords
+        .iter()
+        .filter_map(|&(si, ci)| disassemble_core(&bs.stages[si][ci]).ok())
+        .flat_map(|d| d.reads.into_iter().map(|r| r.global))
+        .collect();
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x100_0000_01B3) ^ class as u64);
+    let start = rng.below(coords.len());
+    for k in 0..coords.len() {
+        let (si, ci) = coords[(start + k) % coords.len()];
+        if let Some(bytes) = apply(class, &bs.stages[si][ci], bs, &read_globals, &mut rng) {
+            let mut out = bs.clone();
+            out.stages[si][ci] = bytes;
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Fault-injection entry point for the compile flow's `verify_fault`
+/// knob: rotates through [`ALL_CLASSES`] from a seeded start and applies
+/// the first class the bitstream admits. Falls back to an unmodified
+/// clone only for degenerate (core-less) bitstreams.
+pub fn corrupt(bs: &Bitstream, seed: u64) -> Bitstream {
+    corrupt_from(bs, seed, &ALL_CLASSES)
+}
+
+/// Like [`corrupt`], drawing only from the given class set (e.g.
+/// [`PROGRAM_FREE_CLASSES`] when the verifier will run without placement
+/// metadata).
+pub fn corrupt_from(bs: &Bitstream, seed: u64, classes: &[MutationClass]) -> Bitstream {
+    for k in 0..classes.len() {
+        let class = classes[(seed as usize + k) % classes.len()];
+        if let Some(mutant) = mutate(bs, class, seed) {
+            return mutant;
+        }
+    }
+    bs.clone()
+}
+
+fn apply(
+    class: MutationClass,
+    bytes: &[u8],
+    bs: &Bitstream,
+    read_globals: &HashSet<u32>,
+    rng: &mut SplitMix64,
+) -> Option<Vec<u8>> {
+    match class {
+        // Raw byte damage: no decode involved.
+        MutationClass::TruncateCore => {
+            if bytes.len() < 8 {
+                return None;
+            }
+            let keep = bytes.len() - (bytes.len() / 4 + 1);
+            Some(bytes[..keep].to_vec())
+        }
+        MutationClass::TrailingGarbage => {
+            let mut out = bytes.to_vec();
+            out.extend_from_slice(&[0xA5; 8]);
+            Some(out)
+        }
+        MutationClass::CorruptCounts => {
+            if bytes.len() < 16 {
+                return None;
+            }
+            let mut out = bytes.to_vec();
+            let n_layers = u32::from_le_bytes([out[12], out[13], out[14], out[15]]);
+            out[12..16].copy_from_slice(&n_layers.wrapping_add(1).to_le_bytes());
+            Some(out)
+        }
+        // Structured damage: decode, perturb, canonical re-encode.
+        _ => {
+            let mut dec = disassemble_core(bytes).ok()?;
+            mutate_decoded(class, &mut dec, bs, read_globals, rng)?;
+            Some(assemble_decoded(&dec))
+        }
+    }
+}
+
+fn mutate_decoded(
+    class: MutationClass,
+    dec: &mut DecodedCore,
+    bs: &Bitstream,
+    read_globals: &HashSet<u32>,
+    rng: &mut SplitMix64,
+) -> Option<()> {
+    match class {
+        MutationClass::SwapLayers => {
+            if dec.layers.len() < 2 {
+                return None;
+            }
+            let i = rng.below(dec.layers.len());
+            let j = (0..dec.layers.len()).find(|&j| dec.layers[j] != dec.layers[i])?;
+            dec.layers.swap(i, j);
+        }
+        MutationClass::DropRead => {
+            // Only drop a read whose landing bit is gathered *before*
+            // any writeback redefines it: the placer recycles state
+            // addresses, so a bit that is written back early would make
+            // the hole invisible to the layers check (detectable only
+            // via the merge check, which needs placement metadata —
+            // and this class is in [`PROGRAM_FREE_CLASSES`]).
+            let mut first_gather: std::collections::HashMap<u32, usize> = Default::default();
+            let mut first_wb: std::collections::HashMap<u32, usize> = Default::default();
+            for (li, l) in dec.layers.iter().enumerate() {
+                for p in &l.perm {
+                    if let PermSource::State(a) = p {
+                        first_gather.entry(*a).or_insert(li);
+                    }
+                }
+                for a in l.writeback.iter().flatten().flatten() {
+                    first_wb.entry(*a).or_insert(li);
+                }
+            }
+            let candidates: Vec<usize> = (0..dec.reads.len())
+                .filter(|&i| {
+                    let a = u32::from(dec.reads[i].state);
+                    first_gather
+                        .get(&a)
+                        .is_some_and(|&g| first_wb.get(&a).is_none_or(|&w| w >= g))
+                })
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            dec.reads.remove(candidates[rng.below(candidates.len())]);
+        }
+        MutationClass::DropWrite => {
+            let candidates: Vec<usize> = (0..dec.writes.len())
+                .filter(|&i| read_globals.contains(&dec.writes[i].global))
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            dec.writes.remove(candidates[rng.below(candidates.len())]);
+        }
+        MutationClass::DupWrite => {
+            if dec.writes.is_empty() {
+                return None;
+            }
+            let i = rng.below(dec.writes.len());
+            let mut dup = dec.writes[i];
+            dup.src = match dup.src {
+                WriteSrc::State { addr, invert } => WriteSrc::State {
+                    addr,
+                    invert: !invert,
+                },
+                WriteSrc::Const(v) => WriteSrc::Const(!v),
+            };
+            dec.writes.insert(i + 1, dup);
+        }
+        MutationClass::ReadAddrOob => {
+            if dec.reads.is_empty() || dec.state_size > 0x7FFF {
+                return None;
+            }
+            let i = rng.below(dec.reads.len());
+            dec.reads[i].state = 0x7FFF;
+        }
+        MutationClass::WritebackAddrOob => {
+            // The write-back field is 13-bit, so the smallest illegal
+            // address (state_size itself) must still be encodable.
+            if dec.state_size >= 1 << 13 {
+                return None;
+            }
+            let slot = dec
+                .layers
+                .iter_mut()
+                .flat_map(|l| l.writeback.iter_mut())
+                .flat_map(|s| s.iter_mut())
+                .find(|a| a.is_some())?;
+            *slot = Some(dec.state_size);
+        }
+        MutationClass::GlobalOob => {
+            let bad = bs.global_bits + 1 + rng.below(100) as u32;
+            if !dec.reads.is_empty() && (dec.writes.is_empty() || rng.below(2) == 0) {
+                let i = rng.below(dec.reads.len());
+                dec.reads[i].global = bad;
+            } else if !dec.writes.is_empty() {
+                let i = rng.below(dec.writes.len());
+                dec.writes[i].global = bad;
+            } else {
+                return None;
+            }
+        }
+        MutationClass::StateSizeShrink => {
+            let mut max_addr: Option<u32> = None;
+            let mut note = |a: u32| max_addr = Some(max_addr.map_or(a, |m| m.max(a)));
+            for r in &dec.reads {
+                note(u32::from(r.state));
+            }
+            for w in &dec.writes {
+                if let WriteSrc::State { addr, .. } = w.src {
+                    note(u32::from(addr));
+                }
+            }
+            for l in &dec.layers {
+                for p in &l.perm {
+                    if let PermSource::State(a) = p {
+                        note(*a);
+                    }
+                }
+                for s in &l.writeback {
+                    for a in s.iter().flatten() {
+                        note(*a);
+                    }
+                }
+            }
+            // Declaring exactly max_addr puts the highest-used address
+            // one past the end of the state array.
+            dec.state_size = max_addr?;
+        }
+        MutationClass::PermRetarget => {
+            let slot = dec
+                .layers
+                .iter_mut()
+                .flat_map(|l| l.perm.iter_mut())
+                .find(|p| matches!(p, PermSource::State(_)))?;
+            *slot = PermSource::ConstFalse;
+        }
+        MutationClass::FoldFlip => {
+            if dec.layers.is_empty() {
+                return None;
+            }
+            let li = rng.below(dec.layers.len());
+            let layer = &mut dec.layers[li];
+            if layer.folds.is_empty() {
+                return None;
+            }
+            let k = rng.below(layer.folds.len());
+            let j = rng.below(layer.folds[k].xa.len().max(1));
+            let bit = layer.folds[k].xa.get_mut(j)?;
+            *bit = !*bit;
+        }
+        _ => unreachable!("raw classes handled in apply()"),
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_core, ReadEntry, WriteEntry};
+    use gem_place::{BoomerangLayer, CoreProgram, OutputSource};
+
+    fn sample_bitstream() -> Bitstream {
+        let width = 16u32;
+        let mut layer = BoomerangLayer::new(width);
+        layer.perm[0] = PermSource::State(0);
+        layer.perm[1] = PermSource::State(1);
+        layer.writeback[0][0] = Some(2);
+        let mut layer2 = BoomerangLayer::new(width);
+        layer2.perm[0] = PermSource::State(2);
+        layer2.writeback[0][1] = Some(3);
+        let prog = CoreProgram {
+            width,
+            state_size: 4,
+            inputs: vec![(gem_aig::NodeId(1), 0), (gem_aig::NodeId(2), 1)],
+            layers: vec![layer, layer2],
+            outputs: vec![OutputSource::State {
+                addr: 3,
+                invert: false,
+            }],
+        };
+        let reads = vec![
+            ReadEntry {
+                global: 0,
+                state: 0,
+            },
+            ReadEntry {
+                global: 1,
+                state: 1,
+            },
+        ];
+        let writes = vec![WriteEntry {
+            global: 2,
+            src: WriteSrc::State {
+                addr: 3,
+                invert: false,
+            },
+            deferred: true,
+        }];
+        Bitstream {
+            width,
+            global_bits: 3,
+            stages: vec![vec![assemble_core(&prog, &reads, &writes)]],
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic_and_change_the_bytes() {
+        let bs = sample_bitstream();
+        for class in ALL_CLASSES {
+            let Some(a) = mutate(&bs, class, 7) else {
+                continue;
+            };
+            let b = mutate(&bs, class, 7).expect("same seed, same applicability");
+            assert_eq!(a, b, "{class} not deterministic");
+            assert_ne!(a, bs, "{class} must alter the bitstream");
+        }
+    }
+
+    #[test]
+    fn most_classes_apply_to_a_small_design() {
+        let bs = sample_bitstream();
+        let applicable = ALL_CLASSES
+            .iter()
+            .filter(|c| mutate(&bs, **c, 1).is_some())
+            .count();
+        // drop_write needs a cross-core reader; everything else should
+        // land on this fixture.
+        assert!(applicable >= ALL_CLASSES.len() - 1, "{applicable} classes");
+    }
+
+    #[test]
+    fn corrupt_always_returns_a_different_bitstream_when_possible() {
+        let bs = sample_bitstream();
+        for seed in 1..=16u64 {
+            assert_ne!(corrupt(&bs, seed), bs, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,996 @@
+//! Static bitstream verifier: the compile flow's trust anchor.
+//!
+//! A compiled [`Bitstream`] encodes the whole E-AIG schedule — boomerang
+//! layer order, permutation legality, cross-core message timing — and a
+//! single mis-encoded word silently corrupts every simulation run (and,
+//! through the server's compile cache, every *session*). Following the
+//! static-legality discipline of bulk-synchronous emulator compilers,
+//! this module re-derives the invariant set from the bitstream alone and
+//! checks it against the device/placement metadata, instead of trusting
+//! the encoder:
+//!
+//! | check       | invariant |
+//! |-------------|-----------|
+//! | `roundtrip` | decode → canonical re-encode reproduces every core bit-for-bit; the container survives serialization |
+//! | `layers`    | layers are level-monotone: no state bit is gathered before a `READ_GLOBAL` or an earlier layer's write-back defines it, and no layer both gathers and writes the same bit |
+//! | `messages`  | every cross-core read has exactly one matching send scheduled before its first use (immediate sends strictly earlier in the stage pipeline, deferred sends by the previous cycle) and within inbox capacity |
+//! | `bounds`    | state addresses stay inside `state_size`, globals inside the signal array, RAM bindings match the fixed 8192×32 geometry |
+//! | `budget`    | per-core instruction counts account for every encoded byte; inbox/outbox budgets hold |
+//! | `merge`     | the encoded programs are structurally consistent with the placement/merge metadata (when provided) |
+//!
+//! The verifier never panics on hostile input: anything the decoder
+//! rejects becomes a `roundtrip` violation and the remaining checks skip
+//! that core. Its own health is enforced by the mutation self-test
+//! harness (`tests/mutation_kill.rs`), which corrupts valid bitstreams in
+//! every class [`crate::mutate::MutationClass`] knows and asserts each
+//! mutant is killed.
+
+use crate::{assemble_decoded, core_size_bits, disassemble_core_exact, Bitstream, DecodedCore};
+use crate::{WriteEntry, WriteSrc};
+use gem_aig::{RAM_ADDR_BITS, RAM_DATA_BITS};
+use gem_place::{CoreProgram, OutputSource, PermSource};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+/// Global-slot binding of one RAM block. Mirrors the virtual GPU's
+/// `RamBinding` without depending on the machine crate (the ISA layer
+/// sits below it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RamSlots {
+    /// Read-address operand slots, LSB first (`RAM_ADDR_BITS` of them).
+    pub raddr: Vec<u32>,
+    /// Write-address operand slots.
+    pub waddr: Vec<u32>,
+    /// Write-data operand slots (`RAM_DATA_BITS` of them).
+    pub wdata: Vec<u32>,
+    /// Write-enable operand slot.
+    pub we: u32,
+    /// Read-data result slots (device-written at the cycle boundary).
+    pub rdata: Vec<u32>,
+}
+
+impl RamSlots {
+    /// All operand slots a core must publish with an *immediate* write.
+    pub fn operand_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.raddr
+            .iter()
+            .chain(self.waddr.iter())
+            .chain(self.wdata.iter())
+            .copied()
+            .chain(std::iter::once(self.we))
+    }
+}
+
+/// Everything the verifier knows about the device besides the bitstream
+/// itself. All of it comes straight out of the compiler's outputs (see
+/// `gem_core::verify` for the adapter).
+#[derive(Debug, Clone, Default)]
+pub struct VerifyContext<'a> {
+    /// Size of the device-global signal array.
+    pub global_bits: u32,
+    /// RAM block bindings (fixed 8192×32 geometry).
+    pub rams: Vec<RamSlots>,
+    /// Global slots holding 1 at cycle 0 (FF init values).
+    pub initial_ones: Vec<u32>,
+    /// Testbench-poked input slots (defined at every cycle start).
+    pub input_slots: Vec<u32>,
+    /// Primary-output slots; each needs exactly one deferred publisher.
+    pub output_slots: Vec<u32>,
+    /// Placement metadata, stage-major, matching the bitstream shape.
+    /// `None` skips the `merge` consistency check (e.g. verifying a
+    /// `.gemb` package, which does not carry programs).
+    pub programs: Option<&'a [Vec<CoreProgram>]>,
+}
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The check that found it (one of [`CHECK_NAMES`]).
+    pub check: &'static str,
+    /// `(stage, core)` when the violation is core-scoped.
+    pub location: Option<(usize, usize)>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.location {
+            Some((s, c)) => write!(f, "[{}] stage {s} core {c}: {}", self.check, self.message),
+            None => write!(f, "[{}] {}", self.check, self.message),
+        }
+    }
+}
+
+/// Outcome of one check family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// Check name (stable; part of the metrics format).
+    pub name: &'static str,
+    /// Violations found.
+    pub violations: usize,
+    /// Wall time spent, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The complete verification outcome.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Cores examined.
+    pub cores: usize,
+    /// Per-check results, in [`CHECK_NAMES`] order.
+    pub checks: Vec<CheckResult>,
+    /// Every violation found, in check order.
+    pub violations: Vec<Violation>,
+}
+
+/// The check families, in execution order.
+pub const CHECK_NAMES: [&str; 6] = [
+    "roundtrip",
+    "layers",
+    "messages",
+    "bounds",
+    "budget",
+    "merge",
+];
+
+impl VerifyReport {
+    /// True when no check found a violation.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total violations across all checks.
+    pub fn total_violations(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Looks up one check's result by name.
+    pub fn check(&self, name: &str) -> Option<&CheckResult> {
+        self.checks.iter().find(|c| c.name == name)
+    }
+
+    /// One-line outcome suitable for an error message (first violations
+    /// inline, the rest counted).
+    pub fn summary(&self) -> String {
+        if self.passed() {
+            return format!("{} core(s) verified, all checks passed", self.cores);
+        }
+        let shown: Vec<String> = self
+            .violations
+            .iter()
+            .take(3)
+            .map(|v| v.to_string())
+            .collect();
+        let more = self.violations.len().saturating_sub(3);
+        let tail = if more > 0 {
+            format!("; +{more} more")
+        } else {
+            String::new()
+        };
+        format!(
+            "{} violation(s): {}{tail}",
+            self.violations.len(),
+            shown.join("; ")
+        )
+    }
+}
+
+/// Runs the full static check suite over a bitstream.
+///
+/// Never panics on malformed input: undecodable cores surface as
+/// `roundtrip` violations and are skipped by the semantic checks.
+pub fn verify_bitstream(bs: &Bitstream, ctx: &VerifyContext<'_>) -> VerifyReport {
+    let mut report = VerifyReport {
+        cores: bs.total_cores(),
+        ..Default::default()
+    };
+
+    let run =
+        |report: &mut VerifyReport, name: &'static str, f: &mut dyn FnMut(&mut Vec<Violation>)| {
+            let start = Instant::now();
+            let mut found = Vec::new();
+            f(&mut found);
+            for v in &mut found {
+                v.check = name;
+            }
+            report.checks.push(CheckResult {
+                name,
+                violations: found.len(),
+                wall_ns: start.elapsed().as_nanos() as u64,
+            });
+            report.violations.extend(found);
+        };
+
+    let mut decoded: Vec<Vec<Option<DecodedCore>>> = bs
+        .stages
+        .iter()
+        .map(|s| s.iter().map(|_| None).collect())
+        .collect();
+
+    run(&mut report, "roundtrip", &mut |v| {
+        check_roundtrip(bs, &mut decoded, v)
+    });
+    run(&mut report, "layers", &mut |v| check_layers(&decoded, v));
+    run(&mut report, "messages", &mut |v| {
+        check_messages(&decoded, ctx, v)
+    });
+    run(&mut report, "bounds", &mut |v| {
+        check_bounds(bs, &decoded, ctx, v)
+    });
+    run(&mut report, "budget", &mut |v| {
+        check_budget(bs, &decoded, ctx, v)
+    });
+    run(&mut report, "merge", &mut |v| check_merge(&decoded, ctx, v));
+    report
+}
+
+fn viol(v: &mut Vec<Violation>, location: Option<(usize, usize)>, message: String) {
+    v.push(Violation {
+        check: "",
+        location,
+        message,
+    });
+}
+
+/// Iterate decoded cores, skipping the ones the round-trip check already
+/// rejected.
+fn cores(
+    decoded: &[Vec<Option<DecodedCore>>],
+) -> impl Iterator<Item = (usize, usize, &DecodedCore)> {
+    decoded.iter().enumerate().flat_map(|(si, stage)| {
+        stage
+            .iter()
+            .enumerate()
+            .filter_map(move |(ci, d)| d.as_ref().map(|d| (si, ci, d)))
+    })
+}
+
+// ----------------------------------------------------------- roundtrip --
+
+fn check_roundtrip(
+    bs: &Bitstream,
+    decoded: &mut [Vec<Option<DecodedCore>>],
+    v: &mut Vec<Violation>,
+) {
+    for (si, stage) in bs.stages.iter().enumerate() {
+        for (ci, bytes) in stage.iter().enumerate() {
+            match disassemble_core_exact(bytes) {
+                Ok(dec) => {
+                    let re = assemble_decoded(&dec);
+                    if re != *bytes {
+                        viol(
+                            v,
+                            Some((si, ci)),
+                            "re-encode differs from stored bytes (non-canonical or \
+                             corrupt encoding)"
+                                .into(),
+                        );
+                    }
+                    decoded[si][ci] = Some(dec);
+                }
+                Err(e) => viol(v, Some((si, ci)), format!("decode failed: {e}")),
+            }
+        }
+    }
+    match Bitstream::from_bytes(&bs.to_bytes()) {
+        Ok(back) if back == *bs => {}
+        Ok(_) => viol(v, None, "container round trip altered the bitstream".into()),
+        Err(e) => viol(v, None, format!("container rejected its own bytes: {e}")),
+    }
+}
+
+// -------------------------------------------------------------- layers --
+
+fn check_layers(decoded: &[Vec<Option<DecodedCore>>], v: &mut Vec<Violation>) {
+    for (si, ci, dec) in cores(decoded) {
+        let loc = Some((si, ci));
+        let folds = dec.width.trailing_zeros() as usize;
+        // A state bit is *defined* once a READ_GLOBAL loads it or a
+        // preceding layer writes it back. The placer recycles addresses
+        // across layers, so the defined set only ever grows — an address
+        // freed and re-allocated is written again before any later read.
+        let mut defined: HashSet<u32> = dec.reads.iter().map(|r| u32::from(r.state)).collect();
+        for (li, layer) in dec.layers.iter().enumerate() {
+            if layer.width != dec.width || layer.fold_levels() != folds {
+                viol(v, loc, format!("layer {li}: width/fold shape mismatch"));
+                continue;
+            }
+            let mut gathered: HashSet<u32> = HashSet::new();
+            for (row, p) in layer.perm.iter().enumerate() {
+                if let PermSource::State(a) = p {
+                    if !defined.contains(a) {
+                        viol(
+                            v,
+                            loc,
+                            format!(
+                                "layer {li}: row {row} gathers state {a} before any \
+                                 write defines it (level-monotonicity violation)"
+                            ),
+                        );
+                    }
+                    gathered.insert(*a);
+                }
+            }
+            let mut written: HashSet<u32> = HashSet::new();
+            for (k, slots) in layer.writeback.iter().enumerate() {
+                for addr in slots.iter().flatten() {
+                    if !written.insert(*addr) {
+                        viol(
+                            v,
+                            loc,
+                            format!("layer {li}: state {addr} written back twice in one layer"),
+                        );
+                    }
+                    if gathered.contains(addr) {
+                        viol(
+                            v,
+                            loc,
+                            format!(
+                                "layer {li}: state {addr} both gathered and written in \
+                                 one layer (read/write hazard at fold level {})",
+                                k + 1
+                            ),
+                        );
+                    }
+                }
+            }
+            defined.extend(written);
+        }
+    }
+}
+
+// ------------------------------------------------------------ messages --
+
+fn check_messages(
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) {
+    // Who writes each global slot.
+    let mut writers: HashMap<u32, Vec<(usize, usize, &WriteEntry)>> = HashMap::new();
+    for (si, ci, dec) in cores(decoded) {
+        for w in &dec.writes {
+            writers.entry(w.global).or_default().push((si, ci, w));
+        }
+    }
+
+    // Slot sets the device owns (cores must not publish into them).
+    let rdata_slots: HashSet<u32> = ctx
+        .rams
+        .iter()
+        .flat_map(|r| r.rdata.iter().copied())
+        .collect();
+    let input_set: HashSet<u32> = ctx.input_slots.iter().copied().collect();
+
+    for (&slot, ws) in &writers {
+        if ws.len() > 1 {
+            let (si, ci, _) = ws[0];
+            viol(
+                v,
+                Some((si, ci)),
+                format!(
+                    "global {slot} has {} writers (one send per signal; first \
+                     conflicting writer shown)",
+                    ws.len()
+                ),
+            );
+        }
+        if input_set.contains(&slot) || rdata_slots.contains(&slot) {
+            let (si, ci, _) = ws[0];
+            viol(
+                v,
+                Some((si, ci)),
+                format!("write to device-owned global {slot} (input or RAM read-data slot)"),
+            );
+        }
+    }
+
+    // Slots defined at cycle start: poked inputs, FF init ones, RAM
+    // read-data (committed at the previous cycle boundary), and every
+    // deferred-write target (FF next-states, primary outputs).
+    let mut cycle_start: HashSet<u32> = input_set.clone();
+    cycle_start.extend(ctx.initial_ones.iter().copied());
+    cycle_start.extend(rdata_slots.iter().copied());
+    let mut immediate_stage: HashMap<u32, usize> = HashMap::new();
+    for (&slot, ws) in &writers {
+        for &(si, _, w) in ws {
+            if w.deferred {
+                cycle_start.insert(slot);
+            } else {
+                let e = immediate_stage.entry(slot).or_insert(si);
+                *e = (*e).min(si);
+            }
+        }
+    }
+
+    let mut read_slots: HashSet<u32> = HashSet::new();
+    for (si, ci, dec) in cores(decoded) {
+        let loc = Some((si, ci));
+        let mut dests: HashSet<u16> = HashSet::new();
+        let mut srcs: HashSet<u32> = HashSet::new();
+        for r in &dec.reads {
+            read_slots.insert(r.global);
+            if !dests.insert(r.state) {
+                viol(
+                    v,
+                    loc,
+                    format!("two reads land in the same inbox state bit {}", r.state),
+                );
+            }
+            if !srcs.insert(r.global) {
+                viol(
+                    v,
+                    loc,
+                    format!("global {} read twice by one core", r.global),
+                );
+            }
+            let available = cycle_start.contains(&r.global)
+                || immediate_stage.get(&r.global).is_some_and(|&s| s < si);
+            if !available {
+                if writers.contains_key(&r.global) {
+                    viol(
+                        v,
+                        loc,
+                        format!(
+                            "read of global {} before its send is scheduled (the only \
+                             write is immediate at stage ≥ {si})",
+                            r.global
+                        ),
+                    );
+                } else {
+                    viol(
+                        v,
+                        loc,
+                        format!(
+                            "read of global {} which no core ever writes (dropped send)",
+                            r.global
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Required sends: primary outputs need a deferred publisher, RAM
+    // operands an immediate one (the RAM phase runs after the last
+    // stage's barrier, before the deferred commit).
+    for &slot in &ctx.output_slots {
+        let ok = writers
+            .get(&slot)
+            .is_some_and(|ws| ws.iter().any(|(_, _, w)| w.deferred));
+        if !ok {
+            viol(
+                v,
+                None,
+                format!("primary-output slot {slot} is never published (deferred write missing)"),
+            );
+        }
+    }
+    for (ri, ram) in ctx.rams.iter().enumerate() {
+        for slot in ram.operand_slots() {
+            let ok = writers
+                .get(&slot)
+                .is_some_and(|ws| ws.iter().any(|(_, _, w)| !w.deferred));
+            if !ok {
+                viol(
+                    v,
+                    None,
+                    format!("RAM {ri} operand slot {slot} has no immediate writer"),
+                );
+            }
+        }
+    }
+    // Initialized slots are flip-flop state: the compiler only marks a
+    // slot initial-one when an FF with a set power-on value lives
+    // there, and a live FF must republish its next state every cycle.
+    // An initialized slot that is read but never deferred-written is a
+    // dropped send masked by the power-on value.
+    for &slot in &ctx.initial_ones {
+        if !read_slots.contains(&slot) {
+            continue;
+        }
+        let ok = writers
+            .get(&slot)
+            .is_some_and(|ws| ws.iter().any(|(_, _, w)| w.deferred));
+        if !ok {
+            viol(
+                v,
+                None,
+                format!(
+                    "initialized slot {slot} is read but has no deferred writer \
+                     (flip-flop state never updated)"
+                ),
+            );
+        }
+    }
+}
+
+// -------------------------------------------------------------- bounds --
+
+fn check_bounds(
+    bs: &Bitstream,
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) {
+    let gb = ctx.global_bits;
+    if bs.global_bits != gb {
+        viol(
+            v,
+            None,
+            format!(
+                "bitstream claims {} global bits, device has {gb}",
+                bs.global_bits
+            ),
+        );
+    }
+    let slot_ck = |v: &mut Vec<Violation>, what: &str, slot: u32| {
+        if slot >= gb {
+            viol(
+                v,
+                None,
+                format!("{what} slot {slot} outside global array of {gb}"),
+            );
+        }
+    };
+    for (ri, ram) in ctx.rams.iter().enumerate() {
+        if ram.raddr.len() != RAM_ADDR_BITS
+            || ram.waddr.len() != RAM_ADDR_BITS
+            || ram.wdata.len() != RAM_DATA_BITS
+            || ram.rdata.len() != RAM_DATA_BITS
+        {
+            viol(
+                v,
+                None,
+                format!(
+                    "RAM {ri} binding shape {}a/{}a/{}d/{}d differs from the fixed \
+                     {RAM_ADDR_BITS}-bit × {RAM_DATA_BITS}-bit geometry",
+                    ram.raddr.len(),
+                    ram.waddr.len(),
+                    ram.wdata.len(),
+                    ram.rdata.len()
+                ),
+            );
+        }
+        for slot in ram.operand_slots().chain(ram.rdata.iter().copied()) {
+            slot_ck(v, &format!("RAM {ri}"), slot);
+        }
+    }
+    for &s in &ctx.initial_ones {
+        slot_ck(v, "initial-one", s);
+    }
+    for &s in &ctx.input_slots {
+        slot_ck(v, "input", s);
+    }
+    for &s in &ctx.output_slots {
+        slot_ck(v, "output", s);
+    }
+
+    for (si, ci, dec) in cores(decoded) {
+        let loc = Some((si, ci));
+        if dec.width != bs.width {
+            viol(
+                v,
+                loc,
+                format!("core width {} != bitstream width {}", dec.width, bs.width),
+            );
+        }
+        let ss = dec.state_size;
+        if ss == 0 || ss > dec.width {
+            viol(
+                v,
+                loc,
+                format!("state size {ss} outside 1..={} (core width)", dec.width),
+            );
+            continue;
+        }
+        let addr_ck = |v: &mut Vec<Violation>, what: &str, addr: u32| {
+            if addr >= ss {
+                viol(
+                    v,
+                    loc,
+                    format!("{what} state address {addr} >= state size {ss}"),
+                );
+            }
+        };
+        for r in &dec.reads {
+            addr_ck(v, "read destination", u32::from(r.state));
+            if r.global >= gb {
+                viol(
+                    v,
+                    loc,
+                    format!("read of global {} outside array of {gb}", r.global),
+                );
+            }
+        }
+        for w in &dec.writes {
+            if let WriteSrc::State { addr, .. } = w.src {
+                addr_ck(v, "write source", u32::from(addr));
+            }
+            if w.global >= gb {
+                viol(
+                    v,
+                    loc,
+                    format!("write to global {} outside array of {gb}", w.global),
+                );
+            }
+        }
+        for (li, layer) in dec.layers.iter().enumerate() {
+            for p in &layer.perm {
+                if let PermSource::State(a) = p {
+                    addr_ck(v, &format!("layer {li} gather"), *a);
+                }
+            }
+            for slots in &layer.writeback {
+                for addr in slots.iter().flatten() {
+                    addr_ck(v, &format!("layer {li} writeback"), *addr);
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- budget --
+
+fn check_budget(
+    bs: &Bitstream,
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) {
+    for (si, ci, dec) in cores(decoded) {
+        let loc = Some((si, ci));
+        let bytes = &bs.stages[si][ci];
+        let wb_counts: Vec<usize> = dec
+            .layers
+            .iter()
+            .map(|l| {
+                l.writeback
+                    .iter()
+                    .map(|s| s.iter().filter(|a| a.is_some()).count())
+                    .sum()
+            })
+            .collect();
+        let expect = core_size_bits(dec.width, dec.reads.len(), dec.writes.len(), &wb_counts);
+        if bytes.len() * 8 != expect {
+            viol(
+                v,
+                loc,
+                format!(
+                    "encoded size {} bits does not match the instruction-count \
+                     accounting of {expect} bits",
+                    bytes.len() * 8
+                ),
+            );
+        }
+        if dec.reads.len() > dec.width as usize {
+            viol(
+                v,
+                loc,
+                format!(
+                    "inbox over capacity: {} reads > core width {}",
+                    dec.reads.len(),
+                    dec.width
+                ),
+            );
+        }
+        if dec.writes.len() > ctx.global_bits as usize {
+            viol(
+                v,
+                loc,
+                format!(
+                    "outbox over budget: {} writes > {} global bits",
+                    dec.writes.len(),
+                    ctx.global_bits
+                ),
+            );
+        }
+        let mut outbox: HashSet<u32> = HashSet::new();
+        for w in &dec.writes {
+            if !outbox.insert(w.global) {
+                viol(
+                    v,
+                    loc,
+                    format!("outbox publishes global {} twice from one core", w.global),
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- merge --
+
+fn check_merge(
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) {
+    let Some(programs) = ctx.programs else {
+        return;
+    };
+    if programs.len() != decoded.len() {
+        viol(
+            v,
+            None,
+            format!(
+                "placement has {} stage(s), bitstream has {}",
+                programs.len(),
+                decoded.len()
+            ),
+        );
+        return;
+    }
+    for (si, (progs, stage)) in programs.iter().zip(decoded).enumerate() {
+        if progs.len() != stage.len() {
+            viol(
+                v,
+                None,
+                format!(
+                    "stage {si}: placement has {} core(s), bitstream has {}",
+                    progs.len(),
+                    stage.len()
+                ),
+            );
+            continue;
+        }
+        for (ci, (prog, dec)) in progs.iter().zip(stage).enumerate() {
+            let Some(dec) = dec else { continue };
+            let loc = Some((si, ci));
+            if dec.width != prog.width || dec.state_size != prog.state_size {
+                viol(
+                    v,
+                    loc,
+                    format!(
+                        "encoded geometry {}w/{}s diverges from placed {}w/{}s",
+                        dec.width, dec.state_size, prog.width, prog.state_size
+                    ),
+                );
+            }
+            if dec.layers != prog.layers {
+                viol(
+                    v,
+                    loc,
+                    "encoded layers diverge from the placed program".into(),
+                );
+            }
+            if dec.reads.len() != prog.inputs.len() {
+                viol(
+                    v,
+                    loc,
+                    format!(
+                        "{} encoded reads for {} placed sources (recv dropped or added)",
+                        dec.reads.len(),
+                        prog.inputs.len()
+                    ),
+                );
+            } else {
+                for (r, &(node, state)) in dec.reads.iter().zip(&prog.inputs) {
+                    if u32::from(r.state) != state {
+                        viol(
+                            v,
+                            loc,
+                            format!(
+                                "source n{} lands in state {} but placement assigned {state}",
+                                node.0, r.state
+                            ),
+                        );
+                    }
+                }
+            }
+            // Every published state bit must be one of the partition's
+            // sink sources; constants may additionally come from the
+            // compiler's designated constant publisher (stage 0, core 0).
+            let sink_addrs: HashSet<u32> = prog
+                .outputs
+                .iter()
+                .filter_map(|o| match o {
+                    OutputSource::State { addr, .. } => Some(*addr),
+                    OutputSource::Const(_) => None,
+                })
+                .collect();
+            let has_const_sink = prog
+                .outputs
+                .iter()
+                .any(|o| matches!(o, OutputSource::Const(_)));
+            for w in &dec.writes {
+                match w.src {
+                    WriteSrc::State { addr, .. } => {
+                        if !sink_addrs.contains(&u32::from(addr)) {
+                            viol(
+                                v,
+                                loc,
+                                format!(
+                                    "write of global {} reads state {addr}, which is \
+                                     not a placed sink",
+                                    w.global
+                                ),
+                            );
+                        }
+                    }
+                    WriteSrc::Const(_) => {
+                        if !(has_const_sink || (si, ci) == (0, 0)) {
+                            viol(
+                                v,
+                                loc,
+                                format!(
+                                    "constant write of global {} from a core with no \
+                                     constant sink",
+                                    w.global
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_core, ReadEntry};
+    use gem_place::BoomerangLayer;
+
+    /// A two-core, one-stage bitstream: core 0 computes `g0 AND g1` into
+    /// a deferred output slot; core 1 forwards `g0` to an FF-style slot.
+    fn tiny() -> (Bitstream, Vec<Vec<CoreProgram>>, VerifyContext<'static>) {
+        let width = 4u32;
+        let mut layer = BoomerangLayer::new(width);
+        layer.perm[0] = PermSource::State(0);
+        layer.perm[1] = PermSource::State(1);
+        layer.writeback[0][0] = Some(2);
+        let prog0 = CoreProgram {
+            width,
+            state_size: 3,
+            inputs: vec![(gem_aig::NodeId(1), 0), (gem_aig::NodeId(2), 1)],
+            layers: vec![layer],
+            outputs: vec![OutputSource::State {
+                addr: 2,
+                invert: false,
+            }],
+        };
+        let prog1 = CoreProgram {
+            width,
+            state_size: 1,
+            inputs: vec![(gem_aig::NodeId(1), 0)],
+            layers: vec![],
+            outputs: vec![OutputSource::State {
+                addr: 0,
+                invert: true,
+            }],
+        };
+        let reads0 = vec![
+            ReadEntry {
+                global: 0,
+                state: 0,
+            },
+            ReadEntry {
+                global: 1,
+                state: 1,
+            },
+        ];
+        let writes0 = vec![WriteEntry {
+            global: 3,
+            src: WriteSrc::State {
+                addr: 2,
+                invert: false,
+            },
+            deferred: true,
+        }];
+        let reads1 = vec![ReadEntry {
+            global: 0,
+            state: 0,
+        }];
+        let writes1 = vec![WriteEntry {
+            global: 2,
+            src: WriteSrc::State {
+                addr: 0,
+                invert: true,
+            },
+            deferred: true,
+        }];
+        let bs = Bitstream {
+            width,
+            global_bits: 4,
+            stages: vec![vec![
+                assemble_core(&prog0, &reads0, &writes0),
+                assemble_core(&prog1, &reads1, &writes1),
+            ]],
+        };
+        let ctx = VerifyContext {
+            global_bits: 4,
+            rams: Vec::new(),
+            initial_ones: Vec::new(),
+            input_slots: vec![0, 1],
+            // Slot 2 is FF-like (read at cycle start via deferred write),
+            // slot 3 is the primary output.
+            output_slots: vec![3],
+            programs: None,
+        };
+        (bs, vec![vec![prog0, prog1]], ctx)
+    }
+
+    #[test]
+    fn tiny_design_passes_all_checks() {
+        let (bs, programs, mut ctx) = tiny();
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(r.passed(), "{}", r.summary());
+        assert_eq!(r.checks.len(), CHECK_NAMES.len());
+        assert_eq!(r.cores, 2);
+        ctx.programs = Some(&programs);
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(r.passed(), "with programs: {}", r.summary());
+    }
+
+    #[test]
+    fn truncated_core_is_a_roundtrip_violation_not_a_panic() {
+        let (mut bs, _, ctx) = tiny();
+        let len = bs.stages[0][0].len();
+        bs.stages[0][0].truncate(len / 2);
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(!r.passed());
+        assert!(r.check("roundtrip").unwrap().violations > 0);
+    }
+
+    #[test]
+    fn undefined_gather_is_flagged() {
+        let (_, mut programs, ctx) = tiny();
+        // Gather state 3, which nothing defines.
+        let prog = &mut programs[0][0];
+        if let Some(layer) = prog.layers.first_mut() {
+            layer.perm[3] = PermSource::State(2);
+        }
+        prog.state_size = 4;
+        let reads = vec![
+            ReadEntry {
+                global: 0,
+                state: 0,
+            },
+            ReadEntry {
+                global: 1,
+                state: 1,
+            },
+        ];
+        let writes = vec![WriteEntry {
+            global: 3,
+            src: WriteSrc::State {
+                addr: 2,
+                invert: false,
+            },
+            deferred: true,
+        }];
+        let core0 = assemble_core(prog, &reads, &writes);
+        let (mut bs, _, _) = tiny();
+        bs.stages[0][0] = core0;
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(
+            r.check("layers").unwrap().violations > 0,
+            "gather of a written-later bit must be flagged: {}",
+            r.summary()
+        );
+    }
+
+    #[test]
+    fn missing_output_publisher_is_flagged() {
+        let (bs, _, mut ctx) = tiny();
+        ctx.output_slots.push(99);
+        ctx.global_bits = 128;
+        let mut bs = bs;
+        bs.global_bits = 128;
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(r.check("messages").unwrap().violations > 0);
+    }
+
+    #[test]
+    fn report_summary_mentions_violations() {
+        let (mut bs, _, ctx) = tiny();
+        bs.stages[0][1].truncate(4);
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(!r.passed());
+        assert!(r.summary().contains("violation"));
+        assert!(r.total_violations() >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the bitstream codec: seeded random programs must
+//! round-trip bit-exactly through encode → decode → encode, and every
+//! malformed buffer — truncated at any byte, padded with trailing
+//! bytes, or scribbled over — must come back as a typed
+//! [`DecodeError`], never a panic.
+
+use gem_isa::{
+    assemble_decoded, disassemble_core, disassemble_core_exact, DecodeError, DecodedCore,
+    ReadEntry, WriteEntry, WriteSrc,
+};
+use gem_place::{BoomerangLayer, PermSource};
+
+/// Local SplitMix64 (the workspace's fixed-seed convention; no external
+/// RNG crates).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// A random but *encodable* core: every field stays inside the
+/// encoder's asserted ranges (perm/write state addresses < 2^13,
+/// power-of-two width, full fold/writeback shapes), while exercising
+/// the whole format — empty and dense read/write lists, zero to several
+/// layers, all three write sources.
+fn random_core(rng: &mut Rng) -> DecodedCore {
+    let width = [4u32, 8, 16, 32][rng.below(4) as usize];
+    let state_size = 1 + rng.below(500) as u32;
+    let reads = (0..rng.below(u64::from(width) + 1))
+        .map(|_| ReadEntry {
+            global: rng.below(2000) as u32,
+            state: rng.below(u64::from(state_size)) as u16,
+        })
+        .collect();
+    let layers = (0..rng.below(4))
+        .map(|_| {
+            let mut l = BoomerangLayer::new(width);
+            for p in l.perm.iter_mut() {
+                if rng.chance(1, 2) {
+                    *p = PermSource::State(rng.below(u64::from(state_size)) as u32);
+                }
+            }
+            for f in l.folds.iter_mut() {
+                for b in f.xa.iter_mut().chain(&mut f.xb).chain(&mut f.ob) {
+                    *b = rng.chance(1, 2);
+                }
+            }
+            for row in l.writeback.iter_mut() {
+                for s in row.iter_mut() {
+                    if rng.chance(1, 3) {
+                        *s = Some(rng.below(u64::from(state_size)) as u32);
+                    }
+                }
+            }
+            l
+        })
+        .collect();
+    let writes = (0..rng.below(6))
+        .map(|_| WriteEntry {
+            global: rng.below(2000) as u32,
+            src: if rng.chance(1, 4) {
+                WriteSrc::Const(rng.chance(1, 2))
+            } else {
+                WriteSrc::State {
+                    addr: rng.below(u64::from(state_size)) as u16,
+                    invert: rng.chance(1, 2),
+                }
+            },
+            deferred: rng.chance(1, 2),
+        })
+        .collect();
+    DecodedCore {
+        width,
+        state_size,
+        reads,
+        layers,
+        writes,
+    }
+}
+
+#[test]
+fn random_programs_round_trip_bit_exactly() {
+    let mut rng = Rng::new(0x0DEC_0DE5);
+    for case in 0..64 {
+        let dec = random_core(&mut rng);
+        let bytes = assemble_decoded(&dec);
+        let back = disassemble_core_exact(&bytes)
+            .unwrap_or_else(|e| panic!("case {case}: decode of own encoding failed: {e}"));
+        assert_eq!(back, dec, "case {case}: structural round-trip drifted");
+        assert_eq!(
+            assemble_decoded(&back),
+            bytes,
+            "case {case}: re-encode is not bit-exact"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_a_typed_error_not_a_panic() {
+    let mut rng = Rng::new(0x7256);
+    for case in 0..8 {
+        let bytes = assemble_decoded(&random_core(&mut rng));
+        for len in 0..bytes.len() {
+            let prefix = &bytes[..len];
+            let strict = disassemble_core_exact(prefix);
+            assert!(
+                strict.is_err(),
+                "case {case}: {len}-byte prefix of a {}-byte program decoded",
+                bytes.len()
+            );
+            // The lenient decoder must agree (a prefix never contains a
+            // complete program, because the headers fix the length).
+            assert!(disassemble_core(prefix).is_err());
+        }
+    }
+}
+
+#[test]
+fn oversized_buffers_report_trailing_bytes() {
+    let mut rng = Rng::new(0xB16);
+    for case in 0..8 {
+        let bytes = assemble_decoded(&random_core(&mut rng));
+        for extra in 1..=9usize {
+            let mut padded = bytes.clone();
+            padded.extend(std::iter::repeat_n(0u8, extra));
+            match disassemble_core_exact(&padded) {
+                Err(DecodeError::TrailingBytes(n)) => {
+                    assert_eq!(n, extra, "case {case}: wrong trailing count")
+                }
+                other => panic!("case {case} extra {extra}: expected TrailingBytes, got {other:?}"),
+            }
+            // The lenient decoder ignores the padding and still yields
+            // the original program.
+            let lenient = disassemble_core(&padded)
+                .unwrap_or_else(|e| panic!("case {case}: lenient decode failed: {e}"));
+            assert_eq!(assemble_decoded(&lenient), bytes);
+        }
+    }
+}
+
+#[test]
+fn garbage_and_empty_buffers_fail_cleanly() {
+    assert_eq!(disassemble_core(&[]), Err(DecodeError::Truncated));
+    // A wrong magic word is reported as such, with the offending value.
+    let mut bytes = assemble_decoded(&random_core(&mut Rng::new(3)));
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        disassemble_core(&bytes),
+        Err(DecodeError::BadMagic(_))
+    ));
+    // Random byte soup: any typed error is fine; a panic is not.
+    let mut rng = Rng::new(0x50_0F);
+    for _ in 0..200 {
+        let n = rng.below(64) as usize;
+        let buf: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        let _ = disassemble_core(&buf);
+        let _ = disassemble_core_exact(&buf);
+    }
+}

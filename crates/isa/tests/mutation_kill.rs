@@ -1,0 +1,239 @@
+//! Mutation self-test: the verifier must kill every mutant.
+//!
+//! For each [`MutationClass`] the harness corrupts known-good compiled
+//! bitstreams (a deep combinational design, a counter, a RAM design,
+//! and a handful of fuzz-generated modules) with several seeds and
+//! asserts [`gem_isa::verify_bitstream`] rejects every single mutant. A
+//! surviving mutant means a verifier check regressed — the failure
+//! message names the class and seed, which reproduce the mutant
+//! deterministically.
+//!
+//! The dual baseline — every *unmutated* bitstream must verify clean —
+//! keeps the harness honest: a verifier that rejects everything would
+//! also "kill" all mutants.
+
+use gem_core::{compile, CompileOptions, Compiled};
+use gem_isa::mutate::{mutate, MutationClass, ALL_CLASSES};
+use gem_isa::verify_bitstream;
+use gem_netlist::{Module, ModuleBuilder, ReadKind};
+use gem_sim::{random_module, FuzzConfig};
+
+/// Deep chained arithmetic: enough logic levels for multi-layer
+/// boomerang programs, and enough width pressure (at `core_width` 32)
+/// to split across cores so cross-core messages exist.
+fn deep_logic() -> Module {
+    let mut b = ModuleBuilder::new("deep");
+    let a = b.input("a", 8);
+    let c = b.input("b", 8);
+    let mut x = b.add(a, c);
+    for _ in 0..6 {
+        x = b.add(x, a);
+        x = b.xor(x, c);
+    }
+    b.output("y", x);
+    b.finish().expect("deep fixture is valid")
+}
+
+/// A gated counter: sequential state with deferred write-back.
+fn counter() -> Module {
+    let mut b = ModuleBuilder::new("counter");
+    let en = b.input("en", 1);
+    let q = b.dff(8);
+    let one = b.lit(1, 8);
+    let next = b.add(q, one);
+    let en = b.bit(en, 0);
+    b.dff_enable(q, en);
+    b.connect_dff(q, next);
+    b.output("q", q);
+    b.finish().expect("counter fixture is valid")
+}
+
+/// A 16×8 memory with both read kinds: RAM operand slots and the
+/// async-read polyfill in one design.
+fn ram_design() -> Module {
+    let mut b = ModuleBuilder::new("ram");
+    let wa = b.input("wa", 4);
+    let wd = b.input("wd", 8);
+    let we = b.input("we", 1);
+    let ra = b.input("ra", 4);
+    let mem = b.memory("m", 16, 8);
+    let we = b.bit(we, 0);
+    b.write_port(mem, wa, wd, we);
+    let sq = b.read_port(mem, ra, ReadKind::Sync);
+    let aq = b.read_port(mem, ra, ReadKind::Async);
+    b.output("sq", sq);
+    b.output("aq", aq);
+    b.finish().expect("ram fixture is valid")
+}
+
+/// Narrow cores and several partitions across two stages force
+/// multi-core placements, so message-level mutations have material to
+/// bite on.
+fn opts() -> CompileOptions {
+    CompileOptions {
+        core_width: 64,
+        target_parts: 4,
+        stages: 2,
+        ..Default::default()
+    }
+}
+
+/// The fixture set: three hand-written shapes plus fuzz designs.
+fn fixtures() -> Vec<(String, Compiled)> {
+    let mut out = Vec::new();
+    for (name, m) in [
+        ("deep", deep_logic()),
+        ("counter", counter()),
+        ("ram", ram_design()),
+    ] {
+        let c = compile(&m, &opts())
+            .or_else(|_| {
+                compile(
+                    &m,
+                    &CompileOptions {
+                        core_width: 256,
+                        ..opts()
+                    },
+                )
+            })
+            .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+        out.push((name.to_string(), c));
+    }
+    for seed in [3u64, 11, 19] {
+        let m = random_module(seed, &FuzzConfig::for_seed(seed));
+        let o = CompileOptions {
+            core_width: 64,
+            target_parts: 4,
+            ..Default::default()
+        };
+        let c = compile(&m, &o)
+            .or_else(|_| {
+                compile(
+                    &m,
+                    &CompileOptions {
+                        core_width: 256,
+                        ..o
+                    },
+                )
+            })
+            .unwrap_or_else(|e| panic!("fuzz seed {seed}: compile failed: {e}"));
+        out.push((format!("fuzz{seed}"), c));
+    }
+    out
+}
+
+/// Baseline: every unmutated fixture passes all checks. (A verifier
+/// that flags everything would trivially "kill" all mutants below.)
+#[test]
+fn unmutated_fixtures_verify_clean() {
+    for (name, c) in fixtures() {
+        let report = c.verify();
+        assert!(
+            report.passed(),
+            "{name}: clean bitstream flagged:\n{}",
+            report.summary()
+        );
+        // Every check family actually ran.
+        assert_eq!(report.checks.len(), gem_isa::verify::CHECK_NAMES.len());
+    }
+}
+
+/// The headline: every applicable (class, seed, fixture) mutant is
+/// killed, and every class is exercised by at least three mutants.
+#[test]
+fn verifier_kills_every_mutant_class() {
+    let fixtures = fixtures();
+    let mut report_lines = Vec::new();
+    for class in ALL_CLASSES {
+        let mut kills = 0usize;
+        let mut survivors: Vec<String> = Vec::new();
+        for (name, c) in &fixtures {
+            let ctx = gem_core::verify::context(&c.device, &c.io, Some(&c.programs));
+            for seed in 1..=4u64 {
+                let Some(mutant) = mutate(&c.bitstream, class, seed) else {
+                    continue;
+                };
+                assert_ne!(
+                    mutant, c.bitstream,
+                    "{class} seed {seed} on {name}: mutator returned the original"
+                );
+                let vr = verify_bitstream(&mutant, &ctx);
+                if vr.passed() {
+                    survivors.push(format!("{name} seed {seed}"));
+                } else {
+                    kills += 1;
+                }
+            }
+        }
+        assert!(
+            survivors.is_empty(),
+            "class {class}: mutants SURVIVED verification: {survivors:?}"
+        );
+        assert!(
+            kills >= 3,
+            "class {class}: only {kills} mutants applied across the fixture set \
+             (need ≥3 for meaningful coverage — extend the fixtures)"
+        );
+        report_lines.push(format!("{class}: {kills} mutants, {kills} killed"));
+    }
+    eprintln!("mutation kill matrix:\n  {}", report_lines.join("\n  "));
+}
+
+/// Program-free drill: the classes advertised as detectable without
+/// placement metadata really are — the same mutants must die even when
+/// `ctx.programs` is `None` (the `.gemb` package situation).
+#[test]
+fn program_free_classes_die_without_placement_metadata() {
+    let fixtures = fixtures();
+    for class in gem_isa::mutate::PROGRAM_FREE_CLASSES {
+        let mut kills = 0usize;
+        for (name, c) in &fixtures {
+            let ctx = gem_core::verify::context(&c.device, &c.io, None);
+            for seed in 1..=4u64 {
+                let Some(mutant) = mutate(&c.bitstream, class, seed) else {
+                    continue;
+                };
+                let vr = verify_bitstream(&mutant, &ctx);
+                assert!(
+                    !vr.passed(),
+                    "{class} seed {seed} on {name}: survived a program-free verify"
+                );
+                kills += 1;
+            }
+        }
+        assert!(
+            kills >= 3,
+            "class {class}: only {kills} program-free mutants"
+        );
+    }
+}
+
+/// Merge-only classes (excluded from `PROGRAM_FREE_CLASSES`) must still
+/// die when programs *are* present — otherwise the exclusion list is
+/// hiding a verifier gap rather than a metadata limitation.
+#[test]
+fn merge_only_classes_die_with_placement_metadata() {
+    let fixtures = fixtures();
+    for class in [
+        MutationClass::SwapLayers,
+        MutationClass::PermRetarget,
+        MutationClass::FoldFlip,
+    ] {
+        let mut kills = 0usize;
+        for (name, c) in &fixtures {
+            let ctx = gem_core::verify::context(&c.device, &c.io, Some(&c.programs));
+            for seed in 1..=4u64 {
+                let Some(mutant) = mutate(&c.bitstream, class, seed) else {
+                    continue;
+                };
+                let vr = verify_bitstream(&mutant, &ctx);
+                assert!(
+                    !vr.passed(),
+                    "{class} seed {seed} on {name}: survived with programs present"
+                );
+                kills += 1;
+            }
+        }
+        assert!(kills >= 3, "class {class}: only {kills} mutants applied");
+    }
+}

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -61,6 +62,8 @@ USAGE:
               [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
               [--gpu a100|3090] [--threads N] [--emit-metrics out.json]
   gem stats   <design.v> [--emit-metrics out.json]
+  gem verify  <design.gemb|design.v> [--width N] [--parts N] [--stages N]
+              [--fault SEED] [--emit-metrics out.json]
   gem serve   [--addr 127.0.0.1:0] [--workers 4] [--queue 32] [--cache 8]
               [--idle-ms 300000] [--sim-threads N] [--port-file path]
               [--emit-metrics out.json]
@@ -83,7 +86,13 @@ knob per server session (0 = auto-budgeted against --workers).
 --emit-metrics writes a JSON document with the per-stage compile
 timings/sizes (when the design is compiled in this invocation) and the
 per-partition runtime counters (when it is run). For `serve` it writes
-the gem_server_* families after shutdown.
+the gem_server_* families after shutdown; for `verify` it writes the
+gem_verify_* families.
+
+`verify` runs the static bitstream checker (docs/VERIFY.md) over a
+package or a freshly compiled design, prints a per-check table, and
+exits nonzero on any violation. --fault SEED injects a seeded mutation
+first (the command must then FAIL — a gate self-test).
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -176,6 +185,75 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("replication cost:  {:.2}%", r.replication_cost * 100.0);
     println!("bitstream size:    {} bytes", r.bitstream_bytes);
     emit_metrics(args, Some(compiled.metrics_json()), None)
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let fault = flag_u64(args, "--fault", 0)?;
+    // Packages carry no placement metadata, so the merge check is
+    // skipped for `.gemb` inputs; fresh compiles run all six checks.
+    let report = if input.ends_with(".gemb") {
+        let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let pkg = Package::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        let bitstream = if fault != 0 {
+            // Packages carry no placement metadata, so restrict the
+            // injection to classes detectable without the merge check.
+            gem_isa::mutate::corrupt_from(
+                &pkg.bitstream,
+                fault,
+                &gem_isa::mutate::PROGRAM_FREE_CLASSES,
+            )
+        } else {
+            pkg.bitstream.clone()
+        };
+        gem_core::verify(&bitstream, &pkg.device, &pkg.io, None)
+    } else {
+        let src =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let module = verilog::parse(&src).map_err(|e| format!("{input}: {e}"))?;
+        // The in-flow gate is off: this command IS the verifier run, and
+        // it reports per-check detail instead of a compile error.
+        let opts = CompileOptions {
+            core_width: flag_u64(args, "--width", 2048)? as u32,
+            target_parts: flag_u64(args, "--parts", 8)? as usize,
+            stages: flag_u64(args, "--stages", 1)? as usize,
+            verify: false,
+            verify_fault: fault,
+            ..Default::default()
+        };
+        let compiled = compile(&module, &opts).map_err(|e| format!("compilation failed: {e}"))?;
+        compiled.verify()
+    };
+
+    println!("design:  {input} ({} cores)", report.cores);
+    println!("{:<12} {:>10} {:>12}", "check", "violations", "wall");
+    for c in &report.checks {
+        println!(
+            "{:<12} {:>10} {:>9.2} µs",
+            c.name,
+            c.violations,
+            c.wall_ns as f64 / 1e3
+        );
+    }
+    for v in &report.violations {
+        println!("  {v}");
+    }
+    if let Some(path) = flag(args, "--emit-metrics") {
+        let doc = gem_core::verify_metrics(&report).to_json();
+        std::fs::write(&path, doc.to_string_pretty())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if report.passed() {
+        println!("PASS: all {} checks clean", report.checks.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "FAIL: {} violation(s) across {} check(s)",
+            report.total_violations(),
+            report.checks.iter().filter(|c| c.violations > 0).count()
+        ))
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {

@@ -122,7 +122,18 @@ impl CompileCache {
         inc(&self.metrics.compiles_total);
         let result: CacheResult = verilog::parse(source)
             .map_err(|e| e.to_string())
-            .and_then(|m| compile(&m, opts).map_err(|e| e.to_string()))
+            .and_then(|m| {
+                compile(&m, opts).map_err(|e| {
+                    // A verifier rejection is the gate working as designed:
+                    // count it, and let the Err land in the cache as a
+                    // negative entry — the malformed artifact itself is
+                    // dropped here and can never be served.
+                    if matches!(e, gem_core::CompileError::Verify(_)) {
+                        inc(&self.metrics.verify_failures);
+                    }
+                    e.to_string()
+                })
+            })
             .map(Arc::new);
         let mut st = self.state.lock().unwrap();
         st.tick += 1;

@@ -58,6 +58,9 @@ pub struct ServerMetrics {
     pub cache_entries: AtomicU64,
     /// Designs actually compiled (excludes cache hits).
     pub compiles_total: AtomicU64,
+    /// Compiles rejected by the static bitstream verifier (the failing
+    /// artifact is negatively cached, never served).
+    pub verify_failures: AtomicU64,
     /// Summed queue+execution latency of completed jobs, microseconds.
     pub job_latency_micros: AtomicU64,
     /// Simulated cycles executed on behalf of all sessions.
@@ -155,6 +158,11 @@ impl ServerMetrics {
             "gem_server_compiles_total",
             "Designs compiled (cache misses that ran the flow)",
             &self.compiles_total,
+        );
+        c(
+            "gem_server_verify_failures_total",
+            "Compiles rejected by the static bitstream verifier",
+            &self.verify_failures,
         );
         c(
             "gem_server_job_latency_micros_total",

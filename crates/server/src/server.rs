@@ -322,6 +322,12 @@ fn compile_opts(req: &Json) -> Result<CompileOptions, (String, String)> {
             protocol::opt_u64(o, "parts", opts.target_parts as u64).map_err(bad)? as usize;
         opts.stages = protocol::opt_u64(o, "stages", opts.stages as u64).map_err(bad)? as usize;
         opts.seed = protocol::opt_u64(o, "seed", opts.seed).map_err(bad)?;
+        if let Some(v) = o.get("verify").and_then(Json::as_bool) {
+            opts.verify = v;
+        }
+        // Fault injection for the verify gate (tests, drills): a nonzero
+        // seed corrupts the bitstream before verification.
+        opts.verify_fault = protocol::opt_u64(o, "verify_fault", opts.verify_fault).map_err(bad)?;
     }
     Ok(opts)
 }

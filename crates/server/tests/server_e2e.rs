@@ -270,6 +270,71 @@ fn concurrent_sessions_share_compiles_and_match_golden() {
     shutdown_and_join(addr, server);
 }
 
+/// The verify gate end to end: a compile whose bitstream fails static
+/// verification (forced here via the `verify_fault` injection knob) is
+/// refused, negatively cached — the second open fails without a second
+/// compile — and never becomes a servable session, while the same
+/// design compiles and runs clean without the fault.
+#[test]
+fn verify_gate_refuses_to_cache_failing_bitstream() {
+    let (addr, server) = start_server(ServerConfig::default());
+    let mut client = GemClient::connect(addr).expect("connect");
+
+    let mut faulty = wire_opts();
+    faulty.set("verify_fault", 5u64);
+
+    // First open: the injected corruption must be caught by the verifier.
+    let err = client
+        .open(DESIGN_A, faulty.clone())
+        .expect_err("fault-injected compile must fail");
+    match err {
+        gem_server::ClientError::Server { code, message, .. } => {
+            assert_eq!(code, "compile_failed");
+            assert!(
+                message.contains("verification failed"),
+                "error must name the verifier: {message}"
+            );
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // Second open of the same (source, opts): served from the negative
+    // cache — same failure, no recompile.
+    let err = client
+        .open(DESIGN_A, faulty)
+        .expect_err("negative cache must keep refusing");
+    assert!(matches!(
+        err,
+        gem_server::ClientError::Server { ref code, .. } if code == "compile_failed"
+    ));
+
+    // The clean variant (different cache key) compiles, verifies, and
+    // actually simulates.
+    let resp = client.open(DESIGN_A, wire_opts()).expect("clean open");
+    let session = resp.get("session").and_then(Json::as_u64).unwrap();
+    client
+        .step(session, 1, vec![("en", "1"), ("delta", "02")])
+        .expect("clean session steps");
+    client.close(session).expect("close");
+
+    let stats = quiesced_stats(&mut client);
+    assert_eq!(
+        metric(&stats, "gem_server_verify_failures_total"),
+        1.0,
+        "one verifier rejection, not re-verified on the cached retry"
+    );
+    assert_eq!(
+        metric(&stats, "gem_server_compiles_total"),
+        2.0,
+        "faulty key compiled once, clean key once"
+    );
+    assert_eq!(metric(&stats, "gem_server_cache_lookups_total"), 3.0);
+    assert_eq!(metric(&stats, "gem_server_cache_hits_total"), 1.0);
+    assert_eq!(metric(&stats, "gem_server_sessions_opened_total"), 1.0);
+
+    shutdown_and_join(addr, server);
+}
+
 /// A full queue answers `busy` with a retry hint — immediately, not
 /// after the queue drains.
 #[test]

@@ -72,6 +72,10 @@ pub struct FuzzConfig {
     pub outputs: usize,
     /// Widest net the generator will create.
     pub max_width: u32,
+    /// Give every memory a second read port of the *opposite* kind, so
+    /// each RAM exercises both the native sync-read path and the
+    /// async-read polyfill at once.
+    pub dual_read: bool,
 }
 
 impl FuzzConfig {
@@ -87,6 +91,25 @@ impl FuzzConfig {
             mems: r.below(3) as usize,
             outputs: 1 + r.below(3) as usize,
             max_width: 2 + r.below(15) as u32,
+            dual_read: false,
+        }
+    }
+
+    /// A RAM-heavy configuration: every design has at least one memory,
+    /// and every memory carries both a sync and an async read port
+    /// (`dual_read`). This is the corpus for the tier-1 RAM smoke — the
+    /// plain [`FuzzConfig::for_seed`] corpus only has memories ~2/3 of
+    /// the time and only one read kind per memory.
+    pub fn ram_heavy(seed: u64) -> FuzzConfig {
+        let mut r = FuzzRng::new(seed ^ 0x4A3);
+        FuzzConfig {
+            inputs: 1 + r.below(3) as usize,
+            ops: 4 + r.below(16) as usize,
+            ffs: r.below(3) as usize,
+            mems: 1 + r.below(2) as usize,
+            outputs: 1 + r.below(2) as usize,
+            max_width: 2 + r.below(10) as u32,
+            dual_read: true,
         }
     }
 }
@@ -188,6 +211,16 @@ pub fn random_module(seed: u64, cfg: &FuzzConfig) -> Module {
         };
         let rd = b.read_port(mem, raddr, kind);
         pool.push((rd, w));
+        if cfg.dual_read {
+            let (ran2, _) = pick(&mut r, &pool);
+            let raddr2 = b.resize(ran2, addr_bits);
+            let other = match kind {
+                ReadKind::Sync => ReadKind::Async,
+                ReadKind::Async => ReadKind::Sync,
+            };
+            let rd2 = b.read_port(mem, raddr2, other);
+            pool.push((rd2, w));
+        }
     }
     // Close the register feedback loops from the full pool. Enables and
     // resets must be attached while the dff is still pending.
@@ -248,6 +281,29 @@ mod tests {
             shapes.len() > 20,
             "generator collapsed to too few shapes: {shapes:?}"
         );
+    }
+
+    #[test]
+    fn ram_heavy_corpus_has_both_read_kinds_per_memory() {
+        for seed in 0..15 {
+            let cfg = FuzzConfig::ram_heavy(seed);
+            assert!(cfg.mems >= 1, "seed {seed}: ram_heavy produced no mems");
+            let m = random_module(seed, &cfg);
+            assert_eq!(m.memories().len(), cfg.mems, "seed {seed}: lost a memory");
+            for mem in m.memories() {
+                // dual_read pairs every read with its opposite kind, so
+                // each memory sees both the native sync path and the
+                // async polyfill.
+                let sync = mem
+                    .read_ports
+                    .iter()
+                    .filter(|p| p.kind == ReadKind::Sync)
+                    .count();
+                let async_ = mem.read_ports.len() - sync;
+                assert_eq!(sync, 1, "seed {seed} mem {}: sync ports", mem.name);
+                assert_eq!(async_, 1, "seed {seed} mem {}: async ports", mem.name);
+            }
+        }
     }
 
     #[test]

@@ -33,8 +33,13 @@ use gem_sim::{random_module, EaigSim, FuzzConfig, FuzzRng};
 /// core swallows every fuzz design whole — 64 bits is the widest core
 /// that still forces multi-partition placements on this corpus).
 fn run_differential(seed: u64, cycles: u64) -> u64 {
-    let cfg = FuzzConfig::for_seed(seed);
-    let m = random_module(seed, &cfg);
+    run_differential_with(seed, cycles, &FuzzConfig::for_seed(seed))
+}
+
+/// Same as [`run_differential`] but with an explicit generator config,
+/// so suites can pick a shaped corpus (e.g. RAM-heavy).
+fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
+    let m = random_module(seed, cfg);
     let opts = CompileOptions {
         core_width: 64,
         target_parts: 4,
@@ -52,6 +57,13 @@ fn run_differential(seed: u64, cycles: u64) -> u64 {
         )
     });
     let compiled = compiled.unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
+    // Every fuzz compile goes through the static bitstream verifier
+    // (`CompileOptions::default` enables it); a compile that skipped it
+    // would silently weaken the whole suite.
+    assert!(
+        compiled.report.verified,
+        "seed {seed}: compile skipped bitstream verification"
+    );
     let mut gold = EaigSim::new(&compiled.eaig);
     let mut gem1 = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     let mut gemn = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -145,6 +157,20 @@ fn fuzz_smoke() {
         pool_tasks += run_differential(seed, 12);
     }
     assert!(pool_tasks > 0, "no seed engaged the parallel engine");
+}
+
+/// Tier-1 RAM smoke: 15 seeds from the RAM-heavy corpus, where every
+/// design has at least one memory and every memory carries both a sync
+/// and an async read port. The plain corpus only hits memories
+/// probabilistically; this subset pins both RAM read paths (and their
+/// verifier checks) in every run.
+#[test]
+fn ram_smoke() {
+    for seed in 0..15 {
+        let cfg = FuzzConfig::ram_heavy(seed);
+        assert!(cfg.mems >= 1 && cfg.dual_read, "ram_heavy lost its RAMs");
+        run_differential_with(seed, 10, &cfg);
+    }
 }
 
 /// Full sweep: ≥200 random designs × multi-cycle stimuli. Run with

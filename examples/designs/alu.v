@@ -1,0 +1,18 @@
+// A small ALU with a registered accumulator: deep combinational cones
+// (add / xor / and / shift select) feeding sequential state, which
+// exercises multi-layer boomerang placement.
+module alu(input clk, input [1:0] op, input [7:0] a, input [7:0] b,
+           output [7:0] y, output reg [15:0] acc);
+  wire [7:0] sum;
+  wire [7:0] bxor;
+  wire [7:0] band;
+  wire [7:0] shl;
+  assign sum = a + b;
+  assign bxor = a ^ b;
+  assign band = a & b;
+  assign shl = a << 1;
+  assign y = (op == 2'd0) ? sum :
+             (op == 2'd1) ? bxor :
+             (op == 2'd2) ? band : shl;
+  always @(posedge clk) acc <= acc + {8'd0, y};
+endmodule

@@ -1,0 +1,8 @@
+// Gated 8-bit counter with synchronous reset: the smallest stateful
+// design in the example corpus (one FF bank, one adder cone).
+module counter(input clk, input rst, input en, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'd0;
+    else if (en) q <= q + 8'd1;
+  end
+endmodule

@@ -1,0 +1,13 @@
+// A 16-entry register file with one write port, a synchronous read
+// port, and an asynchronous read port: covers both RAM read kinds the
+// synthesizer maps (native sync reads and polyfilled async reads).
+module regfile(input clk, input we, input [3:0] wa, input [7:0] wd,
+               input [3:0] ra, output [7:0] async_q,
+               output reg [7:0] sync_q);
+  reg [7:0] mem [0:15];
+  always @(posedge clk) begin
+    if (we) mem[wa] <= wd;
+    sync_q <= mem[ra];
+  end
+  assign async_q = mem[ra];
+endmodule

@@ -1,0 +1,122 @@
+//! Golden waveform regression corpus for the example designs.
+//!
+//! Every design under `examples/designs/` is compiled (verifier on),
+//! driven with a fixed seeded stimulus, and its output waveform dumped
+//! as VCD. The FNV-1a digest of that text is pinned under
+//! `tests/golden/<design>.digest` — any change to synthesis, placement,
+//! encoding, or the simulator that alters observable behavior shows up
+//! as a digest mismatch naming the design.
+//!
+//! To re-bless after an *intentional* behavioral change:
+//!
+//! ```text
+//! GEM_BLESS=1 cargo test --test golden_vcd
+//! ```
+//!
+//! then review the `.digest` diff like any other golden-file change.
+
+use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_netlist::vcd::VcdWriter;
+use gem_netlist::verilog;
+use gem_sim::FuzzRng;
+use std::path::Path;
+
+const CYCLES: u64 = 48;
+
+/// FNV-1a over the VCD text: stable, dependency-free, and mismatch
+/// messages stay short (a full-text golden would drown the diff).
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Compiles one design and records its outputs for [`CYCLES`] cycles of
+/// seeded random stimulus into a VCD document.
+fn waveform(path: &Path) -> String {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+    let module = verilog::parse(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+    let opts = CompileOptions {
+        core_width: 256,
+        target_parts: 4,
+        ..Default::default()
+    };
+    let compiled = compile(&module, &opts).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+    assert!(compiled.report.verified, "{name}: verifier did not run");
+
+    let mut w = VcdWriter::new(&name);
+    let vars: Vec<_> = module
+        .outputs()
+        .map(|p| (p.name.clone(), w.add_var(&p.name, module.width(p.net))))
+        .collect();
+    w.begin();
+    let mut sim = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("{name}: {e}"));
+    // The stimulus seed is part of the golden contract — changing it
+    // invalidates every digest.
+    let mut stim = FuzzRng::new(0x601D);
+    for cycle in 0..CYCLES {
+        for p in module.inputs() {
+            sim.set_input(&p.name, stim.bits(module.width(p.net)));
+        }
+        sim.step();
+        w.timestamp(cycle);
+        for (pname, var) in &vars {
+            w.change(*var, &sim.output(pname));
+        }
+    }
+    w.finish()
+}
+
+#[test]
+fn example_designs_match_golden_digests() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let designs_dir = root.join("examples/designs");
+    let golden_dir = root.join("tests/golden");
+    let bless = std::env::var_os("GEM_BLESS").is_some();
+
+    let mut paths: Vec<_> = std::fs::read_dir(&designs_dir)
+        .expect("examples/designs exists")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "v"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 3,
+        "golden corpus lost designs: {}",
+        paths.len()
+    );
+
+    let mut mismatches = Vec::new();
+    for path in &paths {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let digest = format!("{:016x}\n", fnv1a(&waveform(path)));
+        let golden_path = golden_dir.join(format!("{name}.digest"));
+        if bless {
+            std::fs::create_dir_all(&golden_dir).expect("mkdir tests/golden");
+            std::fs::write(&golden_path, &digest).expect("write digest");
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|_| {
+            panic!(
+                "{name}: no golden digest at {} — run GEM_BLESS=1 cargo test --test golden_vcd",
+                golden_path.display()
+            )
+        });
+        if want != digest {
+            mismatches.push(format!(
+                "{name}: waveform digest {} != golden {}",
+                digest.trim(),
+                want.trim()
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "observable behavior changed (re-bless only if intentional):\n  {}",
+        mismatches.join("\n  ")
+    );
+}
