@@ -14,7 +14,7 @@
 
 use gem_bench::{arg, fmt_hz, write_record};
 use gem_server::{GemClient, Server, ServerConfig};
-use gem_telemetry::Json;
+use gem_telemetry::{Histogram, Json};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -72,22 +72,34 @@ fn metric(stats: &Json, family: &str) -> u64 {
 
 /// One client session: open, stream `reqs` step requests of `cycles`
 /// each (retrying politely on backpressure), peek, close. Returns
-/// (requests sent, cycles simulated).
-fn drive_session(addr: std::net::SocketAddr, lane: u64, reqs: u64, cycles: u64) -> (u64, u64) {
+/// (requests sent, cycles simulated, per-step latency distribution).
+fn drive_session(
+    addr: std::net::SocketAddr,
+    lane: u64,
+    reqs: u64,
+    cycles: u64,
+) -> (u64, u64, Histogram) {
     let mut c = GemClient::connect(addr).expect("connect");
     let opened = c.open(NVDLA_MAC, wire_opts()).expect("open");
     let session = opened.get("session").and_then(Json::as_u64).expect("id");
     let mut sent = 2; // open + the close below
     c.poke(session, "rst", "0").expect("poke rst");
     sent += 1;
+    // Client-observed step latency (including the wire round trip, which
+    // the server-side gem_server_request_latency_micros excludes).
+    let mut latency = Histogram::new();
     for r in 0..reqs {
         let act = format!("{:08x}", (r * 0x01010101 + lane * 0x11) & 0xffff_ffff);
         let wgt = format!("{:08x}", (r * 0x0f0f_0f01 + lane) & 0xffff_ffff);
         let pokes = vec![("start", "1"), ("act", act.as_str()), ("wgt", wgt.as_str())];
         loop {
             sent += 1;
+            let t0 = Instant::now();
             match c.step(session, cycles, pokes.clone()) {
-                Ok(_) => break,
+                Ok(_) => {
+                    latency.observe(t0.elapsed().as_nanos() as f64 / 1e3);
+                    break;
+                }
                 Err(e) if e.is_busy() => std::thread::sleep(Duration::from_millis(2)),
                 Err(e) => panic!("step failed: {e}"),
             }
@@ -97,7 +109,7 @@ fn drive_session(addr: std::net::SocketAddr, lane: u64, reqs: u64, cycles: u64) 
     sent += 1;
     assert!(!acc.is_empty());
     c.close(session).expect("close");
-    (sent, reqs * cycles)
+    (sent, reqs * cycles, latency)
 }
 
 fn main() {
@@ -125,10 +137,12 @@ fn main() {
         .collect();
     let mut total_reqs = 0u64;
     let mut total_cycles = 0u64;
+    let mut latency = Histogram::new();
     for d in drivers {
-        let (r, c) = d.join().expect("driver thread");
+        let (r, c, h) = d.join().expect("driver thread");
         total_reqs += r;
         total_cycles += c;
+        latency.merge(&h);
     }
     let wall = t0.elapsed().as_secs_f64();
 
@@ -151,11 +165,24 @@ fn main() {
 
     let req_per_s = total_reqs as f64 / wall;
     let cyc_per_s = total_cycles as f64 / wall;
+    let (p50, p95, p99) = (
+        latency.quantile(0.50),
+        latency.quantile(0.95),
+        latency.quantile(0.99),
+    );
     println!(
         "  {total_reqs} requests, {total_cycles} cycles in {wall:.3} s \
          → {} req/s, {} cycles/s (1 compile, {hits} cache hits)",
         fmt_hz(req_per_s),
         fmt_hz(cyc_per_s)
+    );
+    println!(
+        "  step latency (client-observed): p50 {:.0} us, p95 {:.0} us, p99 {:.0} us \
+         over {} samples",
+        p50,
+        p95,
+        p99,
+        latency.count()
     );
 
     let mut rec = Json::object();
@@ -171,6 +198,13 @@ fn main() {
     rec.set("cycles_per_sec", cyc_per_s);
     rec.set("compiles_total", compiles);
     rec.set("cache_hits_total", hits);
+    let mut lat = Json::object();
+    lat.set("p50_micros", p50);
+    lat.set("p95_micros", p95);
+    lat.set("p99_micros", p99);
+    lat.set("mean_micros", latency.mean());
+    lat.set("samples", latency.count());
+    rec.set("step_latency", lat);
     write_record("ext_server", &rec);
     if let Err(e) = std::fs::write("BENCH_server.json", rec.to_string_pretty()) {
         eprintln!("could not write BENCH_server.json: {e}");

@@ -41,6 +41,7 @@
 
 pub mod compile;
 pub mod package;
+pub mod profile;
 pub mod replay;
 pub mod simulator;
 pub mod verify;
@@ -53,6 +54,9 @@ pub use gem_vgpu::{ExecMode, ExecStats};
 pub use package::{
     device_from_json, device_to_json, io_from_json, io_to_json, report_from_json, Package,
     ParsePackageError,
+};
+pub use profile::{
+    profile, BarrierProfile, LayerProfile, PartitionProfile, ProfileOptions, ProfileReport,
 };
 pub use replay::{StimulusError, VcdStimulus};
 pub use simulator::GemSimulator;

@@ -137,6 +137,14 @@ impl GemSimulator {
 
     /// Executes one simulated clock cycle.
     pub fn step(&mut self) {
+        // Parent for the engine's per-stage/per-core spans (trace export).
+        let _cycle_span = if gem_telemetry::span::enabled() {
+            let mut sp = gem_telemetry::span::span("cycle", "sim");
+            sp.arg("cycle", self.gpu.counters().cycles);
+            Some(sp)
+        } else {
+            None
+        };
         self.gpu.step_cycle();
         if let Some((sink, every_n)) = &mut self.sink {
             if self.gpu.counters().cycles.is_multiple_of(*every_n) {

@@ -19,22 +19,26 @@
 //! speed. `serve` starts the multi-session simulation service
 //! (`docs/SERVER.md`); `client` drives one against a running server.
 
-use gem_core::{compile, CompileOptions, GemSimulator, Package, VcdStimulus};
+use gem_core::{compile, CompileOptions, GemSimulator, Package, ProfileOptions, VcdStimulus};
 use gem_netlist::vcd::VcdWriter;
 use gem_netlist::{verilog, Bits};
 use gem_server::{ClientError, GemClient, Server, ServerConfig};
-use gem_telemetry::Json;
+use gem_telemetry::span::{self, TraceCollector};
+use gem_telemetry::{validate_chrome_trace, Json};
 use gem_vgpu::{GpuSpec, TimingModel};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
+        Some("run") => traced(&args[1..], cmd_run),
         Some("stats") => cmd_stats(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("profile") => traced(&args[1..], cmd_profile),
+        Some("trace-check") => cmd_trace_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -61,9 +65,14 @@ USAGE:
   gem run     <design.gemb|design.v> [--cycles N] [--poke port=hex ...]
               [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
               [--gpu a100|3090] [--threads N] [--emit-metrics out.json]
+              [--trace-out trace.json]
   gem stats   <design.v> [--emit-metrics out.json]
   gem verify  <design.gemb|design.v> [--width N] [--parts N] [--stages N]
               [--fault SEED] [--emit-metrics out.json]
+  gem profile <design.v> [--cycles N] [--threads N]
+              [--gpu a100|3090] [--width N] [--parts N] [--stages N]
+              [--json out.json] [--trace-out trace.json]
+  gem trace-check <trace.json>
   gem serve   [--addr 127.0.0.1:0] [--workers 4] [--queue 32] [--cache 8]
               [--idle-ms 300000] [--sim-threads N] [--port-file path]
               [--emit-metrics out.json]
@@ -75,6 +84,7 @@ USAGE:
       peek     --session N --port name
       step     --session N [--cycles N] [--poke port=hex ...]
       replay   --session N --stimulus in.vcd [--vcd out.vcd]
+      profile  <design.v> [--cycles N] [--width N] [--parts N] [--stages N]
       close    --session N
       stats | shutdown
 
@@ -93,6 +103,16 @@ gem_verify_* families.
 package or a freshly compiled design, prints a per-check table, and
 exits nonzero on any violation. --fault SEED injects a seeded mutation
 first (the command must then FAIL — a gate self-test).
+
+`profile` compiles (or loads) a design, runs it for --cycles cycles,
+and prints hotspot attribution: time by partition, by boomerang layer,
+and per-stage barrier costs (docs/OBSERVABILITY.md §6).
+
+--trace-out records every span the invocation produces (compile
+stages, per-cycle execution, per-core work, barriers) and writes a
+Chrome-trace JSON file loadable in Perfetto (ui.perfetto.dev) or
+chrome://tracing. `trace-check` validates such a file: well-formed
+JSON, balanced begin/end pairs, monotonic per-thread timestamps.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -130,6 +150,31 @@ fn emit_metrics(
         .map_err(|e| format!("cannot write {path:?}: {e}"))?;
     println!("wrote {path}");
     Ok(())
+}
+
+/// Runs a subcommand under `--trace-out`: installs a span collector
+/// first (so compile and execution spans are captured), exports the
+/// Chrome-trace file after — even when the command itself failed, so a
+/// crash still leaves a timeline to inspect.
+fn traced(args: &[String], cmd: fn(&[String]) -> Result<(), String>) -> Result<(), String> {
+    let Some(path) = flag(args, "--trace-out") else {
+        return cmd(args);
+    };
+    let collector = TraceCollector::arc();
+    span::install(Arc::clone(&collector));
+    let result = cmd(args);
+    span::uninstall();
+    let doc = collector.export_chrome_trace();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .map_or(0, |a| a.len());
+    let write = std::fs::write(&path, doc.to_string_pretty())
+        .map_err(|e| format!("cannot write {path:?}: {e}"));
+    if write.is_ok() {
+        println!("wrote {path} ({events} trace events)");
+    }
+    result.and(write)
 }
 
 fn positional(args: &[String]) -> Result<&String, String> {
@@ -254,6 +299,49 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             report.checks.iter().filter(|c| c.violations > 0).count()
         ))
     }
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    if input.ends_with(".gemb") {
+        return Err("profile needs design source (.v): packages carry no placement metadata for partition attribution".into());
+    }
+    let compiled = compile_verilog(input, args)?;
+    let opts = ProfileOptions {
+        cycles: flag_u64(args, "--cycles", 256)?,
+        threads: flag_u64(args, "--threads", 0)? as usize,
+        spec: match flag(args, "--gpu").as_deref() {
+            Some("3090" | "rtx3090") => GpuSpec::rtx3090(),
+            _ => GpuSpec::a100(),
+        },
+    };
+    let report = gem_core::profile(&compiled, input, &opts)
+        .map_err(|e| format!("profile run failed: {e}"))?;
+    print!("{}", report.render_table());
+    if let Some(path) = flag(args, "--json") {
+        std::fs::write(&path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+    let doc =
+        gem_telemetry::parse_json(&text).map_err(|e| format!("{input}: invalid JSON: {e}"))?;
+    let summary = validate_chrome_trace(&doc).map_err(|e| format!("{input}: {e}"))?;
+    println!(
+        "{input}: OK — {} events ({} spans, {} complete, {} instants) on {} thread(s), {:.3} ms span",
+        summary.events,
+        summary.spans,
+        summary.complete,
+        summary.instants,
+        summary.threads,
+        summary.max_ts_micros / 1e3
+    );
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -531,6 +619,15 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 std::fs::write(&out, text).map_err(|e| format!("cannot write {out:?}: {e}"))?;
                 println!("wrote {out}");
             }
+        }
+        "profile" => {
+            let file = positional(&rest)?;
+            let src =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file:?}: {e}"))?;
+            let opts = client_opts(&rest)?;
+            let cycles = flag_u64(&rest, "--cycles", 256)?;
+            let resp = client.profile(&src, opts, cycles).map_err(client_err)?;
+            print!("{}", resp.get("table").and_then(Json::as_str).unwrap_or(""));
         }
         "close" => {
             client

@@ -213,6 +213,20 @@ impl GemClient {
         )
     }
 
+    /// Profiles a design server-side: compiles (through the cache), runs
+    /// `cycles` cycles on a scratch simulator, and returns hotspot
+    /// attribution (`profile` JSON report plus a rendered `table`).
+    pub fn profile(&mut self, source: &str, opts: Json, cycles: u64) -> Result<Json, ClientError> {
+        self.request(
+            "profile",
+            vec![
+                ("source", Json::Str(source.into())),
+                ("opts", opts),
+                ("cycles", Json::U64(cycles)),
+            ],
+        )
+    }
+
     /// Checkpoints the session's machine state server-side.
     pub fn save(&mut self, session: u64) -> Result<(), ClientError> {
         self.request("save", vec![("session", Json::U64(session))])

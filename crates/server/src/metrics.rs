@@ -17,8 +17,9 @@
 //! * `sessions_opened = sessions_active + sessions_closed +
 //!   sessions_evicted`.
 
-use gem_telemetry::{MetricKind, MetricsSnapshot};
+use gem_telemetry::{Histogram, MetricFamily, MetricKind, MetricsSnapshot, Sample};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Shared atomic counters/gauges for one server instance.
 #[derive(Debug, Default)]
@@ -43,6 +44,11 @@ pub struct ServerMetrics {
     pub jobs_completed: AtomicU64,
     /// Jobs rejected with backpressure (queue full or shutting down).
     pub jobs_rejected: AtomicU64,
+    /// Rejections whose reason was a full queue (`retry_after_ms` was
+    /// attached to the BUSY response).
+    pub rejected_queue_full: AtomicU64,
+    /// Rejections whose reason was pool shutdown.
+    pub rejected_shutting_down: AtomicU64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: AtomicU64,
     /// Cache lookups (each `get_or_compile` call counts once).
@@ -65,6 +71,11 @@ pub struct ServerMetrics {
     pub job_latency_micros: AtomicU64,
     /// Simulated cycles executed on behalf of all sessions.
     pub cycles_total: AtomicU64,
+    /// Per-request wall-clock latency distribution, microseconds
+    /// (measured around `dispatch` on the connection thread). The one
+    /// non-atomic member: a log-bucketed histogram behind a mutex held
+    /// only for the O(1) observe/merge.
+    pub request_latency_micros: Mutex<Histogram>,
 }
 
 /// Relaxed increment helper: all metrics are monotonic or
@@ -86,6 +97,14 @@ pub(crate) fn dec(c: &AtomicU64) {
 impl ServerMetrics {
     fn get(c: &AtomicU64) -> f64 {
         c.load(Ordering::Relaxed) as f64
+    }
+
+    /// Records one request's wall-clock latency.
+    pub fn observe_request_latency(&self, micros: f64) {
+        self.request_latency_micros
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .observe(micros);
     }
 
     /// Exports every family under the `gem_server_` prefix.
@@ -174,6 +193,23 @@ impl ServerMetrics {
             "Simulated cycles executed for all sessions",
             &self.cycles_total,
         );
+        // Same rejections refined by reason, as one labeled family.
+        s.push(MetricFamily {
+            name: "gem_server_rejected_total".to_string(),
+            help: "Backpressure rejections by reason (responses carrying retry_after_ms)"
+                .to_string(),
+            kind: MetricKind::Counter,
+            samples: vec![
+                Sample {
+                    labels: vec![("reason".to_string(), "queue_full".to_string())],
+                    value: Self::get(&self.rejected_queue_full),
+                },
+                Sample {
+                    labels: vec![("reason".to_string(), "shutting_down".to_string())],
+                    value: Self::get(&self.rejected_shutting_down),
+                },
+            ],
+        });
         let mut g = |name: &str, help: &str, v: &AtomicU64| {
             s.push_scalar(name, help, MetricKind::Gauge, Self::get(v));
         };
@@ -197,6 +233,14 @@ impl ServerMetrics {
             "Resident compile-cache entries",
             &self.cache_entries,
         );
+        s.push_histogram(
+            "gem_server_request_latency_micros",
+            "Per-request wall-clock latency (us) with p50/p95/p99 quantiles",
+            &self
+                .request_latency_micros
+                .lock()
+                .unwrap_or_else(|p| p.into_inner()),
+        );
         s
     }
 }
@@ -219,5 +263,40 @@ mod tests {
         assert!(s
             .to_prometheus_text()
             .contains("# TYPE gem_server_sessions_active gauge"));
+    }
+
+    #[test]
+    fn rejection_reasons_export_as_one_labeled_family() {
+        let m = ServerMetrics::default();
+        inc(&m.rejected_queue_full);
+        inc(&m.rejected_queue_full);
+        inc(&m.rejected_shutting_down);
+        let s = m.snapshot();
+        let fam = s.family("gem_server_rejected_total").unwrap();
+        assert_eq!(fam.total(), 3.0);
+        let text = s.to_prometheus_text();
+        assert!(text.contains("gem_server_rejected_total{reason=\"queue_full\"} 2"));
+        assert!(text.contains("gem_server_rejected_total{reason=\"shutting_down\"} 1"));
+    }
+
+    #[test]
+    fn request_latency_quantiles_appear_in_snapshot() {
+        let m = ServerMetrics::default();
+        for v in [100.0, 200.0, 400.0, 800.0, 10_000.0] {
+            m.observe_request_latency(v);
+        }
+        let s = m.snapshot();
+        let fam = s.family("gem_server_request_latency_micros").unwrap();
+        for q in ["0.5", "0.95", "0.99"] {
+            assert!(
+                fam.samples
+                    .iter()
+                    .any(|smp| smp.labels.iter().any(|(k, v)| k == "quantile" && v == q)),
+                "missing p{q}"
+            );
+        }
+        let text = s.to_prometheus_text();
+        assert!(text.contains("gem_server_request_latency_micros_count 5"));
+        assert!(text.contains("gem_server_request_latency_micros_bucket{le="));
     }
 }

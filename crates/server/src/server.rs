@@ -20,8 +20,9 @@ use crate::metrics::{dec, inc, ServerMetrics};
 use crate::pool::{SubmitError, WorkerPool};
 use crate::protocol::{self, codes};
 use crate::session::SessionTable;
-use gem_core::{CompileOptions, GemSimulator, VcdStimulus};
+use gem_core::{CompileOptions, GemSimulator, ProfileOptions, VcdStimulus};
 use gem_netlist::vcd::VcdWriter;
+use gem_telemetry::span;
 use gem_telemetry::{read_frame, write_frame, FrameError, Json, DEFAULT_MAX_FRAME};
 use std::collections::HashMap;
 use std::io;
@@ -95,6 +96,11 @@ struct ServerState {
     /// shutdown. Keyed by connection id; handlers remove themselves.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn: AtomicU64,
+    /// Request correlation ids, unique across all connections of this
+    /// server. Every request gets one; it is echoed in the response
+    /// (`"rid"`) and stamped onto every span the request causes —
+    /// including spans recorded by pool workers (see [`run_on_pool`]).
+    next_rid: AtomicU64,
 }
 
 /// A bound, not-yet-running server.
@@ -131,6 +137,7 @@ impl Server {
             local_addr,
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(1),
+            next_rid: AtomicU64::new(1),
             cfg,
         });
         Ok(Server { listener, state })
@@ -223,7 +230,27 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, conn_id: u
         };
         inc(&state.metrics.requests_total);
         let id = req.get("id").and_then(Json::as_u64).unwrap_or(0);
-        let (resp, shutdown) = dispatch(state, id, &req);
+        // One correlation id per request: scoped here so every span this
+        // request records (inline or via a pool worker) carries it, and
+        // echoed on the wire so the client can link frames to spans.
+        let rid = state.next_rid.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
+        let (mut resp, shutdown) = {
+            let _scope = span::request_scope(rid);
+            let _req_span = if span::enabled() {
+                let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("?");
+                let mut sp = span::span(format!("request:{cmd}"), "server");
+                sp.arg("id", id).arg("conn", conn_id);
+                Some(sp)
+            } else {
+                None
+            };
+            dispatch(state, id, &req)
+        };
+        state
+            .metrics
+            .observe_request_latency(started.elapsed().as_nanos() as f64 / 1e3);
+        resp.set("rid", rid);
         if write_frame(&mut stream, &resp, state.cfg.max_frame).is_err() {
             break;
         }
@@ -260,6 +287,7 @@ fn dispatch(state: &Arc<ServerState>, id: u64, req: &Json) -> (Json, bool) {
         "peek" => cmd_peek(state, id, req),
         "step" => cmd_step(state, id, req),
         "replay" => cmd_replay(state, id, req),
+        "profile" => cmd_profile(state, id, req),
         "save" => cmd_save(state, id, req),
         "restore" => cmd_restore(state, id, req),
         "close" => cmd_close(state, id, req),
@@ -292,16 +320,34 @@ fn bad(msg: impl Into<String>) -> (String, String) {
 /// Offers `job` to the pool and waits for its response. A full queue
 /// becomes a `busy` error, so the connection thread never blocks on
 /// queue space — only on the job it successfully enqueued.
-fn run_on_pool(state: &Arc<ServerState>, job: impl FnOnce() -> Json + Send + 'static) -> CmdResult {
+///
+/// The connection thread's request id crosses into the worker: the job
+/// wrapper re-installs the request scope and opens a `name` span on the
+/// worker thread, so pooled compile/step work stays correlated with the
+/// wire request that caused it. Rejections count into the per-reason
+/// `gem_server_rejected_total` family.
+fn run_on_pool(
+    state: &Arc<ServerState>,
+    name: &'static str,
+    job: impl FnOnce() -> Json + Send + 'static,
+) -> CmdResult {
     let (tx, rx) = mpsc::channel();
+    let rid = span::current_request_id();
     let submitted = state.pool.try_submit(move || {
+        let _scope = rid.map(span::request_scope);
+        let _job_span = span::enabled().then(|| span::span(format!("job:{name}"), "server"));
         let _ = tx.send(job());
     });
     match submitted {
         Ok(()) => rx
             .recv()
             .map_err(|_| (codes::INTERNAL.to_string(), "worker dropped job".into())),
-        Err(e @ SubmitError::Full { .. }) | Err(e @ SubmitError::ShuttingDown) => {
+        Err(e @ SubmitError::Full { .. }) => {
+            inc(&state.metrics.rejected_queue_full);
+            Err((codes::BUSY.to_string(), e.to_string()))
+        }
+        Err(e @ SubmitError::ShuttingDown) => {
+            inc(&state.metrics.rejected_shutting_down);
             Err((codes::BUSY.to_string(), e.to_string()))
         }
     }
@@ -342,7 +388,7 @@ fn cmd_ping(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     // Delayed pings run through the pool: they occupy a worker slot
     // exactly like simulation work, which makes backpressure directly
     // testable without racing a real compile.
-    run_on_pool(state, move || {
+    run_on_pool(state, "ping", move || {
         std::thread::sleep(Duration::from_millis(delay_ms));
         resp
     })
@@ -352,7 +398,7 @@ fn cmd_compile(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
     let opts = compile_opts(req)?;
     let state2 = Arc::clone(state);
-    run_on_pool(state, move || {
+    run_on_pool(state, "compile", move || {
         let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
         match result {
             Ok(design) => {
@@ -371,7 +417,7 @@ fn cmd_open(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
     let opts = compile_opts(req)?;
     let state2 = Arc::clone(state);
-    run_on_pool(state, move || {
+    run_on_pool(state, "open", move || {
         let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
         let design = match result {
             Ok(d) => d,
@@ -448,7 +494,7 @@ fn cmd_step(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
         Some(_) => return Err(bad("\"pokes\" must be an object")),
     };
     let state2 = Arc::clone(state);
-    run_on_pool(state, move || {
+    run_on_pool(state, "step", move || {
         let mut sim = entry.sim.lock().unwrap();
         for (port, value) in &pokes {
             let Some(p) = sim.io().input(port) else {
@@ -483,7 +529,7 @@ fn cmd_replay(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let entry = session_of(state, req)?;
     let vcd_text = protocol::req_str(req, "vcd").map_err(bad)?.to_string();
     let state2 = Arc::clone(state);
-    run_on_pool(state, move || {
+    run_on_pool(state, "replay", move || {
         let mut sim = entry.sim.lock().unwrap();
         let stim = match VcdStimulus::new(&vcd_text, sim.io()) {
             Ok(s) => s,
@@ -517,6 +563,45 @@ fn cmd_replay(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
         r.set("outputs", Json::Array(cycles_json));
         r.set("vcd", w.finish());
         r
+    })
+}
+
+/// `profile`: compile (through the cache) and run a hotspot-attribution
+/// pass on a fresh simulator — sessions are untouched, so profiling a
+/// design never perturbs live waveforms.
+fn cmd_profile(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
+    let opts = compile_opts(req)?;
+    let cycles = protocol::opt_u64(req, "cycles", 256).map_err(bad)?;
+    let threads = protocol::opt_u64(req, "threads", 0).map_err(bad)? as usize;
+    let design_name = req
+        .get("design")
+        .and_then(Json::as_str)
+        .unwrap_or("design")
+        .to_string();
+    let state2 = Arc::clone(state);
+    run_on_pool(state, "profile", move || {
+        let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
+        let design = match result {
+            Ok(d) => d,
+            Err(e) => return protocol::err_response(id, codes::COMPILE_FAILED, &e),
+        };
+        let popts = ProfileOptions {
+            cycles,
+            threads,
+            ..ProfileOptions::default()
+        };
+        match gem_core::profile(&design, &design_name, &popts) {
+            Ok(report) => {
+                let mut r = protocol::ok_response(id);
+                r.set("key", format!("{key:016x}"));
+                r.set("cached", cached);
+                r.set("profile", report.to_json());
+                r.set("table", report.render_table());
+                r
+            }
+            Err(e) => protocol::err_response(id, codes::INTERNAL, &e.to_string()),
+        }
     })
 }
 

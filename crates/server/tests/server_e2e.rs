@@ -123,6 +123,31 @@ fn metric(stats: &Json, family: &str) -> f64 {
         .unwrap_or_else(|| panic!("no metric family {family:?}"))
 }
 
+/// Reads one sample of a labeled metric family in a `stats` response.
+fn labeled_metric(stats: &Json, family: &str, label: &str, value: &str) -> f64 {
+    let families = stats
+        .get("metrics")
+        .and_then(|m| m.get("families"))
+        .and_then(Json::as_array)
+        .expect("stats carry metric families");
+    families
+        .iter()
+        .find(|f| f.get("name").and_then(Json::as_str) == Some(family))
+        .and_then(|f| f.get("samples").and_then(Json::as_array))
+        .and_then(|samples| {
+            samples
+                .iter()
+                .find(|s| {
+                    s.get("labels")
+                        .and_then(|l| l.get(label))
+                        .and_then(Json::as_str)
+                        == Some(value)
+                })
+                .and_then(|s| s.get("value").and_then(Json::as_f64))
+        })
+        .unwrap_or_else(|| panic!("no sample {family}{{{label}={value:?}}}"))
+}
+
 /// Polls `stats` until the pool quiesces (submitted = completed +
 /// rejected); completion counters lag the response by one scheduler
 /// beat, so a fixed-point read needs a retry loop.
@@ -383,6 +408,27 @@ fn full_queue_rejects_with_retry_hint() {
         metric(&stats, "gem_server_jobs_submitted_total"),
         metric(&stats, "gem_server_jobs_completed_total")
             + metric(&stats, "gem_server_jobs_rejected_total")
+    );
+    // The per-reason family must attribute every rejection: this path
+    // only produces full-queue rejections, and the reasons must sum to
+    // the unlabeled total.
+    assert!(
+        labeled_metric(&stats, "gem_server_rejected_total", "reason", "queue_full") >= 1.0,
+        "full-queue rejection must be attributed to its reason"
+    );
+    assert_eq!(
+        labeled_metric(
+            &stats,
+            "gem_server_rejected_total",
+            "reason",
+            "shutting_down"
+        ),
+        0.0
+    );
+    assert_eq!(
+        metric(&stats, "gem_server_rejected_total"),
+        metric(&stats, "gem_server_jobs_rejected_total"),
+        "reason breakdown must reconcile with the total"
     );
 
     shutdown_and_join(addr, server);

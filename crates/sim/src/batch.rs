@@ -88,6 +88,13 @@ impl<'a> BatchSim<'a> {
     /// Runs one cycle for all 64 testbenches. `inputs[i]` packs input
     /// `i`'s bit for each lane. Returns one packed word per output.
     pub fn cycle(&mut self, inputs: &[u64]) -> Vec<u64> {
+        let _span = if gem_telemetry::span::enabled() {
+            let mut sp = gem_telemetry::span::span("batch_cycle", "sim");
+            sp.arg("nodes", self.g.nodes().len() as u64);
+            Some(sp)
+        } else {
+            None
+        };
         for (i, n) in self.g.nodes().iter().enumerate() {
             self.vals[i] = match *n {
                 Node::Const0 => 0,

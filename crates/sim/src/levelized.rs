@@ -172,6 +172,16 @@ impl<'a> LevelizedSim<'a> {
     /// Runs one cycle: applies inputs, evaluates everything, returns
     /// outputs, clocks.
     pub fn cycle(&mut self, inputs: &[bool]) -> Vec<bool> {
+        // Baseline timelines sit next to the GEM engine's in trace
+        // exports, making speed comparisons visual.
+        let _span = if gem_telemetry::span::enabled() {
+            let mut sp = gem_telemetry::span::span("levelized_cycle", "sim");
+            sp.arg("levels", self.shared.levels.len() as u64)
+                .arg("threads", self.threads as u64);
+            Some(sp)
+        } else {
+            None
+        };
         // Sources.
         for (i, (_, id)) in self.g.inputs().iter().enumerate() {
             self.shared.vals[id.0 as usize].store(inputs[i] as u8, Ordering::Relaxed);

@@ -8,6 +8,7 @@
 //! and post-hoc (the report JSON) from the same instrumentation.
 
 use crate::json::Json;
+use crate::span;
 use crate::trace::{self, Level, SpanRecord};
 use std::time::Instant;
 
@@ -80,30 +81,42 @@ impl FlowReport {
 }
 
 /// The write side of a [`FlowReport`].
+///
+/// When a [`crate::span`] collector is installed, the recorder opens a
+/// root span named after the flow; every [`stage`](FlowRecorder::stage)
+/// opens a child span, so a compile run appears in trace exports as one
+/// nested timeline (`compile` → `synth` → … → `verify`).
 #[derive(Debug)]
 pub struct FlowRecorder {
     flow: String,
     start: Instant,
     stages: Vec<StageRecord>,
+    // Held for its Drop: ends the root span when the recorder finishes.
+    _root_span: span::SpanGuard,
 }
 
 impl FlowRecorder {
     /// Starts recording a named flow.
     pub fn new(flow: impl Into<String>) -> Self {
+        let flow = flow.into();
+        let root = span::span(flow.clone(), "flow");
         FlowRecorder {
-            flow: flow.into(),
+            flow,
             start: Instant::now(),
             stages: Vec::new(),
+            _root_span: root,
         }
     }
 
     /// Opens a stage; it is recorded when the guard drops.
     pub fn stage(&mut self, name: &'static str) -> StageGuard<'_> {
+        let stage_span = span::span(name, "flow");
         StageGuard {
             rec: self,
             name,
             start: Instant::now(),
             metrics: Vec::new(),
+            span: stage_span,
         }
     }
 
@@ -124,6 +137,7 @@ pub struct StageGuard<'a> {
     name: &'static str,
     start: Instant,
     metrics: Vec<(String, f64)>,
+    span: span::SpanGuard,
 }
 
 impl StageGuard<'_> {
@@ -138,6 +152,9 @@ impl Drop for StageGuard<'_> {
     fn drop(&mut self) {
         let wall = self.start.elapsed();
         let metrics = std::mem::take(&mut self.metrics);
+        for (k, v) in &metrics {
+            self.span.arg(k, *v);
+        }
         self.rec.stages.push(StageRecord {
             name: self.name.to_string(),
             wall_ns: wall.as_nanos() as u64,
@@ -171,6 +188,36 @@ mod tests {
         assert_eq!(report.stage_names(), vec!["alpha", "beta"]);
         assert_eq!(report.stage("alpha").unwrap().metric("n"), Some(4.0));
         assert_eq!(report.stage("beta").unwrap().metrics.len(), 0);
+    }
+
+    #[test]
+    fn stages_nest_under_flow_root_in_trace_export() {
+        let _g = span::test_collector_lock();
+        let c = span::TraceCollector::arc();
+        span::install(std::sync::Arc::clone(&c));
+        let mut rec = FlowRecorder::new("nested");
+        rec.stage("one").metric("gates", 12.0);
+        let _ = rec.finish();
+        span::uninstall();
+        let events = c.drain();
+        let root_begin = events
+            .iter()
+            .find(|e| e.name == "nested" && e.ph == span::Phase::Begin)
+            .expect("root begin");
+        let stage_begin = events
+            .iter()
+            .find(|e| e.name == "one" && e.ph == span::Phase::Begin)
+            .expect("stage begin");
+        assert_eq!(stage_begin.parent_id, root_begin.span_id);
+        let stage_end = events
+            .iter()
+            .find(|e| e.name == "one" && e.ph == span::Phase::End)
+            .expect("stage end");
+        assert!(stage_end
+            .args
+            .contains(&("gates".to_string(), span::ArgValue::F64(12.0))));
+        let doc = span::events_to_chrome_trace(&events);
+        span::validate_chrome_trace(&doc).expect("balanced nested trace");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   [`Subscriber`]. The default subscriber prints to **stderr**, filtered
 //!   by the `GEM_LOG` environment variable (`error|warn|info|debug|trace`,
 //!   default `warn`), keeping stdout clean for CLI output.
+//! * [`span`] — structured span timelines: begin/end/complete/instant
+//!   events with thread ids, parent spans, and request correlation ids,
+//!   collected per thread and exported as Chrome-trace/Perfetto JSON
+//!   (`gem … --trace-out trace.json`).
 //! * [`flow`] — [`FlowRecorder`] builds a [`FlowReport`]: one record per
 //!   compiler stage with wall time and size metrics (the machine-readable
 //!   form of Table I's per-design statistics).
@@ -27,15 +31,17 @@
 pub mod flow;
 pub mod json;
 pub mod metrics;
+pub mod span;
 pub mod trace;
 pub mod wire;
 
 pub use flow::{FlowRecorder, FlowReport, StageGuard, StageRecord};
 pub use json::{parse as parse_json, Json, JsonError};
 pub use metrics::{
-    CollectSink, JsonLinesSink, MetricFamily, MetricKind, MetricsSink, MetricsSnapshot,
+    CollectSink, Histogram, JsonLinesSink, MetricFamily, MetricKind, MetricsSink, MetricsSnapshot,
     PrometheusTextSink, Sample,
 };
+pub use span::{validate_chrome_trace, SpanGuard, TraceCollector, TraceEvent, TraceSummary};
 pub use trace::{
     dispatch_event, set_subscriber, CaptureSubscriber, EventRecord, Level, Span, SpanRecord,
     StderrSubscriber, Subscriber,

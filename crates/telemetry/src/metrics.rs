@@ -17,6 +17,10 @@ pub enum MetricKind {
     Counter,
     /// Point-in-time value.
     Gauge,
+    /// Log-bucketed distribution (see [`Histogram`]). Samples use the
+    /// reserved labels `le` (cumulative bucket), `agg=sum`/`agg=count`
+    /// (aggregates), and `quantile` (precomputed percentiles).
+    Histogram,
 }
 
 impl MetricKind {
@@ -24,7 +28,140 @@ impl MetricKind {
         match self {
             MetricKind::Counter => "counter",
             MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
         }
+    }
+}
+
+/// Number of finite power-of-two bucket bounds (`2^0 … 2^40`); one more
+/// overflow bucket catches everything larger. With microsecond
+/// observations the last finite bound is ≈12.7 days.
+pub const HISTOGRAM_BUCKETS: usize = 41;
+
+/// A log-bucketed histogram: bucket *i* counts observations in
+/// `(2^(i-1), 2^i]` (bucket 0 is `[0, 1]`), plus an overflow bucket.
+///
+/// Power-of-two bounds make [`merge`](Histogram::merge) a plain
+/// element-wise add — associative and commutative, so per-thread or
+/// per-session histograms can be combined in any order — while keeping
+/// relative quantile error bounded by the bucket ratio (2×).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS + 1],
+    sum: f64,
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// The upper bound of finite bucket `i` (`2^i`).
+    pub fn bucket_bound(i: usize) -> f64 {
+        (1u64 << i) as f64
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        for i in 0..HISTOGRAM_BUCKETS {
+            if v <= Self::bucket_bound(i) {
+                return i;
+            }
+        }
+        HISTOGRAM_BUCKETS
+    }
+
+    /// Records one observation. Negative and non-finite values clamp
+    /// into the first/overflow bucket respectively.
+    pub fn observe(&mut self, v: f64) {
+        let v = if v.is_nan() { 0.0 } else { v.max(0.0) };
+        self.counts[Self::bucket_index(v)] += 1;
+        self.sum += if v.is_finite() { v } else { 0.0 };
+        self.count += 1;
+    }
+
+    /// Folds `other` into `self` (element-wise bucket add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated value at quantile `q` (0..=1), linearly interpolated
+    /// inside the containing bucket. Returns 0 for an empty histogram;
+    /// observations in the overflow bucket report the last finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = self.counts[i];
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= target {
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    Self::bucket_bound(i - 1)
+                };
+                let upper = Self::bucket_bound(i);
+                let frac = (target - cum as f64) / n as f64;
+                return lower + frac * (upper - lower);
+            }
+            cum += n;
+        }
+        Self::bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs over the finite
+    /// buckets, skipping leading empty ones, always ending with the
+    /// overall count (the `+Inf` bucket).
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cum += self.counts[i];
+            if self.counts[i] > 0 {
+                out.push((Self::bucket_bound(i), cum));
+            }
+        }
+        out.push((f64::INFINITY, self.count));
+        out
     }
 }
 
@@ -88,6 +225,43 @@ impl MetricsSnapshot {
         });
     }
 
+    /// Adds a histogram family: cumulative `le` buckets, `sum`/`count`
+    /// aggregates, and precomputed p50/p95/p99 quantile samples.
+    pub fn push_histogram(&mut self, name: &str, help: &str, hist: &Histogram) {
+        let mut samples = Vec::new();
+        for (bound, cum) in hist.cumulative_buckets() {
+            let le = if bound.is_infinite() {
+                "+Inf".to_string()
+            } else {
+                format!("{bound}")
+            };
+            samples.push(Sample {
+                labels: vec![("le".to_string(), le)],
+                value: cum as f64,
+            });
+        }
+        samples.push(Sample {
+            labels: vec![("agg".to_string(), "sum".to_string())],
+            value: hist.sum(),
+        });
+        samples.push(Sample {
+            labels: vec![("agg".to_string(), "count".to_string())],
+            value: hist.count() as f64,
+        });
+        for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+            samples.push(Sample {
+                labels: vec![("quantile".to_string(), label.to_string())],
+                value: hist.quantile(q),
+            });
+        }
+        self.families.push(MetricFamily {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            samples,
+        });
+    }
+
     /// Serializes the snapshot as JSON.
     pub fn to_json(&self) -> Json {
         let families: Vec<Json> = self
@@ -122,23 +296,62 @@ impl MetricsSnapshot {
     }
 
     /// Serializes the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histogram families render as `name_bucket{le="…"}` / `name_sum` /
+    /// `name_count`; their precomputed quantile samples render in summary
+    /// syntax (`name{quantile="…"}`) so scrapers get percentiles without
+    /// re-deriving them from buckets.
     pub fn to_prometheus_text(&self) -> String {
+        fn label_text(labels: &[(String, String)]) -> String {
+            let parts: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+                .collect();
+            parts.join(",")
+        }
         let mut out = String::new();
         for f in &self.families {
             out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
             out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.prometheus_name()));
             for s in &f.samples {
-                if s.labels.is_empty() {
-                    out.push_str(&format!("{} {}\n", f.name, s.value));
-                } else {
-                    let labels: Vec<String> = s
+                if f.kind == MetricKind::Histogram {
+                    let agg = s
                         .labels
                         .iter()
-                        .map(|(k, v)| {
-                            format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
-                        })
+                        .find(|(k, _)| k == "agg")
+                        .map(|(_, v)| v.as_str());
+                    let rest: Vec<(String, String)> = s
+                        .labels
+                        .iter()
+                        .filter(|(k, _)| k != "agg")
+                        .cloned()
                         .collect();
-                    out.push_str(&format!("{}{{{}}} {}\n", f.name, labels.join(","), s.value));
+                    let has = |key: &str| s.labels.iter().any(|(k, _)| k == key);
+                    let (name, labels) = match agg {
+                        Some("sum") => (format!("{}_sum", f.name), rest),
+                        Some("count") => (format!("{}_count", f.name), rest),
+                        _ if has("le") => (format!("{}_bucket", f.name), rest),
+                        _ => (f.name.clone(), rest),
+                    };
+                    if labels.is_empty() {
+                        out.push_str(&format!("{} {}\n", name, s.value));
+                    } else {
+                        out.push_str(&format!(
+                            "{}{{{}}} {}\n",
+                            name,
+                            label_text(&labels),
+                            s.value
+                        ));
+                    }
+                } else if s.labels.is_empty() {
+                    out.push_str(&format!("{} {}\n", f.name, s.value));
+                } else {
+                    out.push_str(&format!(
+                        "{}{{{}}} {}\n",
+                        f.name,
+                        label_text(&s.labels),
+                        s.value
+                    ));
                 }
             }
         }
@@ -268,6 +481,157 @@ mod tests {
         let parsed = crate::json::parse(&j.to_string()).expect("parses");
         let fams = parsed.get("families").unwrap().as_array().unwrap();
         assert_eq!(fams.len(), 2);
+    }
+
+    /// Deterministic xorshift64 for property-style loops (no rand crate).
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_bracket_every_observation() {
+        // Property: each observed value lands in the first bucket whose
+        // bound is >= it, and the previous bound (if any) is < it.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..2000 {
+            let v = (xorshift(&mut state) % (1u64 << 44)) as f64;
+            let mut h = Histogram::new();
+            h.observe(v);
+            let cum = h.cumulative_buckets();
+            let (bound, count) = cum[0];
+            assert_eq!(count, 1);
+            assert!(bound >= v || cum.len() == 1, "v={v} bound={bound}");
+            if bound.is_finite() && bound > 1.0 {
+                assert!(bound / 2.0 < v, "v={v} fell past its bucket ({bound})");
+            }
+        }
+        // Exact powers of two are inclusive upper bounds.
+        for i in 0..8 {
+            let mut h = Histogram::new();
+            h.observe(Histogram::bucket_bound(i));
+            assert_eq!(h.cumulative_buckets()[0].0, Histogram::bucket_bound(i));
+        }
+        // Degenerate inputs clamp instead of panicking.
+        let mut h = Histogram::new();
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.cumulative_buckets().last().unwrap().1, 3);
+    }
+
+    #[test]
+    fn histogram_cumulative_counts_are_monotone() {
+        let mut state = 42u64;
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.observe((xorshift(&mut state) % 1_000_000) as f64);
+        }
+        let cum = h.cumulative_buckets();
+        for w in cum.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cumulative counts must not decrease");
+            assert!(w[0].0 < w[1].0, "bounds must strictly increase");
+        }
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let mut state = seed;
+            let mut h = Histogram::new();
+            for _ in 0..n {
+                h.observe((xorshift(&mut state) % (1u64 << 30)) as f64);
+            }
+            h
+        };
+        let (a, b, c) = (mk(1, 100), mk(2, 57), mk(3, 211));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(left.count(), 368);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v as f64);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // 2x relative error bound from the bucket ratio.
+        assert!((250.0..=1024.0).contains(&p50), "p50={p50}");
+        assert!((512.0..=2048.0).contains(&p99), "p99={p99}");
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_prometheus_exposition_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1.0, 3.0, 3.0, 100.0, 5000.0] {
+            h.observe(v);
+        }
+        let mut s = MetricsSnapshot::default();
+        s.push_histogram("gem_req_latency_micros", "Request latency", &h);
+        let text = s.to_prometheus_text();
+        assert!(text.contains("# TYPE gem_req_latency_micros histogram"));
+        assert!(text.contains("gem_req_latency_micros_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("gem_req_latency_micros_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("gem_req_latency_micros_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("gem_req_latency_micros_sum 5107\n"));
+        assert!(text.contains("gem_req_latency_micros_count 5\n"));
+        assert!(text.contains("gem_req_latency_micros{quantile=\"0.99\"}"));
+        // Parse the exposition back and verify the cumulative counts
+        // survive the text round trip exactly.
+        let mut buckets: Vec<(String, f64)> = Vec::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            if let Some(rest) = line.strip_prefix("gem_req_latency_micros_bucket{le=\"") {
+                let (le, tail) = rest.split_once('"').expect("closing quote");
+                let value: f64 = tail
+                    .trim_start_matches('}')
+                    .trim()
+                    .parse()
+                    .expect("numeric value");
+                buckets.push((le.to_string(), value));
+            }
+        }
+        let expect: Vec<(String, f64)> = h
+            .cumulative_buckets()
+            .iter()
+            .map(|(b, c)| {
+                let le = if b.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{b}")
+                };
+                (le, *c as f64)
+            })
+            .collect();
+        assert_eq!(buckets, expect);
+        // And the JSON exporter keeps the reserved labels intact.
+        let parsed = crate::json::parse(&s.to_json().to_string()).expect("parses");
+        let fam = &parsed.get("families").unwrap().as_array().unwrap()[0];
+        assert_eq!(fam.get("kind").unwrap().as_str().unwrap(), "histogram");
     }
 
     #[test]

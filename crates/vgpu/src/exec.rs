@@ -93,25 +93,47 @@ pub struct ExecStats {
     pub stage_barriers: u64,
     /// Total nanoseconds the coordinator spent waiting at stage barriers.
     pub barrier_wait_nanos: u64,
+    /// Total nanoseconds cores spent idle at stage barriers (each core's
+    /// gap between finishing its own work and the stage's slowest core
+    /// finishing — the load-imbalance cost; see [`StageWait::idle_nanos`]).
+    pub core_idle_nanos: u64,
     /// Per-pipeline-stage refinement of the barrier waits.
     pub per_stage: Vec<StageWait>,
 }
 
 /// Barrier-wait accounting for one pipeline stage.
+///
+/// Two complementary wait measures are kept **per stage** (an earlier
+/// revision summed everything into one machine-wide counter, which made
+/// it impossible to say *which* stage boundary was eating the wall-clock
+/// gap): `wait_nanos` is the coordinator's blocking time at this stage's
+/// barrier, `idle_nanos` is the cores' summed wait for their slowest
+/// peer.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageWait {
     /// Pipeline stage index.
     pub stage: u32,
     /// Barriers waited on at this stage boundary.
     pub barriers: u64,
-    /// Nanoseconds spent waiting at this stage's barrier.
+    /// Nanoseconds the coordinator spent waiting at this stage's barrier.
     pub wait_nanos: u64,
+    /// Nanoseconds cores spent idle at this stage's barrier, summed over
+    /// cores: Σ (slowest core's finish − this core's finish). Zero means
+    /// perfectly balanced partitions; a large value marks the stage whose
+    /// load imbalance bounds the parallel speedup.
+    pub idle_nanos: u64,
     /// Core tasks fanned out at this stage.
     pub tasks: u64,
 }
 
 impl ExecStats {
-    pub(crate) fn record_stage(&mut self, stage: usize, tasks: u64, wait_nanos: u64) {
+    pub(crate) fn record_stage(
+        &mut self,
+        stage: usize,
+        tasks: u64,
+        wait_nanos: u64,
+        idle_nanos: u64,
+    ) {
         if self.per_stage.len() <= stage {
             self.per_stage.resize_with(stage + 1, StageWait::default);
             for (i, s) in self.per_stage.iter_mut().enumerate() {
@@ -121,9 +143,11 @@ impl ExecStats {
         let s = &mut self.per_stage[stage];
         s.barriers += 1;
         s.wait_nanos += wait_nanos;
+        s.idle_nanos += idle_nanos;
         s.tasks += tasks;
         self.stage_barriers += 1;
         self.barrier_wait_nanos += wait_nanos;
+        self.core_idle_nanos += idle_nanos;
         self.parallel_tasks += tasks;
     }
 }
@@ -294,16 +318,19 @@ mod tests {
     #[test]
     fn stage_waits_accumulate_per_stage() {
         let mut s = ExecStats::default();
-        s.record_stage(1, 4, 100);
-        s.record_stage(0, 2, 50);
-        s.record_stage(1, 4, 25);
+        s.record_stage(1, 4, 100, 30);
+        s.record_stage(0, 2, 50, 10);
+        s.record_stage(1, 4, 25, 5);
         assert_eq!(s.stage_barriers, 3);
         assert_eq!(s.barrier_wait_nanos, 175);
+        assert_eq!(s.core_idle_nanos, 45);
         assert_eq!(s.parallel_tasks, 10);
         assert_eq!(s.per_stage.len(), 2);
         assert_eq!(s.per_stage[0].stage, 0);
         assert_eq!(s.per_stage[0].barriers, 1);
+        assert_eq!(s.per_stage[0].idle_nanos, 10);
         assert_eq!(s.per_stage[1].wait_nanos, 125);
+        assert_eq!(s.per_stage[1].idle_nanos, 35);
         assert_eq!(s.per_stage[1].tasks, 8);
     }
 }

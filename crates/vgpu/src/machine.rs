@@ -27,6 +27,7 @@
 use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
 use crate::exec::{CorePool, ExecMode, ExecStats};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
+use gem_telemetry::span;
 use gem_telemetry::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
 use std::fmt;
 use std::sync::{mpsc, Arc};
@@ -518,6 +519,15 @@ impl GemGpu {
     pub fn step_cycle(&mut self) {
         let stages = Arc::clone(&self.stages);
         for (si, stage) in stages.iter().enumerate() {
+            // Ends at the close of this loop body, i.e. after the merge —
+            // the stage span covers fan-out, barrier, and merge.
+            let _stage_span = if span::enabled() {
+                let mut sp = span::span(format!("stage{si}"), "vgpu");
+                sp.arg("cores", stage.len() as u64);
+                Some(sp)
+            } else {
+                None
+            };
             let outboxes = match self.pool.clone() {
                 Some(pool) if stage.len() > 1 => self.run_stage_parallel(&pool, si, stage),
                 _ => self.run_stage_serial(si, stage),
@@ -570,10 +580,21 @@ impl GemGpu {
 
     /// Runs every core of a stage on the calling thread, in core order.
     fn run_stage_serial(&mut self, si: usize, stage: &[LoadedCore]) -> Vec<CoreOutbox> {
+        let traced = span::enabled();
         let mut outboxes = Vec::with_capacity(stage.len());
         for (ci, core) in stage.iter().enumerate() {
             let cache = std::mem::take(&mut self.input_cache[si][ci]);
+            let started = Instant::now();
             outboxes.push(execute_core(core, &self.global, self.pruning, cache, ci));
+            if traced {
+                span::complete(
+                    format!("core s{si}c{ci}"),
+                    "vgpu",
+                    started,
+                    started.elapsed(),
+                    Vec::new(),
+                );
+            }
         }
         outboxes
     }
@@ -592,7 +613,10 @@ impl GemGpu {
     ) -> Vec<CoreOutbox> {
         let global = Arc::new(std::mem::take(&mut self.global));
         let stages = Arc::clone(&self.stages);
-        let (tx, rx) = mpsc::channel::<CoreOutbox>();
+        let traced = span::enabled();
+        // Workers report (outbox, completion time): the coordinator turns
+        // the completion spread into per-core idle time at the barrier.
+        let (tx, rx) = mpsc::channel::<(CoreOutbox, Instant)>();
         for ci in 0..stage.len() {
             let stages = Arc::clone(&stages);
             let global = Arc::clone(&global);
@@ -600,21 +624,58 @@ impl GemGpu {
             let pruning = self.pruning;
             let tx = tx.clone();
             pool.submit(Box::new(move || {
+                let started = Instant::now();
                 let out = execute_core(&stages[si][ci], &global, pruning, cache, ci);
                 // Release the snapshot handle *before* reporting so the
                 // coordinator can take the array back without a copy.
                 drop(global);
-                let _ = tx.send(out);
+                let done = Instant::now();
+                if traced {
+                    span::complete(
+                        format!("core s{si}c{ci}"),
+                        "vgpu",
+                        started,
+                        done - started,
+                        Vec::new(),
+                    );
+                }
+                let _ = tx.send((out, done));
             }));
         }
         drop(tx);
         let barrier_from = Instant::now();
-        let mut outboxes: Vec<CoreOutbox> = rx.iter().collect();
+        let results: Vec<(CoreOutbox, Instant)> = rx.iter().collect();
+        let barrier_wait = barrier_from.elapsed();
+        // Idle time is each core's wait for the stage's slowest peer
+        // (duration_since saturates to zero for the slowest core itself).
+        let last_done = results
+            .iter()
+            .map(|(_, done)| *done)
+            .max()
+            .unwrap_or(barrier_from);
+        let idle_nanos: u64 = results
+            .iter()
+            .map(|(_, done)| last_done.duration_since(*done).as_nanos() as u64)
+            .sum();
         self.exec_stats.record_stage(
             si,
             stage.len() as u64,
-            barrier_from.elapsed().as_nanos() as u64,
+            barrier_wait.as_nanos() as u64,
+            idle_nanos,
         );
+        if traced {
+            span::complete(
+                format!("barrier s{si}"),
+                "vgpu",
+                barrier_from,
+                barrier_wait,
+                vec![
+                    ("tasks".to_string(), (stage.len() as u64).into()),
+                    ("idle_nanos".to_string(), idle_nanos.into()),
+                ],
+            );
+        }
+        let mut outboxes: Vec<CoreOutbox> = results.into_iter().map(|(out, _)| out).collect();
         debug_assert_eq!(outboxes.len(), stage.len());
         // Deterministic merge order regardless of completion order.
         outboxes.sort_unstable_by_key(|o| o.ci);
@@ -722,6 +783,16 @@ impl GemGpu {
             "gem_vgpu_barrier_wait_nanos_total",
             "Nanoseconds the coordinator waited at each stage barrier",
             &|s| s.wait_nanos,
+        ));
+        snap.push(stage_metric(
+            "gem_vgpu_core_idle_nanos_total",
+            "Nanoseconds cores spent waiting for their stage's slowest peer",
+            &|s| s.idle_nanos,
+        ));
+        snap.push(stage_metric(
+            "gem_vgpu_stage_tasks_total",
+            "Core executions fanned out, per pipeline stage",
+            &|s| s.tasks,
         ));
         snap
     }
@@ -1152,6 +1223,20 @@ mod parallel_tests {
         assert_eq!(es.threads, 3);
         assert_eq!(es.stage_barriers, 32, "one barrier per stage per cycle");
         assert_eq!(es.parallel_tasks, 32 * u64::from(n));
+        // The per-stage refinement partitions the machine-wide totals
+        // exactly — no wait time may vanish into an unattributed sum.
+        assert_eq!(
+            es.per_stage.iter().map(|s| s.tasks).sum::<u64>(),
+            es.parallel_tasks
+        );
+        assert_eq!(
+            es.per_stage.iter().map(|s| s.wait_nanos).sum::<u64>(),
+            es.barrier_wait_nanos
+        );
+        assert_eq!(
+            es.per_stage.iter().map(|s| s.idle_nanos).sum::<u64>(),
+            es.core_idle_nanos
+        );
         assert_eq!(serial.exec_stats().stage_barriers, 0);
     }
 
@@ -1290,6 +1375,11 @@ mod parallel_tests {
         assert_eq!(barriers.total(), 4.0);
         assert_eq!(barriers.samples[0].labels[0].0, "stage");
         assert!(snap.family("gem_vgpu_barrier_wait_nanos_total").is_some());
+        assert!(snap.family("gem_vgpu_core_idle_nanos_total").is_some());
+        assert_eq!(
+            snap.family("gem_vgpu_stage_tasks_total").unwrap().total(),
+            (4 * n) as f64
+        );
     }
 
     #[test]
