@@ -1,0 +1,209 @@
+//! **Lane-batched multi-stimulus execution** — aggregate throughput of
+//! one 32-lane batch simulator vs independent single-lane runs.
+//!
+//! The lane subsystem packs up to 32 independent stimulus streams into
+//! the bit-lanes of the vGPU's u32 state words, so one `step()` advances
+//! 32 simulations (GATSPI/RTLflow-style data parallelism; see
+//! docs/BATCH.md). This binary measures what that buys on the largest
+//! evaluation design:
+//!
+//! * **single-lane baseline**: one simulator, one stream — wall-clock
+//!   simulated cycles/sec,
+//! * **batch engines** at 8 and 32 lanes: one simulator, N streams —
+//!   wall-clock *aggregate* lane-cycles/sec (steps/sec × lanes),
+//! * **bank reference**: 32 independent single-lane simulators stepped
+//!   round-robin — the honest no-lane way to run 32 streams.
+//!
+//! Before any number is reported the binary *proves* lane equivalence on
+//! this design: every lane of a 32-lane batch must match its own
+//! independent single-lane run bit for bit over 64 cycles of distinct
+//! per-lane stimulus.
+//!
+//! Records `BENCH_batch.json` (plus the usual
+//! `target/gem-experiments/ext_batch.json`).
+//!
+//! Usage: `cargo run -p gem-bench --release --bin ext_batch
+//!         [--scale 1] [--cycles 256]`
+
+use gem_bench::{arg, compile_design, fmt_hz, suite, write_record};
+use gem_core::GemSimulator;
+use gem_sim::FuzzRng;
+use gem_telemetry::Json;
+use std::time::Instant;
+
+const LANES: usize = 32;
+
+fn main() {
+    let scale = arg("--scale", 1) as u32;
+    let cycles = arg("--cycles", 256);
+
+    let (design, opts) = suite(scale)
+        .into_iter()
+        .max_by_key(|(d, _)| d.module.cells().len())
+        .expect("suite is non-empty");
+    println!("ext_batch: design {} (scale {scale})", design.name);
+    let compiled = compile_design(&design, &opts);
+    let r = &compiled.report;
+    println!(
+        "  {} gates, {} stage(s) x {} partition(s), {} layer(s)",
+        r.gates, r.stages, r.parts, r.layers
+    );
+
+    let inputs: Vec<(String, u32)> = design
+        .module
+        .inputs()
+        .map(|p| (p.name.clone(), design.module.width(p.net)))
+        .collect();
+    // One deterministic stimulus stream per lane, all distinct.
+    let lane_rng = |lane: usize| FuzzRng::new(0xBA7C_4000 ^ lane as u64);
+
+    // --- lane-equivalence proof (refuse to benchmark a wrong engine) --
+    {
+        let mut batch = GemSimulator::new(&compiled).expect("loads");
+        batch.set_lanes(LANES as u32).expect("32 lanes");
+        let mut bank: Vec<GemSimulator> = (0..LANES)
+            .map(|_| GemSimulator::new(&compiled).expect("loads"))
+            .collect();
+        let mut rngs: Vec<FuzzRng> = (0..LANES).map(lane_rng).collect();
+        for cycle in 0..64u64 {
+            for (lane, rng) in rngs.iter_mut().enumerate() {
+                for (name, width) in &inputs {
+                    let v = rng.bits(*width);
+                    batch.set_input_lane(name, lane as u32, v.clone());
+                    bank[lane].set_input(name, v);
+                }
+            }
+            batch.step();
+            for sim in bank.iter_mut() {
+                sim.step();
+            }
+            for p in compiled.io.outputs.iter() {
+                for (lane, sim) in bank.iter().enumerate() {
+                    assert_eq!(
+                        batch.output_lane(&p.name, lane as u32),
+                        sim.output(&p.name),
+                        "cycle {cycle}: lane {lane} diverged from its independent run on {}",
+                        p.name
+                    );
+                }
+            }
+        }
+        println!("  equivalence: 32-lane batch == 32 independent runs over 64 cycles ✓");
+    }
+
+    let mut rec = Json::object();
+    rec.set("design", design.name.clone());
+    rec.set("gates", r.gates as u64);
+    rec.set("cycles", cycles);
+    rec.set("max_lanes", LANES as u64);
+
+    // --- single-lane baseline -----------------------------------------
+    let single_hz = {
+        let mut sim = GemSimulator::new(&compiled).expect("loads");
+        let mut rng = lane_rng(0);
+        let mut drive_step = |sim: &mut GemSimulator| {
+            for (name, width) in &inputs {
+                sim.set_input(name, rng.bits(*width));
+            }
+            sim.step();
+        };
+        for _ in 0..16 {
+            drive_step(&mut sim);
+        }
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            drive_step(&mut sim);
+        }
+        cycles as f64 / t0.elapsed().as_secs_f64()
+    };
+    println!("  1 lane (baseline): {} cycles/s", fmt_hz(single_hz));
+    rec.set("single_lane_cycles_per_sec", single_hz);
+
+    // --- batch engines -------------------------------------------------
+    let mut rows = Vec::new();
+    let mut speedup_at_max = 0.0;
+    for lanes in [8usize, LANES] {
+        let mut sim = GemSimulator::new(&compiled).expect("loads");
+        sim.set_lanes(lanes as u32).expect("lane count");
+        let mut rngs: Vec<FuzzRng> = (0..lanes).map(lane_rng).collect();
+        let mut drive_step = |sim: &mut GemSimulator| {
+            for (lane, rng) in rngs.iter_mut().enumerate() {
+                for (name, width) in &inputs {
+                    sim.set_input_lane(name, lane as u32, rng.bits(*width));
+                }
+            }
+            sim.step();
+        };
+        for _ in 0..16 {
+            drive_step(&mut sim);
+        }
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            drive_step(&mut sim);
+        }
+        let steps_hz = cycles as f64 / t0.elapsed().as_secs_f64();
+        let aggregate = steps_hz * lanes as f64;
+        let speedup = aggregate / single_hz;
+        println!(
+            "  {lanes} lanes: {} steps/s, {} lane-cycles/s aggregate ({speedup:.2}x)",
+            fmt_hz(steps_hz),
+            fmt_hz(aggregate),
+        );
+        let mut row = Json::object();
+        row.set("lanes", lanes as u64);
+        row.set("steps_per_sec", steps_hz);
+        row.set("aggregate_cycles_per_sec", aggregate);
+        row.set("speedup_vs_single", speedup);
+        rows.push(row);
+        if lanes == LANES {
+            speedup_at_max = speedup;
+        }
+    }
+    rec.set("engines", Json::Array(rows));
+
+    // --- bank reference: 32 independent sims, no lanes -----------------
+    let bank_aggregate = {
+        let mut bank: Vec<GemSimulator> = (0..LANES)
+            .map(|_| GemSimulator::new(&compiled).expect("loads"))
+            .collect();
+        let mut rngs: Vec<FuzzRng> = (0..LANES).map(lane_rng).collect();
+        let mut drive_step = |bank: &mut Vec<GemSimulator>| {
+            for (sim, rng) in bank.iter_mut().zip(rngs.iter_mut()) {
+                for (name, width) in &inputs {
+                    sim.set_input(name, rng.bits(*width));
+                }
+                sim.step();
+            }
+        };
+        for _ in 0..4 {
+            drive_step(&mut bank);
+        }
+        // The bank costs ~32x a single step; fewer rounds suffice.
+        let rounds = (cycles / 8).max(8);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            drive_step(&mut bank);
+        }
+        rounds as f64 * LANES as f64 / t0.elapsed().as_secs_f64()
+    };
+    println!(
+        "  bank of 32 (no lanes): {} lane-cycles/s aggregate ({:.2}x)",
+        fmt_hz(bank_aggregate),
+        bank_aggregate / single_hz
+    );
+    rec.set("bank_aggregate_cycles_per_sec", bank_aggregate);
+    // The headline number: aggregate throughput of the full batch over
+    // the single-lane baseline.
+    rec.set("speedup_aggregate", speedup_at_max);
+
+    write_record("ext_batch", &rec);
+    if let Err(e) = std::fs::write("BENCH_batch.json", rec.to_string_pretty()) {
+        eprintln!("could not write BENCH_batch.json: {e}");
+    } else {
+        println!("  baseline recorded in BENCH_batch.json");
+    }
+    assert!(
+        speedup_at_max >= 8.0,
+        "aggregate speedup at {LANES} lanes fell below 8x: {speedup_at_max:.2}"
+    );
+}

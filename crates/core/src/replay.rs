@@ -115,6 +115,19 @@ impl VcdStimulus {
         self.times.len()
     }
 
+    /// The input changes belonging to cycle index `k` (the `k`-th
+    /// distinct timestamp). Empty past the end of the waveform — a
+    /// driver interleaving several stimuli in lockstep (lane-batched
+    /// replay) just holds the last values on exhausted streams.
+    pub fn changes_at(&self, k: usize) -> &[(u64, String, Bits)] {
+        let Some(&t) = self.times.get(k) else {
+            return &[];
+        };
+        let lo = self.changes.partition_point(|c| c.0 < t);
+        let hi = self.changes.partition_point(|c| c.0 <= t);
+        &self.changes[lo..hi]
+    }
+
     /// Replays the waveform: for each timestamp, applies its changes and
     /// runs one cycle. Returns the outputs observed at every cycle.
     pub fn replay(&self, sim: &mut GemSimulator) -> Vec<Vec<(String, Bits)>> {
@@ -174,6 +187,22 @@ mod tests {
         let outs = stim.replay(&mut sim);
         let sums: Vec<u64> = outs.iter().map(|cycle| cycle[0].1.to_u64()).collect();
         assert_eq!(sums, vec![3, 7, 15, 0 /* 15+1 wraps */]);
+    }
+
+    #[test]
+    fn changes_at_walks_cycles_in_lockstep() {
+        let compiled = adder_design();
+        let stim = VcdStimulus::new(&waveform(), &compiled.io).expect("binds");
+        // Every cycle of this waveform changes both inputs; the ignored
+        // "other" variable never appears.
+        for k in 0..stim.cycles() {
+            let ch = stim.changes_at(k);
+            let mut names: Vec<&str> = ch.iter().map(|(_, n, _)| n.as_str()).collect();
+            names.sort_unstable();
+            assert_eq!(names, ["x", "y"], "cycle {k}");
+        }
+        assert_eq!(stim.changes_at(0)[0].2.to_u64(), 1); // x at t=0
+        assert!(stim.changes_at(stim.cycles()).is_empty(), "past the end");
     }
 
     #[test]

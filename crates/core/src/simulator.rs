@@ -2,7 +2,7 @@
 
 use crate::compile::Compiled;
 use gem_netlist::Bits;
-use gem_telemetry::{MetricsSink, MetricsSnapshot};
+use gem_telemetry::{MetricFamily, MetricKind, MetricsSink, MetricsSnapshot, Sample};
 use gem_vgpu::{
     CounterBreakdown, ExecMode, ExecStats, GemGpu, GpuSnapshot, KernelCounters, MachineError,
 };
@@ -43,6 +43,10 @@ pub struct GemSimulator {
     /// `Send` so a simulator (and its sink) can be owned by a server
     /// worker thread.
     sink: Option<(Box<dyn MetricsSink + Send>, u64)>,
+    /// Cycles stepped while each lane was active (index = lane). The sum
+    /// over lanes reconciles with Σ_cycles lanes_active — the invariant
+    /// the metrics tests assert.
+    lane_steps: [u64; GemGpu::MAX_LANES as usize],
 }
 
 impl fmt::Debug for GemSimulator {
@@ -87,6 +91,7 @@ impl GemSimulator {
             gpu,
             io,
             sink: None,
+            lane_steps: [0; GemGpu::MAX_LANES as usize],
         })
     }
 
@@ -146,9 +151,15 @@ impl GemSimulator {
             None
         };
         self.gpu.step_cycle();
-        if let Some((sink, every_n)) = &mut self.sink {
+        for s in self.lane_steps.iter_mut().take(self.gpu.lanes() as usize) {
+            *s += 1;
+        }
+        if let Some((_, every_n)) = &self.sink {
             if self.gpu.counters().cycles.is_multiple_of(*every_n) {
-                sink.record(&self.gpu.metrics_snapshot());
+                let snap = self.metrics();
+                if let Some((sink, _)) = &mut self.sink {
+                    sink.record(&snap);
+                }
             }
         }
     }
@@ -179,6 +190,121 @@ impl GemSimulator {
         v
     }
 
+    // --- Lane batching (docs/BATCH.md) -------------------------------
+
+    /// Maximum stimulus lanes one simulator can batch.
+    pub const MAX_LANES: u32 = GemGpu::MAX_LANES;
+
+    /// Sets the number of active stimulus lanes. One [`step`](Self::step)
+    /// then advances that many independent simulations of the same
+    /// compiled design — the bit-lanes of the underlying machine words.
+    /// Newly activated lanes start as exact copies of lane 0; scalar
+    /// [`set_input`](Self::set_input) broadcasts to every lane and
+    /// [`output`](Self::output) reads lane 0, so single-stimulus code is
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadLanes`] when `lanes` is outside
+    /// `1..=`[`Self::MAX_LANES`].
+    pub fn set_lanes(&mut self, lanes: u32) -> Result<(), MachineError> {
+        self.gpu.set_lanes(lanes)
+    }
+
+    /// Active stimulus lanes (1 = single-stimulus).
+    pub fn lanes(&self) -> u32 {
+        self.gpu.lanes()
+    }
+
+    /// Cycles stepped per active lane since construction (index = lane).
+    pub fn lane_steps(&self) -> &[u64] {
+        &self.lane_steps[..self.gpu.lanes() as usize]
+    }
+
+    /// Sets an input port for one lane only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist, the width differs, or `lane`
+    /// is not active.
+    pub fn set_input_lane(&mut self, name: &str, lane: u32, v: Bits) {
+        assert!(
+            lane < self.gpu.lanes(),
+            "lane {lane} is not active (lanes = {})",
+            self.gpu.lanes()
+        );
+        let port = self
+            .io
+            .input(name)
+            .unwrap_or_else(|| panic!("no input port named {name:?}"));
+        assert_eq!(
+            v.width() as usize,
+            port.bits.len(),
+            "input width mismatch on {name:?}"
+        );
+        for (i, &g) in port.bits.iter().enumerate() {
+            self.gpu.poke_lane(g, lane, v.bit(i as u32));
+        }
+    }
+
+    /// Reads an output port as one lane observed it during the last
+    /// [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `lane ≥ `[`Self::MAX_LANES`]
+    /// (inactive lanes mirror lane 0).
+    pub fn output_lane(&self, name: &str, lane: u32) -> Bits {
+        assert!(lane < Self::MAX_LANES, "lane {lane} out of range");
+        let port = self
+            .io
+            .output(name)
+            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        let mut v = Bits::zeros(port.bits.len() as u32);
+        for (i, &g) in port.bits.iter().enumerate() {
+            v.set_bit(i as u32, self.gpu.peek_lane(g, lane));
+        }
+        v
+    }
+
+    /// Packed injection path: sets an input port from lane words, one
+    /// `u32` per port bit (bit `k` of `words[i]` is port bit `i` in lane
+    /// `k`). This is how a batch driver feeds 32 stimulus streams in one
+    /// call per port; see `gem_sim::LaneBatch::pack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist or `words` length differs from
+    /// the port width.
+    pub fn set_input_lanes(&mut self, name: &str, words: &[u32]) {
+        let port = self
+            .io
+            .input(name)
+            .unwrap_or_else(|| panic!("no input port named {name:?}"));
+        assert_eq!(
+            words.len(),
+            port.bits.len(),
+            "input width mismatch on {name:?}"
+        );
+        for (&g, &w) in port.bits.iter().zip(words) {
+            self.gpu.poke_lanes(g, w);
+        }
+    }
+
+    /// Packed demux path: reads an output port as lane words, one `u32`
+    /// per port bit; see `gem_sim::LaneBatch::unpack`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn output_lanes(&self, name: &str) -> Vec<u32> {
+        let port = self
+            .io
+            .output(name)
+            .unwrap_or_else(|| panic!("no output port named {name:?}"));
+        port.bits.iter().map(|&g| self.gpu.peek_lanes(g)).collect()
+    }
+
     /// Convenience: apply inputs, run a cycle, collect all outputs.
     pub fn cycle(&mut self, inputs: &[(&str, Bits)]) -> Vec<(String, Bits)> {
         for (n, v) in inputs {
@@ -204,9 +330,34 @@ impl GemSimulator {
     }
 
     /// A structured snapshot of the current runtime counters (device
-    /// scalars plus per-partition and per-layer families).
+    /// scalars plus per-partition and per-layer families), including the
+    /// lane families: `gem_sim_lanes_active` and the per-lane
+    /// `gem_sim_lane_steps_total` whose sum reconciles with
+    /// Σ_cycles lanes_active.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.gpu.metrics_snapshot()
+        let mut snap = self.gpu.metrics_snapshot();
+        snap.push_scalar(
+            "gem_sim_lanes_active",
+            "Stimulus lanes this simulator advances per step",
+            MetricKind::Gauge,
+            self.gpu.lanes() as f64,
+        );
+        snap.push(MetricFamily {
+            name: "gem_sim_lane_steps_total".to_string(),
+            help: "Cycles stepped while each lane was active".to_string(),
+            kind: MetricKind::Counter,
+            samples: self
+                .lane_steps
+                .iter()
+                .take(self.gpu.lanes() as usize)
+                .enumerate()
+                .map(|(lane, &steps)| Sample {
+                    labels: vec![("lane".to_string(), lane.to_string())],
+                    value: steps as f64,
+                })
+                .collect(),
+        });
+        snap
     }
 
     /// Installs a metrics sink that receives a [`metrics`](Self::metrics)
@@ -315,6 +466,126 @@ mod tests {
         // `set_threads(0)` resolves to *some* executable default.
         serial.set_threads(0);
         assert!(serial.threads() >= 1);
+    }
+
+    #[test]
+    fn lane_batch_runs_independent_stimuli() {
+        // One compiled design, four lanes, four different input streams:
+        // each lane must track its own accumulator, and the scalar API
+        // must keep reading lane 0.
+        let mut b = ModuleBuilder::new("acc");
+        let d = b.input("d", 16);
+        let q = b.dff(16);
+        let nxt = b.add(q, d);
+        b.connect_dff(q, nxt);
+        b.output("q", q);
+        let m = b.finish().expect("valid");
+        let c = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut sim = GemSimulator::new(&c).expect("loads");
+        sim.set_lanes(4).expect("4 lanes");
+        assert_eq!(sim.lanes(), 4);
+        // Outputs are read pre-edge (values observed *during* the cycle),
+        // so `expect` tracks the registered value entering each cycle.
+        let mut expect = [0u64; 4];
+        for cyc in 0..12u64 {
+            for lane in 0..4u32 {
+                let d = (cyc + 1) * u64::from(lane + 1);
+                sim.set_input_lane("d", lane, Bits::from_u64(d & 0xFFFF, 16));
+            }
+            sim.step();
+            for lane in 0..4u32 {
+                assert_eq!(
+                    sim.output_lane("q", lane).to_u64(),
+                    expect[lane as usize],
+                    "cycle {cyc} lane {lane}"
+                );
+            }
+            assert_eq!(sim.output("q").to_u64(), expect[0], "scalar view = lane 0");
+            for lane in 0..4u64 {
+                let d = (cyc + 1) * (lane + 1);
+                expect[lane as usize] = (expect[lane as usize] + d) & 0xFFFF;
+            }
+        }
+        assert_eq!(sim.lane_steps(), &[12, 12, 12, 12]);
+    }
+
+    #[test]
+    fn packed_lane_io_round_trips() {
+        let mut b = ModuleBuilder::new("xorer");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let z = b.xor(x, y);
+        b.output("z", z);
+        let m = b.finish().expect("valid");
+        let c = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut sim = GemSimulator::new(&c).expect("loads");
+        sim.set_lanes(32).expect("32 lanes");
+        // Port bit i in lane k: x = k's bit pattern, y = rotated.
+        let x_words: Vec<u32> = (0..4).map(|i| 0xDEAD_BEEFu32.rotate_left(i)).collect();
+        let y_words: Vec<u32> = (0..4).map(|i| 0x1234_5678u32.rotate_right(i)).collect();
+        sim.set_input_lanes("x", &x_words);
+        sim.set_input_lanes("y", &y_words);
+        sim.step();
+        let z_words = sim.output_lanes("z");
+        for (i, z) in z_words.iter().enumerate() {
+            assert_eq!(*z, x_words[i] ^ y_words[i], "port bit {i}");
+        }
+        // The packed view agrees with the per-lane view.
+        for lane in 0..32 {
+            assert_eq!(
+                sim.output_lane("z", lane).to_u64(),
+                (0..4)
+                    .map(|i| u64::from((z_words[i] >> lane) & 1) << i)
+                    .sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn lane_metrics_reconcile() {
+        let mut b = ModuleBuilder::new("t");
+        let x = b.input("x", 1);
+        b.output("y", x);
+        let m = b.finish().expect("valid");
+        let c = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut sim = GemSimulator::new(&c).expect("loads");
+        for _ in 0..3 {
+            sim.step(); // 3 single-lane cycles
+        }
+        sim.set_lanes(8).expect("8 lanes");
+        for _ in 0..5 {
+            sim.step(); // 5 eight-lane cycles
+        }
+        let snap = sim.metrics();
+        assert_eq!(snap.family("gem_sim_lanes_active").unwrap().total(), 8.0);
+        let fam = snap.family("gem_sim_lane_steps_total").unwrap();
+        assert_eq!(fam.samples.len(), 8);
+        // Sum reconciliation: Σ lane steps = Σ_cycles lanes_active
+        // (3 cycles × 1 lane + 5 cycles × 8 lanes = 43 lane-steps; lane 0
+        // stepped all 8 cycles, lanes 1..8 the last 5 each).
+        assert_eq!(fam.total(), (3 + 5 * 8) as f64);
+        assert_eq!(sim.lane_steps()[0], 8);
+        assert_eq!(sim.lane_steps()[7], 5);
+        assert!(snap.family("gem_vgpu_lanes").is_some());
+    }
+
+    #[test]
+    fn bad_lane_count_is_typed_error() {
+        let mut b = ModuleBuilder::new("t");
+        let x = b.input("x", 1);
+        b.output("y", x);
+        let m = b.finish().expect("valid");
+        let c = compile(&m, &CompileOptions::small()).expect("compiles");
+        let mut sim = GemSimulator::new(&c).expect("loads");
+        assert!(matches!(
+            sim.set_lanes(0),
+            Err(gem_vgpu::MachineError::BadLanes(0))
+        ));
+        assert!(matches!(
+            sim.set_lanes(64),
+            Err(gem_vgpu::MachineError::BadLanes(64))
+        ));
+        assert_eq!(sim.lanes(), 1);
     }
 
     #[test]

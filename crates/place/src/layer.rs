@@ -104,6 +104,54 @@ impl BoomerangLayer {
     }
 }
 
+/// Broadcasts a Boolean constant across all 32 bit-lanes of a word.
+///
+/// The lane-batched executor (`gem-vgpu`) keeps one simulation per bit
+/// of a `u32`; layer constants apply identically to every lane, so they
+/// splat to all-ones/all-zeros masks.
+#[inline]
+pub fn splat(v: bool) -> u32 {
+    if v {
+        u32::MAX
+    } else {
+        0
+    }
+}
+
+impl BoomerangLayer {
+    /// Word-parallel twin of [`execute`](Self::execute): every `u32` in
+    /// `state` carries 32 independent bit-lanes and the fold semantics
+    /// `out = (a ^ xa) & ((b ^ xb) | ob)` are applied lane-wise. Lane
+    /// `k` of the output equals what [`execute`](Self::execute) would
+    /// produce from lane `k` of the input — the fold network is pure
+    /// bitwise logic, so the scalar executor stays the single source of
+    /// truth and this is a mechanical widening.
+    pub fn execute_words(&self, state: &mut [u32]) {
+        let mut row: Vec<u32> = self
+            .perm
+            .iter()
+            .map(|s| match s {
+                PermSource::State(a) => state[*a as usize],
+                PermSource::ConstFalse => 0,
+            })
+            .collect();
+        for (k, fc) in self.folds.iter().enumerate() {
+            let slots = row.len() / 2;
+            let mut next = Vec::with_capacity(slots);
+            for j in 0..slots {
+                let a = row[2 * j] ^ splat(fc.xa[j]);
+                let b = (row[2 * j + 1] ^ splat(fc.xb[j])) | splat(fc.ob[j]);
+                let v = a & b;
+                if let Some(addr) = self.writeback[k][j] {
+                    state[addr as usize] = v;
+                }
+                next.push(v);
+            }
+            row = next;
+        }
+    }
+}
+
 /// Where a published output bit comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputSource {
@@ -241,5 +289,59 @@ mod tests {
     #[should_panic(expected = "bad layer width")]
     fn non_power_of_two_width_rejected() {
         let _ = BoomerangLayer::new(6);
+    }
+
+    /// `execute_words` lane `k` must match `execute` run on lane `k`
+    /// alone, for every lane, on a randomized layer.
+    #[test]
+    fn word_executor_matches_scalar_per_lane() {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let width = 16u32;
+        let state_size = 24usize;
+        for _trial in 0..32 {
+            let mut layer = BoomerangLayer::new(width);
+            for p in layer.perm.iter_mut() {
+                *p = if rng() % 4 == 0 {
+                    PermSource::ConstFalse
+                } else {
+                    PermSource::State((rng() % state_size as u64) as u32)
+                };
+            }
+            for fc in layer.folds.iter_mut() {
+                for j in 0..fc.xa.len() {
+                    fc.xa[j] = rng() & 1 == 1;
+                    fc.xb[j] = rng() & 1 == 1;
+                    fc.ob[j] = rng() & 1 == 1;
+                }
+            }
+            for wb in layer.writeback.iter_mut() {
+                for slot in wb.iter_mut() {
+                    if rng() % 2 == 0 {
+                        *slot = Some((rng() % state_size as u64) as u32);
+                    }
+                }
+            }
+            let words: Vec<u32> = (0..state_size).map(|_| rng() as u32).collect();
+            let mut got = words.clone();
+            layer.execute_words(&mut got);
+            for lane in 0..32 {
+                let mut scalar: Vec<bool> = words.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                layer.execute(&mut scalar);
+                for (i, &b) in scalar.iter().enumerate() {
+                    assert_eq!(
+                        (got[i] >> lane) & 1 == 1,
+                        b,
+                        "lane {lane} state {i} diverged"
+                    );
+                }
+            }
+        }
     }
 }

@@ -30,7 +30,7 @@
 pub mod layer;
 pub mod placer;
 
-pub use layer::{BoomerangLayer, CoreProgram, FoldConsts, OutputSource, PermSource};
+pub use layer::{splat, BoomerangLayer, CoreProgram, FoldConsts, OutputSource, PermSource};
 pub use placer::{place_partition, PlaceError, PlaceOptions, PlaceStats};
 
 /// Default core width in bits (256 GPU threads × 32-bit words).

@@ -38,6 +38,11 @@ pub struct ServerMetrics {
     pub sessions_evicted: AtomicU64,
     /// Currently live sessions.
     pub sessions_active: AtomicU64,
+    /// Sessions opened with more than one lane (batch sessions).
+    pub batch_sessions: AtomicU64,
+    /// Total stimulus lanes across currently live sessions (a
+    /// single-lane session contributes 1, a full batch session 32).
+    pub lanes_active: AtomicU64,
     /// Jobs offered to the worker pool (accepted or not).
     pub jobs_submitted: AtomicU64,
     /// Jobs that ran to completion.
@@ -94,6 +99,11 @@ pub(crate) fn dec(c: &AtomicU64) {
     c.fetch_sub(1, Ordering::Relaxed);
 }
 
+/// Relaxed multi-step subtract helper (gauges only).
+pub(crate) fn sub(c: &AtomicU64, v: u64) {
+    c.fetch_sub(v, Ordering::Relaxed);
+}
+
 impl ServerMetrics {
     fn get(c: &AtomicU64) -> f64 {
         c.load(Ordering::Relaxed) as f64
@@ -137,6 +147,11 @@ impl ServerMetrics {
             "gem_server_sessions_evicted_total",
             "Sessions evicted after idle timeout",
             &self.sessions_evicted,
+        );
+        c(
+            "gem_server_batch_sessions_total",
+            "Sessions opened with more than one lane",
+            &self.batch_sessions,
         );
         c(
             "gem_server_jobs_submitted_total",
@@ -222,6 +237,11 @@ impl ServerMetrics {
             "gem_server_sessions_active",
             "Currently live sessions",
             &self.sessions_active,
+        );
+        g(
+            "gem_server_lanes_active",
+            "Total stimulus lanes across live sessions",
+            &self.lanes_active,
         );
         g(
             "gem_server_queue_depth",

@@ -416,6 +416,20 @@ fn cmd_compile(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
 fn cmd_open(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
     let opts = compile_opts(req)?;
+    // Optional lane count (`"lanes": N`): N > 1 opens a *batch* session
+    // that steps N independent stimulus streams per cycle. Validated
+    // here, before any pool work, so a bad count is a cheap typed error.
+    let lanes = protocol::opt_u64(req, "lanes", 1).map_err(bad)?;
+    if lanes == 0 || lanes > GemSimulator::MAX_LANES as u64 {
+        return Err((
+            codes::BAD_LANES.to_string(),
+            format!(
+                "lane count {lanes} out of range: must be between 1 and {}",
+                GemSimulator::MAX_LANES
+            ),
+        ));
+    }
+    let lanes = lanes as u32;
     let state2 = Arc::clone(state);
     run_on_pool(state, "open", move || {
         let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
@@ -428,14 +442,38 @@ fn cmd_open(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
             Err(e) => return protocol::err_response(id, codes::INTERNAL, &e.to_string()),
         };
         sim.set_threads(state2.cfg.resolved_sim_threads());
-        let session = state2.sessions.open(key, Arc::clone(&design), sim);
+        if let Err(e) = sim.set_lanes(lanes) {
+            return protocol::err_response(id, codes::BAD_LANES, &e.to_string());
+        }
+        let session = state2.sessions.open(key, Arc::clone(&design), sim, lanes);
         let mut r = protocol::ok_response(id);
         r.set("session", session);
+        r.set("lanes", lanes as u64);
         r.set("key", format!("{key:016x}"));
         r.set("cached", cached);
         r.set("report", design.report.to_json());
         r
     })
+}
+
+/// Parses the optional `lane` field of `poke`/`peek` requests and
+/// validates it against the session's lane count.
+fn opt_lane(req: &Json, lanes: u32) -> Result<Option<u32>, (String, String)> {
+    match req.get("lane") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let lane = v
+                .as_u64()
+                .ok_or_else(|| bad("non-integer field \"lane\""))?;
+            if lane >= lanes as u64 {
+                return Err((
+                    codes::BAD_LANES.to_string(),
+                    format!("lane {lane} out of range: session has {lanes} lane(s)"),
+                ));
+            }
+            Ok(Some(lane as u32))
+        }
+    }
 }
 
 fn session_of(
@@ -453,6 +491,7 @@ fn cmd_poke(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let entry = session_of(state, req)?;
     let port = protocol::req_str(req, "port").map_err(bad)?;
     let value = protocol::req_str(req, "value").map_err(bad)?;
+    let lane = opt_lane(req, entry.lanes)?;
     let mut sim = entry.sim.lock().unwrap();
     let width = sim
         .io()
@@ -461,19 +500,29 @@ fn cmd_poke(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
         .bits
         .len() as u32;
     let bits = protocol::bits_from_hex(value, width).map_err(bad)?;
-    sim.set_input(port, bits);
+    match lane {
+        // No lane: the poke broadcasts to every lane (single-stimulus
+        // clients keep their exact old semantics).
+        None => sim.set_input(port, bits),
+        Some(lane) => sim.set_input_lane(port, lane, bits),
+    }
     Ok(protocol::ok_response(id))
 }
 
 fn cmd_peek(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let entry = session_of(state, req)?;
     let port = protocol::req_str(req, "port").map_err(bad)?.to_string();
+    let lane = opt_lane(req, entry.lanes)?;
     let sim = entry.sim.lock().unwrap();
     if sim.io().output(&port).is_none() {
         return Err(bad(format!("no output port {port:?}")));
     }
+    let value = match lane {
+        None => sim.output(&port), // lane 0: the scalar view
+        Some(lane) => sim.output_lane(&port, lane),
+    };
     let mut r = protocol::ok_response(id);
-    r.set("value", protocol::bits_to_hex(&sim.output(&port)));
+    r.set("value", protocol::bits_to_hex(&value));
     Ok(r)
 }
 
@@ -521,12 +570,36 @@ fn cmd_step(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
         let mut r = protocol::ok_response(id);
         r.set("cycle", sim.counters().cycles);
         r.set("outputs", outputs);
+        // Batch sessions additionally get every lane's view:
+        // `lane_outputs[k]` maps port → hex for lane k ("outputs" above
+        // stays the lane-0 scalar view).
+        if entry.lanes > 1 {
+            let lane_outputs: Vec<Json> = (0..entry.lanes)
+                .map(|lane| {
+                    let mut o = Json::object();
+                    for p in sim.io().outputs.iter() {
+                        o.set(
+                            &p.name,
+                            protocol::bits_to_hex(&sim.output_lane(&p.name, lane)),
+                        );
+                    }
+                    o
+                })
+                .collect();
+            r.set("lane_outputs", Json::Array(lane_outputs));
+        }
         r
     })
 }
 
 fn cmd_replay(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
     let entry = session_of(state, req)?;
+    // Batch form: `"vcds": [text, …]` replays one stimulus VCD per lane
+    // in lockstep (see cmd_replay_batch). Mutually exclusive with the
+    // single-stimulus `"vcd"` field.
+    if req.get("vcds").is_some() {
+        return cmd_replay_batch(state, id, req, entry);
+    }
     let vcd_text = protocol::req_str(req, "vcd").map_err(bad)?.to_string();
     let state2 = Arc::clone(state);
     run_on_pool(state, "replay", move || {
@@ -562,6 +635,99 @@ fn cmd_replay(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
         r.set("cycles", rows.len() as u64);
         r.set("outputs", Json::Array(cycles_json));
         r.set("vcd", w.finish());
+        r
+    })
+}
+
+/// Batch replay: one stimulus VCD per lane, advanced in lockstep (the
+/// k-th timestamp of every stimulus lands on the same machine cycle).
+/// Streams may have different lengths; a lane whose stimulus is
+/// exhausted simply holds its last values, exactly like a waveform that
+/// stops changing. The response carries one output VCD per stimulus
+/// lane in the same order.
+fn cmd_replay_batch(
+    state: &Arc<ServerState>,
+    id: u64,
+    req: &Json,
+    entry: Arc<crate::session::SessionEntry>,
+) -> CmdResult {
+    let texts: Vec<String> = match req.get("vcds") {
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| bad("\"vcds\" entries must be VCD strings"))
+            })
+            .collect::<Result<_, _>>()?,
+        _ => return Err(bad("\"vcds\" must be an array of VCD strings")),
+    };
+    if texts.is_empty() || texts.len() > entry.lanes as usize {
+        return Err((
+            codes::BAD_LANES.to_string(),
+            format!(
+                "{} stimulus VCD(s) for a session with {} lane(s)",
+                texts.len(),
+                entry.lanes
+            ),
+        ));
+    }
+    let state2 = Arc::clone(state);
+    run_on_pool(state, "replay", move || {
+        let mut sim = entry.sim.lock().unwrap();
+        let mut stims = Vec::with_capacity(texts.len());
+        for (lane, text) in texts.iter().enumerate() {
+            match VcdStimulus::new(text, sim.io()) {
+                Ok(s) => stims.push(s),
+                Err(e) => {
+                    return protocol::err_response(
+                        id,
+                        codes::BAD_REQUEST,
+                        &format!("stimulus VCD for lane {lane}: {e}"),
+                    )
+                }
+            }
+        }
+        let total = stims.iter().map(VcdStimulus::cycles).max().unwrap_or(0);
+        let mut writers: Vec<(VcdWriter, Vec<_>)> = (0..stims.len())
+            .map(|_| {
+                let mut w = VcdWriter::new("gem");
+                let vars: Vec<_> = sim
+                    .io()
+                    .outputs
+                    .iter()
+                    .map(|p| w.add_var(&p.name, p.bits.len() as u32))
+                    .collect();
+                w.begin();
+                (w, vars)
+            })
+            .collect();
+        for t in 0..total {
+            for (lane, stim) in stims.iter().enumerate() {
+                for (_, name, v) in stim.changes_at(t) {
+                    sim.set_input_lane(name, lane as u32, v.clone());
+                }
+            }
+            sim.step();
+            for (lane, (w, vars)) in writers.iter_mut().enumerate() {
+                w.timestamp(t as u64);
+                for (var, p) in vars.iter().zip(sim.io().outputs.iter()) {
+                    w.change(*var, &sim.output_lane(&p.name, lane as u32));
+                }
+            }
+        }
+        crate::metrics::add(&state2.metrics.cycles_total, total as u64);
+        let mut r = protocol::ok_response(id);
+        r.set("cycles", total as u64);
+        r.set(
+            "vcds",
+            Json::Array(
+                writers
+                    .into_iter()
+                    .map(|(w, _)| Json::Str(w.finish()))
+                    .collect(),
+            ),
+        );
         r
     })
 }

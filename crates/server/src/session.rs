@@ -13,7 +13,7 @@
 //! configured idle timeout are dropped and counted in
 //! `gem_server_sessions_evicted_total`.
 
-use crate::metrics::{dec, inc, ServerMetrics};
+use crate::metrics::{add, dec, inc, sub, ServerMetrics};
 use gem_core::{Compiled, GemSimulator};
 use gem_vgpu::GpuSnapshot;
 use std::collections::HashMap;
@@ -29,6 +29,10 @@ pub struct SessionEntry {
     pub key: u64,
     /// The shared compiled design (IO map, report, golden E-AIG).
     pub design: Arc<Compiled>,
+    /// Stimulus lanes this session runs (1 for plain sessions, up to 32
+    /// for batch sessions). Fixed at `open`; counted into the
+    /// `gem_server_lanes_active` gauge while the session lives.
+    pub lanes: u32,
     /// The session's machine state. Lock order: never hold this while
     /// taking the table lock.
     pub sim: Mutex<GemSimulator>,
@@ -76,13 +80,17 @@ impl SessionTable {
         }
     }
 
-    /// Registers a new session and returns its id.
-    pub fn open(&self, key: u64, design: Arc<Compiled>, sim: GemSimulator) -> u64 {
+    /// Registers a new session and returns its id. `lanes` is the
+    /// session's stimulus lane count (already validated and applied to
+    /// `sim`); sessions with more than one lane count into the
+    /// batch-session metrics.
+    pub fn open(&self, key: u64, design: Arc<Compiled>, sim: GemSimulator, lanes: u32) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(SessionEntry {
             id,
             key,
             design,
+            lanes,
             sim: Mutex::new(sim),
             saved: Mutex::new(None),
             last_used: Mutex::new(Instant::now()),
@@ -90,6 +98,10 @@ impl SessionTable {
         self.entries.lock().unwrap().insert(id, entry);
         inc(&self.metrics.sessions_opened);
         inc(&self.metrics.sessions_active);
+        add(&self.metrics.lanes_active, lanes as u64);
+        if lanes > 1 {
+            inc(&self.metrics.batch_sessions);
+        }
         id
     }
 
@@ -103,12 +115,13 @@ impl SessionTable {
     /// Closes a session at the client's request. Returns `false` when the
     /// id is unknown (already closed or evicted).
     pub fn close(&self, id: u64) -> bool {
-        let removed = self.entries.lock().unwrap().remove(&id).is_some();
-        if removed {
+        let removed = self.entries.lock().unwrap().remove(&id);
+        if let Some(e) = &removed {
             inc(&self.metrics.sessions_closed);
             dec(&self.metrics.sessions_active);
+            sub(&self.metrics.lanes_active, e.lanes as u64);
         }
-        removed
+        removed.is_some()
     }
 
     /// Drops every session idle for longer than `max_idle`; returns how
@@ -123,9 +136,11 @@ impl SessionTable {
             .map(|(&id, _)| id)
             .collect();
         for id in &victims {
-            entries.remove(id);
-            inc(&self.metrics.sessions_evicted);
-            dec(&self.metrics.sessions_active);
+            if let Some(e) = entries.remove(id) {
+                inc(&self.metrics.sessions_evicted);
+                dec(&self.metrics.sessions_active);
+                sub(&self.metrics.lanes_active, e.lanes as u64);
+            }
         }
         victims.len()
     }
@@ -162,15 +177,40 @@ mod tests {
         let table = SessionTable::new(Arc::clone(&m));
         let design = tiny_design();
         let sim = GemSimulator::new(&design).unwrap();
-        let id = table.open(7, Arc::clone(&design), sim);
+        let id = table.open(7, Arc::clone(&design), sim, 1);
         assert!(table.get(id).is_some());
         assert_eq!(table.len(), 1);
+        assert_eq!(m.lanes_active.load(Ordering::Relaxed), 1);
         assert!(table.close(id));
         assert!(!table.close(id), "double close reports unknown");
         assert!(table.get(id).is_none());
         assert_eq!(m.sessions_opened.load(Ordering::Relaxed), 1);
         assert_eq!(m.sessions_closed.load(Ordering::Relaxed), 1);
         assert_eq!(m.sessions_active.load(Ordering::Relaxed), 0);
+        assert_eq!(m.lanes_active.load(Ordering::Relaxed), 0);
+        assert_eq!(m.batch_sessions.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn batch_sessions_count_their_lanes() {
+        let m = Arc::new(ServerMetrics::default());
+        let table = SessionTable::new(Arc::clone(&m));
+        let design = tiny_design();
+        let mut sim = GemSimulator::new(&design).unwrap();
+        sim.set_lanes(8).unwrap();
+        let batch = table.open(1, Arc::clone(&design), sim, 8);
+        let plain = table.open(
+            2,
+            Arc::clone(&design),
+            GemSimulator::new(&design).unwrap(),
+            1,
+        );
+        assert_eq!(m.lanes_active.load(Ordering::Relaxed), 9);
+        assert_eq!(m.batch_sessions.load(Ordering::Relaxed), 1);
+        assert!(table.close(batch));
+        assert_eq!(m.lanes_active.load(Ordering::Relaxed), 1);
+        assert!(table.close(plain));
+        assert_eq!(m.lanes_active.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -178,8 +218,18 @@ mod tests {
         let m = Arc::new(ServerMetrics::default());
         let table = SessionTable::new(Arc::clone(&m));
         let design = tiny_design();
-        let id1 = table.open(1, Arc::clone(&design), GemSimulator::new(&design).unwrap());
-        let id2 = table.open(2, Arc::clone(&design), GemSimulator::new(&design).unwrap());
+        let id1 = table.open(
+            1,
+            Arc::clone(&design),
+            GemSimulator::new(&design).unwrap(),
+            1,
+        );
+        let id2 = table.open(
+            2,
+            Arc::clone(&design),
+            GemSimulator::new(&design).unwrap(),
+            1,
+        );
         std::thread::sleep(Duration::from_millis(30));
         table.get(id2); // touch
         let evicted = table.evict_idle(Duration::from_millis(15));

@@ -547,6 +547,226 @@ fn lifecycle_checkpoints_replay_and_errors() {
     shutdown_and_join(addr, server);
 }
 
+/// Per-timestamp values of one output port in a response VCD (the
+/// server's writers emit every port at every timestamp).
+fn vcd_port_values(dump: &gem_netlist::vcd::VcdDump, port: &str) -> Vec<u64> {
+    let var = dump.var(port).unwrap_or_else(|| panic!("no var {port:?}"));
+    dump.changes
+        .iter()
+        .filter(|(_, v, _)| *v == var)
+        .map(|(_, _, bits)| bits.to_u64())
+        .collect()
+}
+
+/// Batch sessions end to end: lane counts are validated with a typed
+/// error before any compile, per-lane pokes/peeks and `lane_outputs`
+/// match one golden model per lane, lockstep batch replay returns one
+/// output VCD per lane (short streams hold their last values), and the
+/// lane metrics reconcile.
+#[test]
+fn batch_sessions_fan_lanes_over_the_wire() {
+    let (addr, server) = start_server(ServerConfig::default());
+    let mut client = GemClient::connect(addr).expect("connect");
+
+    // --- lane-count validation -----------------------------------------
+    for lanes in [0u32, 33, 64] {
+        let err = client
+            .open_lanes(DESIGN_A, wire_opts(), lanes)
+            .expect_err("bad lane count must be rejected");
+        match err {
+            gem_server::ClientError::Server { code, message, .. } => {
+                assert_eq!(code, "bad_lanes", "lanes={lanes}");
+                assert!(message.contains("between 1 and 32"), "got: {message}");
+            }
+            other => panic!("expected server error, got {other}"),
+        }
+    }
+    // Rejected before touching the compile cache.
+    let stats = client.stats().expect("stats");
+    assert_eq!(metric(&stats, "gem_server_cache_lookups_total"), 0.0);
+
+    // --- per-lane stepping vs. one golden model per lane ----------------
+    const LANES: u32 = 8;
+    let resp = client
+        .open_lanes(DESIGN_A, wire_opts(), LANES)
+        .expect("open batch");
+    let accum = resp.get("session").and_then(Json::as_u64).unwrap();
+    assert_eq!(resp.get("lanes").and_then(Json::as_u64), Some(LANES as u64));
+
+    let compiled_a = compile(&verilog::parse(DESIGN_A).unwrap(), &small_opts()).unwrap();
+    let mut goldens: Vec<EaigSim> = (0..LANES).map(|_| EaigSim::new(&compiled_a.eaig)).collect();
+    let mut last_acc = vec![0u64; LANES as usize];
+    for cycle in 0..12u64 {
+        client.poke(accum, "en", "1").expect("broadcast poke");
+        for lane in 0..LANES {
+            let delta = (cycle * 9 + lane as u64 * 17 + 1) & 0xFF;
+            client
+                .poke_lane(accum, lane, "delta", &format!("{delta:02x}"))
+                .expect("poke lane");
+        }
+        let resp = client.step(accum, 1, vec![]).expect("step");
+        let lane_outputs = resp
+            .get("lane_outputs")
+            .and_then(Json::as_array)
+            .expect("batch step carries lane_outputs");
+        assert_eq!(lane_outputs.len(), LANES as usize);
+        for lane in 0..LANES as usize {
+            let delta = (cycle * 9 + lane as u64 * 17 + 1) & 0xFF;
+            golden_set(&mut goldens[lane], &compiled_a, "en", 1);
+            golden_set(&mut goldens[lane], &compiled_a, "delta", delta);
+            let want = golden_get(&mut goldens[lane], &compiled_a, "acc");
+            let got = lane_outputs[lane]
+                .get("acc")
+                .and_then(Json::as_str)
+                .expect("acc hex");
+            assert_eq!(
+                u64::from_str_radix(got, 16).unwrap(),
+                want,
+                "lane {lane} diverged from its golden model at cycle {cycle}"
+            );
+            last_acc[lane] = want;
+            goldens[lane].step();
+        }
+        // The scalar "outputs" view is lane 0.
+        assert_eq!(
+            out_u64(&resp, "acc"),
+            u64::from_str_radix(
+                lane_outputs[0].get("acc").and_then(Json::as_str).unwrap(),
+                16
+            )
+            .unwrap()
+        );
+    }
+    // Lane-addressed peek (no step in between) agrees with the last
+    // step's lane view; a lane index past the session's count is a
+    // typed error.
+    for lane in 0..LANES {
+        let hex = client.peek_lane(accum, lane, "acc").expect("peek lane");
+        assert_eq!(
+            u64::from_str_radix(&hex, 16).unwrap(),
+            last_acc[lane as usize],
+            "peek_lane disagrees with the step response on lane {lane}"
+        );
+    }
+    let err = client
+        .peek_lane(accum, LANES, "acc")
+        .expect_err("lane index out of range");
+    assert!(matches!(
+        err,
+        gem_server::ClientError::Server { ref code, .. } if code == "bad_lanes"
+    ));
+    let err = client
+        .poke_lane(accum, 31, "delta", "00")
+        .expect_err("lane index beyond session lanes");
+    assert!(matches!(
+        err,
+        gem_server::ClientError::Server { ref code, .. } if code == "bad_lanes"
+    ));
+
+    // --- lockstep batch replay vs. per-lane golden models ---------------
+    const RLANES: usize = 4;
+    let resp = client
+        .open_lanes(DESIGN_B, wire_opts(), RLANES as u32)
+        .expect("open replay batch");
+    let mixer = resp.get("session").and_then(Json::as_u64).unwrap();
+
+    // While both batch sessions live, the lane gauge counts them all.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        metric(&stats, "gem_server_lanes_active"),
+        (LANES as usize + RLANES) as f64
+    );
+    assert_eq!(metric(&stats, "gem_server_batch_sessions_total"), 2.0);
+
+    // Streams of *different* lengths: exhausted lanes hold last values.
+    let lens = [6usize, 5, 4, 3];
+    let stim = |lane: usize, t: u64| {
+        (
+            (t * 5 + lane as u64 * 7 + 1) & 0xFF,
+            (t * 3 + lane as u64 * 11 + 2) & 0xFF,
+        )
+    };
+    let texts: Vec<String> = (0..RLANES)
+        .map(|lane| {
+            let mut w = VcdWriter::new("tb");
+            let va = w.add_var("a", 8);
+            let vb = w.add_var("b", 8);
+            w.begin();
+            for t in 0..lens[lane] as u64 {
+                let (a, b) = stim(lane, t);
+                w.timestamp(t);
+                w.change(va, &Bits::from_u64(a, 8));
+                w.change(vb, &Bits::from_u64(b, 8));
+            }
+            w.finish()
+        })
+        .collect();
+
+    // Too many stimuli for the session is a typed error, session intact.
+    let five: Vec<&str> = std::iter::repeat(texts[0].as_str()).take(5).collect();
+    let err = client
+        .replay_batch(mixer, &five)
+        .expect_err("5 stimuli on a 4-lane session");
+    assert!(matches!(
+        err,
+        gem_server::ClientError::Server { ref code, .. } if code == "bad_lanes"
+    ));
+
+    let text_refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let resp = client
+        .replay_batch(mixer, &text_refs)
+        .expect("batch replay");
+    let total = *lens.iter().max().unwrap() as u64;
+    assert_eq!(resp.get("cycles").and_then(Json::as_u64), Some(total));
+    let vcds = resp
+        .get("vcds")
+        .and_then(Json::as_array)
+        .expect("per-lane output vcds");
+    assert_eq!(vcds.len(), RLANES);
+
+    let compiled_b = compile(&verilog::parse(DESIGN_B).unwrap(), &small_opts()).unwrap();
+    for lane in 0..RLANES {
+        let text = vcds[lane].as_str().expect("vcd string");
+        let dump = gem_netlist::vcd::VcdDump::parse(text).expect("valid vcd");
+        let xs = vcd_port_values(&dump, "x");
+        let rs = vcd_port_values(&dump, "r");
+        assert_eq!(xs.len(), total as usize, "lane {lane}");
+        let mut golden = EaigSim::new(&compiled_b.eaig);
+        let mut held = stim(lane, 0);
+        for t in 0..total {
+            if t < lens[lane] as u64 {
+                held = stim(lane, t); // fresh values while the stream lasts
+            }
+            golden_set(&mut golden, &compiled_b, "a", held.0);
+            golden_set(&mut golden, &compiled_b, "b", held.1);
+            assert_eq!(
+                xs[t as usize],
+                golden_get(&mut golden, &compiled_b, "x"),
+                "lane {lane} output x diverged at cycle {t}"
+            );
+            assert_eq!(
+                rs[t as usize],
+                golden_get(&mut golden, &compiled_b, "r"),
+                "lane {lane} output r diverged at cycle {t}"
+            );
+            golden.step();
+        }
+    }
+
+    // --- lane metrics drain with their sessions -------------------------
+    client.close(accum).expect("close accum");
+    client.close(mixer).expect("close mixer");
+    let stats = quiesced_stats(&mut client);
+    assert_eq!(metric(&stats, "gem_server_lanes_active"), 0.0);
+    assert_eq!(metric(&stats, "gem_server_batch_sessions_total"), 2.0);
+    assert_eq!(metric(&stats, "gem_server_sessions_active"), 0.0);
+    // Batch replay counts machine cycles, not lane-cycles: 12 steps plus
+    // the 6-cycle lockstep replay.
+    assert_eq!(metric(&stats, "gem_server_cycles_total"), 18.0);
+
+    shutdown_and_join(addr, server);
+}
+
 /// Two sessions on the *same cached compiled design*, both running the
 /// parallel vGPU engine (`sim_threads: 3`), stepping simultaneously
 /// from two client threads with different stimuli. Guards the

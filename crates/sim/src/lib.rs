@@ -27,6 +27,7 @@ pub mod batch;
 pub mod event;
 pub mod fuzz;
 pub mod golden;
+pub mod lanes;
 pub mod levelized;
 pub mod netlist_sim;
 
@@ -34,5 +35,6 @@ pub use batch::BatchSim;
 pub use event::EventSim;
 pub use fuzz::{random_module, FuzzConfig, FuzzRng};
 pub use golden::EaigSim;
+pub use lanes::{LaneBatch, LaneError, LaneStream, LaneTarget};
 pub use levelized::LevelizedSim;
 pub use netlist_sim::NetlistSim;

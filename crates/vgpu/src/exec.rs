@@ -87,6 +87,11 @@ impl ExecMode {
 pub struct ExecStats {
     /// Configured worker threads (1 when serial).
     pub threads: usize,
+    /// Active stimulus bit-lanes each step advances (1 when
+    /// single-stimulus; see `docs/BATCH.md`). Lanes multiply with
+    /// threads: a stage fans out `cores` tasks regardless of lanes, and
+    /// every task carries all lanes through the fold network.
+    pub lanes: u32,
     /// Core executions dispatched to the pool (serial cores not counted).
     pub parallel_tasks: u64,
     /// Stage barriers the coordinator waited on.

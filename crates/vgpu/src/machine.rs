@@ -23,10 +23,29 @@
 //! [`ExecMode::Serial`] and [`ExecMode::Parallel`], which is what makes
 //! 1-thread and N-thread runs bit-identical (waveforms *and* merged
 //! counters; see `docs/PARALLEL.md`).
+//!
+//! **Lane batching** (`docs/BATCH.md`): every global signal is stored as
+//! a `u32` *lane word* — bit `k` is the signal's value in independent
+//! simulation `k`. The fold network is pure bitwise logic
+//! ([`gem_place::BoomerangLayer::execute_words`]), so one [`step_cycle`]
+//! advances up to [`GemGpu::MAX_LANES`] stimulus streams at the cost of
+//! one. The scalar API ([`poke`]/[`peek`]) stays the single-stimulus
+//! view: pokes broadcast to every lane, peeks read lane 0 — a machine
+//! never touched by the lane API behaves exactly as before. Inactive
+//! lanes (≥ [`lanes`]) always *mirror lane 0* — broadcast pokes, pure
+//! lane-wise logic, and a shared RAM image keep that invariant, which is
+//! what makes [`set_lanes`] upgrades mid-run coherent.
+//!
+//! [`step_cycle`]: GemGpu::step_cycle
+//! [`poke`]: GemGpu::poke
+//! [`peek`]: GemGpu::peek
+//! [`lanes`]: GemGpu::lanes
+//! [`set_lanes`]: GemGpu::set_lanes
 
 use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
 use crate::exec::{CorePool, ExecMode, ExecStats};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
+use gem_place::splat;
 use gem_telemetry::span;
 use gem_telemetry::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
 use std::fmt;
@@ -71,6 +90,8 @@ pub enum MachineError {
     /// A snapshot's shape does not match the loaded design; the string
     /// names the mismatch.
     SnapshotMismatch(String),
+    /// A lane count outside `1..=`[`GemGpu::MAX_LANES`] was requested.
+    BadLanes(u32),
 }
 
 impl fmt::Display for MachineError {
@@ -79,6 +100,11 @@ impl fmt::Display for MachineError {
             MachineError::Decode(e) => write!(f, "core program decode failed: {e}"),
             MachineError::BadBinding(s) => write!(f, "bad binding: {s}"),
             MachineError::SnapshotMismatch(s) => write!(f, "snapshot mismatch: {s}"),
+            MachineError::BadLanes(n) => write!(
+                f,
+                "bad lane count {n}: must be between 1 and {}",
+                GemGpu::MAX_LANES
+            ),
         }
     }
 }
@@ -116,9 +142,15 @@ pub struct GemGpu {
     cfg: DeviceConfig,
     /// Shared read-only bitstream: decoded programs plus static costs.
     stages: Arc<Vec<Vec<LoadedCore>>>,
-    global: Vec<bool>,
-    deferred: Vec<(u32, bool)>,
-    ram_mem: Vec<Box<[u32]>>,
+    /// Global signal array as lane words: bit `k` of `global[i]` is
+    /// signal `i` in simulation lane `k`.
+    global: Vec<u32>,
+    deferred: Vec<(u32, u32)>,
+    /// RAM contents per block, one image per active lane
+    /// (`ram_mem[ram][lane]`); inactive lanes read image 0.
+    ram_mem: Vec<Vec<Box<[u32]>>>,
+    /// Active stimulus lanes (1..=[`Self::MAX_LANES`]).
+    lanes: u32,
     counters: KernelCounters,
     /// Per-partition attribution of `counters` (same [stage][core] shape
     /// as `stages`); device-level events (RAM phase, device barriers,
@@ -131,8 +163,11 @@ pub struct GemGpu {
     /// because a core's cycle function is pure — all state lives in the
     /// global array, so unchanged inputs imply unchanged writes.
     pruning: bool,
-    /// Cached read values per (stage, core) for pruning.
-    input_cache: Vec<Vec<Option<Vec<bool>>>>,
+    /// Cached read values per (stage, core) for pruning. Full lane
+    /// words: a core is skipped only when *every* lane's read set is
+    /// unchanged, which keeps pruning conservative (never wrong) under
+    /// lane batching.
+    input_cache: Vec<Vec<Option<Vec<u32>>>>,
     /// Worker pool when the mode is parallel (shared by clones).
     pool: Option<Arc<CorePool>>,
     /// Host-side fan-out statistics (not simulated state; see
@@ -148,28 +183,49 @@ pub struct GemGpu {
 /// `gem-server` and for checkpointed long simulations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuSnapshot {
-    global: Vec<bool>,
-    deferred: Vec<(u32, bool)>,
-    ram_mem: Vec<Box<[u32]>>,
+    global: Vec<u32>,
+    deferred: Vec<(u32, u32)>,
+    ram_mem: Vec<Vec<Box<[u32]>>>,
+    lanes: u32,
     counters: KernelCounters,
     part_counters: Vec<Vec<KernelCounters>>,
     layer_counters: Vec<LayerCounters>,
-    input_cache: Vec<Vec<Option<Vec<bool>>>>,
+    input_cache: Vec<Vec<Option<Vec<u32>>>>,
 }
 
 impl GpuSnapshot {
     /// Approximate heap footprint in bytes (capacity accounting for
     /// server-side snapshot budgets).
     pub fn approx_bytes(&self) -> usize {
-        self.global.len()
-            + self.ram_mem.iter().map(|r| r.len() * 4).sum::<usize>()
+        self.global.len() * 4
+            + self
+                .ram_mem
+                .iter()
+                .flatten()
+                .map(|r| r.len() * 4)
+                .sum::<usize>()
             + self
                 .input_cache
                 .iter()
                 .flatten()
                 .flatten()
-                .map(Vec::len)
+                .map(|v| v.len() * 4)
                 .sum::<usize>()
+    }
+
+    /// Active lane count captured with the state.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+}
+
+/// Mask of the active lanes: the low `lanes` bits set.
+#[inline]
+fn lane_mask(lanes: u32) -> u32 {
+    if lanes >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << lanes) - 1
     }
 }
 
@@ -189,10 +245,12 @@ struct CoreOutbox {
     /// Core index within its stage (restores order after a parallel
     /// stage, where completion order is nondeterministic).
     ci: usize,
-    /// Immediate writes: visible to later stages after the barrier.
-    immediate: Vec<(u32, bool)>,
-    /// Deferred writes: committed at the cycle boundary.
-    deferred: Vec<(u32, bool)>,
+    /// Immediate writes (full lane words): visible to later stages after
+    /// the barrier.
+    immediate: Vec<(u32, u32)>,
+    /// Deferred writes (full lane words): committed at the cycle
+    /// boundary.
+    deferred: Vec<(u32, u32)>,
     /// Counter events charged to this core this cycle.
     delta: KernelCounters,
     /// Whether pruning skipped the fold work (layer counters then don't
@@ -200,7 +258,7 @@ struct CoreOutbox {
     skipped: bool,
     /// New pruning input-cache value for this core (`None` when pruning
     /// is off).
-    cache: Option<Vec<bool>>,
+    cache: Option<Vec<u32>>,
 }
 
 /// Executes one core as a pure function of the stage-start global array.
@@ -208,9 +266,9 @@ struct CoreOutbox {
 /// reason serial and parallel runs cannot diverge.
 fn execute_core(
     core: &LoadedCore,
-    global: &[bool],
+    global: &[u32],
     pruning: bool,
-    prev_cache: Option<Vec<bool>>,
+    prev_cache: Option<Vec<u32>>,
     ci: usize,
 ) -> CoreOutbox {
     let width = core.dec.width as usize;
@@ -223,7 +281,7 @@ fn execute_core(
         cache: None,
     };
     if pruning {
-        let inputs: Vec<bool> = core
+        let inputs: Vec<u32> = core
             .dec
             .reads
             .iter()
@@ -251,7 +309,7 @@ fn execute_core(
                             // is already correct; re-commit it.
                             global[w.global as usize]
                         }
-                        WriteSrc::Const(c) => c,
+                        WriteSrc::Const(c) => splat(c),
                     };
                     out.deferred.push((w.global, v));
                 }
@@ -261,17 +319,17 @@ fn execute_core(
         }
         out.cache = Some(inputs);
     }
-    let mut state = vec![false; width];
+    let mut state = vec![0u32; width];
     for r in &core.dec.reads {
         state[r.state as usize] = global[r.global as usize];
     }
     for layer in &core.dec.layers {
-        layer.execute(&mut state);
+        layer.execute_words(&mut state);
     }
     for w in &core.dec.writes {
         let v = match w.src {
-            WriteSrc::State { addr, invert } => state[addr as usize] ^ invert,
-            WriteSrc::Const(c) => c,
+            WriteSrc::State { addr, invert } => state[addr as usize] ^ splat(invert),
+            WriteSrc::Const(c) => splat(c),
         };
         if w.deferred {
             out.deferred.push((w.global, v));
@@ -391,11 +449,12 @@ impl GemGpu {
         let ram_mem = cfg
             .rams
             .iter()
-            .map(|_| vec![0u32; 8192].into_boxed_slice())
+            .map(|_| vec![vec![0u32; 8192].into_boxed_slice()])
             .collect();
-        let mut global = vec![false; gb as usize];
+        let mut global = vec![0u32; gb as usize];
         for &idx in &cfg.initial_ones {
-            global[idx as usize] = true;
+            // Power-on ones hold in every lane.
+            global[idx as usize] = splat(true);
         }
         let input_cache = stages
             .iter()
@@ -421,6 +480,7 @@ impl GemGpu {
             global,
             deferred: Vec::new(),
             ram_mem,
+            lanes: 1,
             counters: KernelCounters::default(),
             part_counters,
             layer_counters,
@@ -431,6 +491,7 @@ impl GemGpu {
             pool: None,
             exec_stats: ExecStats {
                 threads: 1,
+                lanes: 1,
                 ..ExecStats::default()
             },
         })
@@ -495,23 +556,118 @@ impl GemGpu {
     }
 
     /// Writes a bit of the global signal array (testbench input side).
+    /// Broadcasts to every lane — the single-stimulus view.
     pub fn poke(&mut self, index: u32, v: bool) {
-        self.global[index as usize] = v;
+        self.global[index as usize] = splat(v);
     }
 
     /// Reads a bit of the global signal array (testbench output side).
+    /// Reads lane 0 — the single-stimulus view.
     pub fn peek(&self, index: u32) -> bool {
+        self.global[index as usize] & 1 == 1
+    }
+
+    /// Maximum stimulus lanes one machine can batch (the lane word is a
+    /// `u32`).
+    pub const MAX_LANES: u32 = 32;
+
+    /// Active stimulus lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Sets the number of active stimulus lanes.
+    ///
+    /// Newly activated lanes start as exact copies of lane 0 (global
+    /// bits *and* RAM contents — the mirror-lane-0 invariant the module
+    /// docs describe), so a batch can be opened mid-run and diverge from
+    /// there via [`poke_lane`](Self::poke_lane) /
+    /// [`poke_lanes`](Self::poke_lanes). Shrinking re-mirrors the
+    /// deactivated lanes onto lane 0 and drops their RAM images.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadLanes`] when `lanes` is outside
+    /// `1..=`[`Self::MAX_LANES`]; the machine is untouched.
+    pub fn set_lanes(&mut self, lanes: u32) -> Result<(), MachineError> {
+        if lanes == 0 || lanes > Self::MAX_LANES {
+            return Err(MachineError::BadLanes(lanes));
+        }
+        if lanes == self.lanes {
+            return Ok(());
+        }
+        self.lanes = lanes;
+        self.exec_stats.lanes = lanes;
+        // Re-mirror lane 0 into the now-inactive lanes so the invariant
+        // holds no matter what the lanes held while active.
+        let amask = lane_mask(lanes);
+        for g in &mut self.global {
+            *g = (*g & amask) | (splat(*g & 1 == 1) & !amask);
+        }
+        for images in &mut self.ram_mem {
+            if images.len() > lanes as usize {
+                images.truncate(lanes as usize);
+            } else {
+                let proto = images[0].clone();
+                while images.len() < lanes as usize {
+                    images.push(proto.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes one lane's bit of a global signal. Lane 0 also drives the
+    /// inactive mirror lanes (they shadow lane 0 by invariant).
+    pub fn poke_lane(&mut self, index: u32, lane: u32, v: bool) {
+        debug_assert!(lane < self.lanes, "lane {lane} is not active");
+        let g = &mut self.global[index as usize];
+        let bit = 1u32 << lane;
+        *g = (*g & !bit) | (splat(v) & bit);
+        if lane == 0 {
+            let amask = lane_mask(self.lanes);
+            *g = (*g & amask) | (splat(v) & !amask);
+        }
+    }
+
+    /// Reads one lane's bit of a global signal.
+    pub fn peek_lane(&self, index: u32, lane: u32) -> bool {
+        (self.global[index as usize] >> lane) & 1 == 1
+    }
+
+    /// Writes a full lane word of a global signal — the packed injection
+    /// path. Bits above the active lane count are ignored; the inactive
+    /// lanes are forced to mirror lane 0.
+    pub fn poke_lanes(&mut self, index: u32, word: u32) {
+        let amask = lane_mask(self.lanes);
+        self.global[index as usize] = (word & amask) | (splat(word & 1 == 1) & !amask);
+    }
+
+    /// Reads a full lane word of a global signal — the packed demux
+    /// path.
+    pub fn peek_lanes(&self, index: u32) -> u32 {
         self.global[index as usize]
     }
 
     /// Directly reads a word of RAM block `ram` (test setup/inspection).
+    /// Reads lane 0's image — the single-stimulus view.
     pub fn ram_word(&self, ram: usize, addr: usize) -> u32 {
-        self.ram_mem[ram][addr]
+        self.ram_mem[ram][0][addr]
+    }
+
+    /// Reads a word of RAM block `ram` as lane `lane` sees it (inactive
+    /// lanes see lane 0's image).
+    pub fn ram_word_lane(&self, ram: usize, lane: u32, addr: usize) -> u32 {
+        let img = if lane < self.lanes { lane as usize } else { 0 };
+        self.ram_mem[ram][img][addr]
     }
 
     /// Directly writes a word of RAM block `ram` (e.g. program loading).
+    /// Broadcasts to every lane image — the single-stimulus view.
     pub fn set_ram_word(&mut self, ram: usize, addr: usize, value: u32) {
-        self.ram_mem[ram][addr] = value;
+        for image in &mut self.ram_mem[ram] {
+            image[addr] = value;
+        }
     }
 
     /// Executes one simulated design cycle: all stages, the RAM phase,
@@ -537,34 +693,51 @@ impl GemGpu {
             // writes visible.
             self.counters.device_syncs += 1;
         }
-        // RAM phase (read-first): capture read data, then apply writes.
+        // RAM phase (read-first): capture read data, then apply writes —
+        // per lane, since every lane addresses its own RAM image.
+        // Inactive lanes mirror lane 0 (same port bits, shared image),
+        // so only the active lanes are walked and lane 0's read data is
+        // broadcast into the inactive tail of each deferred word.
+        let lanes = self.lanes as usize;
+        let amask = lane_mask(self.lanes);
         for ri in 0..self.cfg.rams.len() {
             let b = self.cfg.rams[ri].clone();
-            let addr_of = |g: &Vec<bool>, bits: &[u32; 13]| -> usize {
+            let addr_of = |g: &Vec<u32>, bits: &[u32; 13], lane: usize| -> usize {
                 bits.iter()
                     .enumerate()
-                    .filter(|(_, &i)| g[i as usize])
+                    .filter(|(_, &i)| (g[i as usize] >> lane) & 1 == 1)
                     .map(|(k, _)| 1usize << k)
                     .sum()
             };
-            let raddr = addr_of(&self.global, &b.raddr);
-            let word = self.ram_mem[ri][raddr];
+            let mut words = [0u32; 32];
+            for (l, w) in words.iter_mut().enumerate().take(lanes) {
+                let raddr = addr_of(&self.global, &b.raddr, l);
+                *w = self.ram_mem[ri][l][raddr];
+            }
             for (k, &g) in b.rdata.iter().enumerate() {
-                self.deferred.push((g, (word >> k) & 1 == 1));
-            }
-            if self.global[b.we as usize] {
-                let waddr = addr_of(&self.global, &b.waddr);
-                let mut w = 0u32;
-                for (k, &g) in b.wdata.iter().enumerate() {
-                    if self.global[g as usize] {
-                        w |= 1 << k;
-                    }
+                let mut v = 0u32;
+                for (l, w) in words.iter().enumerate().take(lanes) {
+                    v |= ((w >> k) & 1) << l;
                 }
-                self.ram_mem[ri][waddr] = w;
+                v |= splat(v & 1 == 1) & !amask;
+                self.deferred.push((g, v));
             }
-            // One word read + potential write, plus the port-bit gathers.
-            self.counters.global_bytes += 8 + 59 / 8;
-            self.counters.global_transactions += 2;
+            for l in 0..lanes {
+                if (self.global[b.we as usize] >> l) & 1 == 1 {
+                    let waddr = addr_of(&self.global, &b.waddr, l);
+                    let mut w = 0u32;
+                    for (k, &g) in b.wdata.iter().enumerate() {
+                        if (self.global[g as usize] >> l) & 1 == 1 {
+                            w |= 1 << k;
+                        }
+                    }
+                    self.ram_mem[ri][l][waddr] = w;
+                }
+            }
+            // One word read + potential write, plus the port-bit
+            // gathers, per active lane.
+            self.counters.global_bytes += (8 + 59 / 8) * lanes as u64;
+            self.counters.global_transactions += 2 * lanes as u64;
         }
         if !self.cfg.rams.is_empty() {
             self.counters.device_syncs += 1;
@@ -755,6 +928,12 @@ impl GemGpu {
             es.threads as f64,
         );
         snap.push_scalar(
+            "gem_vgpu_lanes",
+            "Active stimulus bit-lanes advanced per step (1 = single-stimulus)",
+            MetricKind::Gauge,
+            self.lanes as f64,
+        );
+        snap.push_scalar(
             "gem_vgpu_parallel_tasks_total",
             "Core executions dispatched to the worker pool",
             MetricKind::Counter,
@@ -803,6 +982,7 @@ impl GemGpu {
             global: self.global.clone(),
             deferred: self.deferred.clone(),
             ram_mem: self.ram_mem.clone(),
+            lanes: self.lanes,
             counters: self.counters,
             part_counters: self.part_counters.clone(),
             layer_counters: self.layer_counters.clone(),
@@ -834,6 +1014,12 @@ impl GemGpu {
                 self.ram_mem.len()
             )));
         }
+        if s.lanes == 0 || s.lanes > Self::MAX_LANES {
+            return Err(MachineError::SnapshotMismatch(format!(
+                "snapshot claims {} lanes",
+                s.lanes
+            )));
+        }
         let part_shape =
             |pc: &Vec<Vec<KernelCounters>>| -> Vec<usize> { pc.iter().map(Vec::len).collect() };
         if part_shape(&s.part_counters) != part_shape(&self.part_counters) {
@@ -849,7 +1035,7 @@ impl GemGpu {
             )));
         }
         let cache_shape =
-            |ic: &Vec<Vec<Option<Vec<bool>>>>| -> Vec<usize> { ic.iter().map(Vec::len).collect() };
+            |ic: &Vec<Vec<Option<Vec<u32>>>>| -> Vec<usize> { ic.iter().map(Vec::len).collect() };
         if cache_shape(&s.input_cache) != cache_shape(&self.input_cache) {
             return Err(MachineError::SnapshotMismatch(
                 "pruning cache shape differs".to_string(),
@@ -858,6 +1044,8 @@ impl GemGpu {
         self.global.clone_from(&s.global);
         self.deferred.clone_from(&s.deferred);
         self.ram_mem.clone_from(&s.ram_mem);
+        self.lanes = s.lanes;
+        self.exec_stats.lanes = s.lanes;
         self.counters = s.counters;
         self.part_counters.clone_from(&s.part_counters);
         self.layer_counters.clone_from(&s.layer_counters);
@@ -1515,6 +1703,25 @@ mod pruning_tests {
     }
 
     #[test]
+    fn pruning_is_conservative_across_lanes() {
+        // With two lanes, changing only lane 1's input must not let the
+        // full-word cache compare skip the core.
+        let mut gpu = two_core_machine();
+        gpu.set_lanes(2).expect("2 lanes");
+        gpu.set_pruning(true);
+        gpu.poke(0, true);
+        gpu.poke(1, true);
+        gpu.step_cycle();
+        let skipped_before = gpu.counters().blocks_skipped;
+        // Lane 0 unchanged, lane 1 flips: core A must re-execute.
+        gpu.poke_lane(1, 1, false);
+        gpu.step_cycle();
+        assert_eq!(gpu.counters().blocks_skipped, skipped_before);
+        assert!(gpu.peek_lane(2, 0), "lane 0: 1&1");
+        assert!(!gpu.peek_lane(2, 1), "lane 1: 1&0");
+    }
+
+    #[test]
     fn pruning_off_by_default_and_resettable() {
         let mut gpu = two_core_machine();
         for _ in 0..4 {
@@ -1532,5 +1739,249 @@ mod pruning_tests {
             gpu.step_cycle();
         }
         assert_eq!(gpu.counters().blocks_skipped, skipped);
+    }
+}
+
+#[cfg(test)]
+mod lane_tests {
+    use super::*;
+    use gem_isa::{assemble_core, ReadEntry, WriteEntry};
+    use gem_place::{BoomerangLayer, CoreProgram, OutputSource, PermSource};
+
+    /// Same one-core AND machine the scalar tests use.
+    fn and_machine() -> GemGpu {
+        let width = 16u32;
+        let mut layer = BoomerangLayer::new(width);
+        layer.perm[0] = PermSource::State(0);
+        layer.perm[1] = PermSource::State(1);
+        layer.writeback[0][0] = Some(2);
+        let prog = CoreProgram {
+            width,
+            state_size: 3,
+            inputs: vec![],
+            layers: vec![layer],
+            outputs: vec![OutputSource::State {
+                addr: 2,
+                invert: false,
+            }],
+        };
+        let reads = vec![
+            ReadEntry {
+                global: 0,
+                state: 0,
+            },
+            ReadEntry {
+                global: 1,
+                state: 1,
+            },
+        ];
+        let writes = vec![WriteEntry {
+            global: 2,
+            src: gem_isa::WriteSrc::State {
+                addr: 2,
+                invert: false,
+            },
+            deferred: false,
+        }];
+        let bytes = assemble_core(&prog, &reads, &writes);
+        GemGpu::load(
+            &Bitstream {
+                width,
+                global_bits: 3,
+                stages: vec![vec![bytes]],
+            },
+            DeviceConfig {
+                global_bits: 3,
+                rams: vec![],
+                initial_ones: vec![],
+            },
+        )
+        .expect("loads")
+    }
+
+    #[test]
+    fn lane_count_validation() {
+        let mut gpu = and_machine();
+        assert_eq!(gpu.lanes(), 1);
+        assert!(matches!(gpu.set_lanes(0), Err(MachineError::BadLanes(0))));
+        assert!(matches!(gpu.set_lanes(33), Err(MachineError::BadLanes(33))));
+        assert_eq!(gpu.lanes(), 1, "failed set_lanes must not change state");
+        gpu.set_lanes(32).expect("32 lanes");
+        assert_eq!(gpu.lanes(), 32);
+        assert_eq!(gpu.exec_stats().lanes, 32);
+    }
+
+    #[test]
+    fn scalar_pokes_broadcast_and_peek_reads_lane_zero() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(8).expect("8 lanes");
+        gpu.poke(0, true);
+        gpu.poke(1, true);
+        assert_eq!(gpu.peek_lanes(0), u32::MAX, "broadcast fills every lane");
+        gpu.step_cycle();
+        assert!(gpu.peek(2));
+        assert_eq!(gpu.peek_lanes(2), u32::MAX);
+    }
+
+    #[test]
+    fn lanes_compute_independently() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(32).expect("32 lanes");
+        // Lane k: a = bit0 of k, b = bit1 of k.
+        for lane in 0..32 {
+            gpu.poke_lane(0, lane, lane & 1 == 1);
+            gpu.poke_lane(1, lane, lane & 2 == 2);
+        }
+        gpu.step_cycle();
+        for lane in 0..32 {
+            assert_eq!(
+                gpu.peek_lane(2, lane),
+                (lane & 1 == 1) && (lane & 2 == 2),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn inactive_lanes_mirror_lane_zero() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(4).expect("4 lanes");
+        gpu.poke_lane(0, 0, true);
+        gpu.poke_lane(1, 0, true);
+        gpu.poke_lane(0, 1, true);
+        gpu.poke_lane(1, 1, false);
+        gpu.step_cycle();
+        // Lanes 4..32 shadow lane 0 exactly.
+        let word = gpu.peek_lanes(2);
+        assert_eq!(word & 0b1, 1, "lane 0: 1&1");
+        assert_eq!(word & 0b10, 0, "lane 1: 1&0");
+        assert_eq!(word >> 4, (u32::MAX << 4) >> 4, "inactive lanes mirror");
+        // Packed injection also masks the inactive tail.
+        gpu.poke_lanes(0, 0x0000_0001); // lane0=1, lanes 1..3 = 0
+        assert_eq!(gpu.peek_lanes(0) >> 4, (u32::MAX << 4) >> 4);
+    }
+
+    #[test]
+    fn shrinking_remirrors_dropped_lanes() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(4).expect("4 lanes");
+        gpu.poke_lane(0, 0, true);
+        gpu.poke_lane(0, 3, false);
+        gpu.set_lanes(2).expect("back to 2");
+        // Lane 3 is inactive again: it must read as lane 0.
+        assert!(gpu.peek_lane(0, 3));
+    }
+
+    #[test]
+    fn per_lane_ram_images_are_independent() {
+        // RAM-only machine (no cores), ports driven via pokes.
+        let bs = Bitstream {
+            width: 16,
+            global_bits: 64 + 59,
+            stages: vec![],
+        };
+        let mut idx = 0u32;
+        let mut next = || {
+            let i = idx;
+            idx += 1;
+            i
+        };
+        let binding = RamBinding {
+            raddr: std::array::from_fn(|_| next()),
+            waddr: std::array::from_fn(|_| next()),
+            wdata: std::array::from_fn(|_| next()),
+            we: next(),
+            rdata: std::array::from_fn(|_| next()),
+        };
+        let cfg = DeviceConfig {
+            global_bits: 123,
+            rams: vec![binding.clone()],
+            initial_ones: vec![],
+        };
+        let mut gpu = GemGpu::load(&bs, cfg).expect("loads");
+        gpu.set_lanes(2).expect("2 lanes");
+        // Lane 0 writes 1 to address 0; lane 1 writes 2 to address 1.
+        gpu.poke(binding.we, true);
+        gpu.poke_lane(binding.wdata[0], 0, true);
+        gpu.poke_lane(binding.wdata[0], 1, false);
+        gpu.poke_lane(binding.wdata[1], 1, true);
+        gpu.poke_lane(binding.waddr[0], 1, true); // lane 1 → address 1
+        gpu.step_cycle();
+        assert_eq!(gpu.ram_word_lane(0, 0, 0), 0b01);
+        assert_eq!(gpu.ram_word_lane(0, 0, 1), 0);
+        assert_eq!(gpu.ram_word_lane(0, 1, 0), 0);
+        assert_eq!(gpu.ram_word_lane(0, 1, 1), 0b10);
+        // Per-lane read-back: lane 0 reads address 0, lane 1 address 1.
+        gpu.poke(binding.we, false);
+        gpu.poke_lane(binding.raddr[0], 1, true);
+        gpu.step_cycle();
+        assert!(gpu.peek_lane(binding.rdata[0], 0));
+        assert!(!gpu.peek_lane(binding.rdata[1], 0));
+        assert!(!gpu.peek_lane(binding.rdata[0], 1));
+        assert!(gpu.peek_lane(binding.rdata[1], 1));
+        // set_ram_word broadcasts; ram_word reads lane 0.
+        gpu.set_ram_word(0, 5, 0xAB);
+        assert_eq!(gpu.ram_word(0, 5), 0xAB);
+        assert_eq!(gpu.ram_word_lane(0, 1, 5), 0xAB);
+        // Growing clones lane 0's image for the new lane.
+        gpu.set_lanes(3).expect("3 lanes");
+        assert_eq!(gpu.ram_word_lane(0, 2, 0), 0b01);
+    }
+
+    #[test]
+    fn snapshot_carries_lanes() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(5).expect("5 lanes");
+        gpu.poke_lane(0, 3, true);
+        gpu.poke_lane(1, 3, true);
+        let snap = gpu.snapshot();
+        assert_eq!(snap.lanes(), 5);
+        let mut other = and_machine();
+        other.restore(&snap).expect("restores");
+        assert_eq!(other.lanes(), 5);
+        other.step_cycle();
+        gpu.step_cycle();
+        for lane in 0..5 {
+            assert_eq!(other.peek_lane(2, lane), gpu.peek_lane(2, lane));
+        }
+    }
+
+    #[test]
+    fn lanes_metric_exported() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(7).expect("7 lanes");
+        let snap = gpu.metrics_snapshot();
+        assert_eq!(snap.family("gem_vgpu_lanes").unwrap().total(), 7.0);
+    }
+
+    /// The heart of the batch contract at machine level: a 32-lane run
+    /// equals 32 scalar runs, under both engines.
+    #[test]
+    fn batch_equals_independent_scalar_runs() {
+        for threads in [1usize, 4] {
+            let mut batch = and_machine();
+            batch.set_threads(threads);
+            batch.set_lanes(32).expect("32 lanes");
+            let mut singles: Vec<GemGpu> = (0..32).map(|_| and_machine()).collect();
+            for c in 0u64..16 {
+                for lane in 0..32u32 {
+                    let a = (c ^ u64::from(lane)) & 1 == 1;
+                    let b = (c.wrapping_mul(0x9E37) >> lane) & 1 == 1;
+                    batch.poke_lane(0, lane, a);
+                    batch.poke_lane(1, lane, b);
+                    singles[lane as usize].poke(0, a);
+                    singles[lane as usize].poke(1, b);
+                }
+                batch.step_cycle();
+                for (lane, single) in singles.iter_mut().enumerate() {
+                    single.step_cycle();
+                    assert_eq!(
+                        batch.peek_lane(2, lane as u32),
+                        single.peek(2),
+                        "threads {threads} cycle {c} lane {lane}"
+                    );
+                }
+            }
+        }
     }
 }
