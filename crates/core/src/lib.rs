@@ -50,7 +50,7 @@ pub use compile::{
     compile, compile_eaig, CompileError, CompileOptions, CompileReport, Compiled, IoMap,
     PortIndices,
 };
-pub use gem_vgpu::{ExecMode, ExecStats};
+pub use gem_vgpu::{ExecBackend, ExecMode, ExecStats};
 pub use package::{
     device_from_json, device_to_json, io_from_json, io_to_json, report_from_json, Package,
     ParsePackageError,

@@ -27,9 +27,11 @@
 //! executed directly ([`CoreProgram::evaluate`]) or assembled into the GEM
 //! bitstream by `gem-isa`.
 
+pub mod compiled;
 pub mod layer;
 pub mod placer;
 
+pub use compiled::{CompiledLayer, FoldOp, PERM_CONST};
 pub use layer::{splat, BoomerangLayer, CoreProgram, FoldConsts, OutputSource, PermSource};
 pub use placer::{place_partition, PlaceError, PlaceOptions, PlaceStats};
 

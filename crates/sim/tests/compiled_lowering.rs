@@ -1,0 +1,213 @@
+//! Property tests for the compiled backend's threaded-code lowering
+//! (`gem_vgpu::CompiledCore` / `gem_place::CompiledLayer`), driven by
+//! the same random-design corpus as the differential fuzz suite:
+//!
+//! * **totality** — every decoded program the compiler emits lowers
+//!   without panicking, and the lowered shape reconciles with the
+//!   decoded one (layer count, write split, read table);
+//! * **cost-model reconciliation** — the lowered op counts are exactly
+//!   the per-cycle `KernelCounters` charges the machine attributes to
+//!   each core, summed over a real simulation step;
+//! * **snapshot portability** — a mid-run snapshot taken under one
+//!   backend restores under the other and continues bit-identically:
+//!   the backend is host configuration, not simulation state.
+//!
+//! Failure messages carry the seed, which reproduces the design and the
+//! stimulus deterministically.
+
+use gem_core::{compile, CompileOptions, ExecBackend, GemSimulator};
+use gem_isa::disassemble_core_exact;
+use gem_sim::{random_module, EaigSim, FuzzConfig, FuzzRng};
+use gem_vgpu::CompiledCore;
+
+fn compile_seed(seed: u64) -> gem_core::Compiled {
+    let m = random_module(seed, &FuzzConfig::for_seed(seed));
+    let opts = CompileOptions {
+        core_width: 64,
+        target_parts: 4,
+        ..Default::default()
+    };
+    compile(&m, &opts)
+        .or_else(|_| {
+            compile(
+                &m,
+                &CompileOptions {
+                    core_width: 256,
+                    ..opts
+                },
+            )
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"))
+}
+
+/// Every decoded program lowers, and the lowered form preserves the
+/// decoded program's shape: same layer count, reads carried over
+/// verbatim, writes split into immediate + deferred without loss.
+#[test]
+fn every_fuzz_program_lowers_and_preserves_shape() {
+    for seed in 0..20u64 {
+        let compiled = compile_seed(seed);
+        let mut cores = 0usize;
+        for stage in &compiled.bitstream.stages {
+            for bytes in stage {
+                let dec = disassemble_core_exact(bytes)
+                    .unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}"));
+                let comp = CompiledCore::lower(&dec);
+                assert_eq!(comp.width, dec.width, "seed {seed}: width");
+                assert_eq!(
+                    comp.layers.len(),
+                    dec.layers.len(),
+                    "seed {seed}: layer count"
+                );
+                assert_eq!(comp.reads.len(), dec.reads.len(), "seed {seed}: reads");
+                assert_eq!(
+                    comp.immediate.len() + comp.deferred.len(),
+                    dec.writes.len(),
+                    "seed {seed}: write split lost entries"
+                );
+                let deferred = dec.writes.iter().filter(|w| w.deferred).count();
+                assert_eq!(
+                    comp.deferred.len(),
+                    deferred,
+                    "seed {seed}: deferred classification"
+                );
+                cores += 1;
+            }
+        }
+        assert!(cores > 0, "seed {seed}: empty bitstream");
+    }
+}
+
+/// The lowered op counts *are* the cost model: one simulated step (no
+/// pruning can fire on the first cycle) charges exactly the sum of
+/// `layer_op_totals()` over every core, for shared accesses, fold ALU
+/// ops, and block syncs — under both backends.
+#[test]
+fn lowered_op_counts_reconcile_with_kernel_counters() {
+    for seed in 0..12u64 {
+        let compiled = compile_seed(seed);
+        let (mut shared, mut alu, mut syncs) = (0u64, 0u64, 0u64);
+        for stage in &compiled.bitstream.stages {
+            for bytes in stage {
+                let dec = disassemble_core_exact(bytes)
+                    .unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}"));
+                let (s, a, y) = CompiledCore::lower(&dec).layer_op_totals();
+                shared += s;
+                alu += a;
+                syncs += y;
+            }
+        }
+        for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+            let mut sim =
+                GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            sim.set_backend(backend);
+            sim.step();
+            let c = sim.counters();
+            assert_eq!(
+                c.shared_accesses,
+                shared,
+                "seed {seed}: shared accesses under {}",
+                backend.name()
+            );
+            assert_eq!(
+                c.alu_ops,
+                alu,
+                "seed {seed}: alu ops under {}",
+                backend.name()
+            );
+            assert_eq!(
+                c.block_syncs,
+                syncs,
+                "seed {seed}: block syncs under {}",
+                backend.name()
+            );
+        }
+    }
+}
+
+/// A snapshot taken mid-run under one backend restores and continues
+/// bit-identically under the other — in both directions, checked
+/// against the golden E-AIG model throughout. The backend knob is host
+/// configuration, never serialized state.
+#[test]
+fn snapshots_port_across_backends() {
+    for (seed, first, second) in [
+        (3u64, ExecBackend::Interpreted, ExecBackend::Compiled),
+        (7u64, ExecBackend::Compiled, ExecBackend::Interpreted),
+    ] {
+        let m = random_module(seed, &FuzzConfig::for_seed(seed));
+        let compiled = compile_seed(seed);
+        let mut gold = EaigSim::new(&compiled.eaig);
+        let mut sim = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sim.set_backend(first);
+
+        let n_in = compiled.eaig.inputs().len();
+        let mut stim = FuzzRng::new(seed ^ 0x5717_B0B5);
+        let drive = |sim: &mut GemSimulator, gold: &mut EaigSim<'_>, stim: &mut FuzzRng| {
+            let mut bitvec = vec![false; n_in];
+            for p in m.inputs() {
+                let w = m.width(p.net);
+                let v = stim.bits(w);
+                sim.set_input(&p.name, v.clone());
+                let pb = compiled
+                    .eaig_inputs
+                    .iter()
+                    .find(|pb| pb.name == p.name)
+                    .unwrap();
+                for i in 0..w {
+                    bitvec[pb.lsb_index + i as usize] = v.bit(i);
+                }
+            }
+            for (i, &v) in bitvec.iter().enumerate() {
+                gold.set_input(i, v);
+            }
+        };
+        let check = |sim: &GemSimulator, gold: &mut EaigSim<'_>, cycle: usize| {
+            for pb in compiled.eaig_outputs.iter() {
+                let v = sim.output(&pb.name);
+                for i in 0..pb.width {
+                    assert_eq!(
+                        v.bit(i),
+                        gold.output(pb.lsb_index + i as usize),
+                        "seed {seed} cycle {cycle}: {}[{i}] diverged after restore",
+                        pb.name
+                    );
+                }
+            }
+        };
+
+        for cycle in 0..8 {
+            drive(&mut sim, &mut gold, &mut stim);
+            gold.eval();
+            sim.step();
+            check(&sim, &mut gold, cycle);
+            gold.step();
+        }
+        let snap = sim.snapshot();
+        let counters_at_snap = sim.counters();
+
+        // Fresh simulator, opposite backend, restored mid-run state.
+        let mut sim2 = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sim2.set_backend(second);
+        sim2.restore(&snap)
+            .unwrap_or_else(|e| panic!("seed {seed}: restore failed: {e}"));
+        assert_eq!(
+            sim2.backend(),
+            second,
+            "seed {seed}: restore must not change the configured backend"
+        );
+        assert_eq!(
+            sim2.counters(),
+            counters_at_snap,
+            "seed {seed}: counters did not survive the snapshot"
+        );
+
+        for cycle in 8..16 {
+            drive(&mut sim2, &mut gold, &mut stim);
+            gold.eval();
+            sim2.step();
+            check(&sim2, &mut gold, cycle);
+            gold.step();
+        }
+    }
+}

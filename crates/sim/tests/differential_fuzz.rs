@@ -1,18 +1,26 @@
 //! Differential fuzzing: randomly generated designs, golden E-AIG
-//! interpreter vs the virtual GPU at 1 and N threads.
+//! interpreter vs the virtual GPU across the full execution matrix.
 //!
 //! For every seed the suite builds a random module
 //! ([`gem_sim::random_module`]), compiles it, and runs the same random
-//! stimulus through three engines in lockstep:
+//! stimulus through the golden [`EaigSim`] and **eight** `GemSimulator`
+//! configurations in lockstep — every point of
 //!
-//! * [`EaigSim`] — the workspace's ground truth,
-//! * `GemSimulator` with the serial execution engine,
-//! * `GemSimulator` with a 4-thread parallel engine,
+//! ```text
+//! {interpreted, compiled} × {1, 4} threads × {1, 32} lanes
+//! ```
 //!
-//! asserting bit-exact outputs every cycle, identical architectural
-//! counters between the two GEM engines (the ISSUE's determinism
-//! contract), and the PR-1 counter-reconciliation invariants on the
-//! merged breakdown.
+//! asserting, every cycle:
+//!
+//! * bit-exact outputs against the golden model (lane 0 of batch
+//!   sessions replays the golden stimulus),
+//! * bit-exact noise-lane outputs across every batch configuration
+//!   (lanes 1..32 carry per-lane noise streams, identical across sims),
+//! * identical architectural counters within each lane-count group
+//!   (RAM-phase counters are lane-dependent, so 1-lane and 32-lane
+//!   groups are compared separately) — the determinism contract for
+//!   both the thread knob and the backend knob,
+//! * the PR-1 counter-reconciliation invariants on the merged breakdown.
 //!
 //! `fuzz_smoke` (a small seed range) runs in the tier-1 suite; the full
 //! ≥200-design sweep is `fuzz_sweep` behind `--ignored`:
@@ -21,17 +29,42 @@
 //! cargo test -p gem-sim --test differential_fuzz -- --ignored
 //! ```
 //!
-//! A failure message always contains the seed, which reproduces the
-//! design, the stimulus, and the divergence deterministically.
+//! A failure message always contains the seed and the diverging
+//! configuration, which reproduce the design, the stimulus, and the
+//! divergence deterministically.
 
-use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_core::{compile, CompileOptions, ExecBackend, GemSimulator};
 use gem_sim::{random_module, EaigSim, FuzzConfig, FuzzRng};
 
-/// Runs one seed through all three engines. Returns the pool tasks the
-/// parallel engine dispatched, so callers can assert the sweep really
-/// fanned out (stages with a single core bypass the pool, and a 256-bit
-/// core swallows every fuzz design whole — 64 bits is the widest core
-/// that still forces multi-partition placements on this corpus).
+/// Salt for the noise streams driving lanes 1..32 of batch sims (lane 0
+/// replays the golden stimulus).
+const NOISE_SALT: u64 = 0xBADC_AB1E;
+
+/// One point of the execution matrix.
+struct MatrixSim {
+    sim: GemSimulator,
+    backend: ExecBackend,
+    threads: usize,
+    lanes: u32,
+}
+
+impl MatrixSim {
+    fn describe(&self) -> String {
+        format!(
+            "{} backend, {} thread(s), {} lane(s)",
+            self.backend.name(),
+            self.threads,
+            self.lanes
+        )
+    }
+}
+
+/// Runs one seed through the golden model and the full backend ×
+/// threads × lanes matrix. Returns the pool tasks the parallel engines
+/// dispatched, so callers can assert the sweep really fanned out
+/// (stages with a single core bypass the pool, and a 256-bit core
+/// swallows every fuzz design whole — 64 bits is the widest core that
+/// still forces multi-partition placements on this corpus).
 fn run_differential(seed: u64, cycles: u64) -> u64 {
     run_differential_with(seed, cycles, &FuzzConfig::for_seed(seed))
 }
@@ -65,20 +98,44 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
         "seed {seed}: compile skipped bitstream verification"
     );
     let mut gold = EaigSim::new(&compiled.eaig);
-    let mut gem1 = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-    let mut gemn = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-    gem1.set_threads(1);
-    gemn.set_threads(4);
+    let mut sims = Vec::new();
+    for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+        for threads in [1usize, 4] {
+            for lanes in [1u32, 32] {
+                let mut sim =
+                    GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                sim.set_threads(threads);
+                sim.set_backend(backend);
+                sim.set_lanes(lanes)
+                    .unwrap_or_else(|e| panic!("seed {seed}: set_lanes({lanes}): {e}"));
+                sims.push(MatrixSim {
+                    sim,
+                    backend,
+                    threads,
+                    lanes,
+                });
+            }
+        }
+    }
 
     let n_in = compiled.eaig.inputs().len();
     let mut stim = FuzzRng::new(seed ^ 0x5717_B0B5);
+    let mut noise: Vec<FuzzRng> = (1..GemSimulator::MAX_LANES as u64)
+        .map(|lane| FuzzRng::new(seed ^ NOISE_SALT ^ lane.wrapping_mul(0x9E37_79B9)))
+        .collect();
     for cycle in 0..cycles {
+        // Golden stimulus: lane 0 everywhere (scalar sims broadcast).
         let mut bitvec = vec![false; n_in];
         for p in m.inputs() {
             let w = m.width(p.net);
             let v = stim.bits(w);
-            gem1.set_input(&p.name, v.clone());
-            gemn.set_input(&p.name, v.clone());
+            for s in sims.iter_mut() {
+                if s.lanes == 1 {
+                    s.sim.set_input(&p.name, v.clone());
+                } else {
+                    s.sim.set_input_lane(&p.name, 0, v.clone());
+                }
+            }
             let pb = compiled
                 .eaig_inputs
                 .iter()
@@ -88,44 +145,96 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
                 bitvec[pb.lsb_index + i as usize] = v.bit(i);
             }
         }
+        // Noise lanes: one draw per (lane, input) per cycle, applied to
+        // every batch sim, so their lanes are comparable bit-for-bit.
+        for lane in 1..GemSimulator::MAX_LANES {
+            for p in m.inputs() {
+                let v = noise[lane as usize - 1].bits(m.width(p.net));
+                for s in sims.iter_mut().filter(|s| s.lanes > 1) {
+                    s.sim.set_input_lane(&p.name, lane, v.clone());
+                }
+            }
+        }
         for (i, &v) in bitvec.iter().enumerate() {
             gold.set_input(i, v);
         }
         gold.eval();
-        gem1.step();
-        gemn.step();
+        for s in sims.iter_mut() {
+            s.sim.step();
+        }
         for pb in compiled.eaig_outputs.iter() {
-            let v1 = gem1.output(&pb.name);
-            let vn = gemn.output(&pb.name);
-            for i in 0..pb.width {
-                let want = gold.output(pb.lsb_index + i as usize);
+            let want: Vec<bool> = (0..pb.width)
+                .map(|i| gold.output(pb.lsb_index + i as usize))
+                .collect();
+            for s in sims.iter() {
+                let v = if s.lanes == 1 {
+                    s.sim.output(&pb.name)
+                } else {
+                    s.sim.output_lane(&pb.name, 0)
+                };
+                for (i, &w) in want.iter().enumerate() {
+                    assert_eq!(
+                        v.bit(i as u32),
+                        w,
+                        "seed {seed} cycle {cycle}: {} diverged from golden on {}[{i}]",
+                        s.describe(),
+                        pb.name
+                    );
+                }
+            }
+        }
+        // Noise lanes must agree across every batch configuration: the
+        // backend-equivalence claim covers all 32 stimulus streams, not
+        // just the golden-checked lane 0.
+        let batch: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes > 1).collect();
+        for pb in compiled.eaig_outputs.iter() {
+            for lane in 1..GemSimulator::MAX_LANES {
+                let want = batch[0].sim.output_lane(&pb.name, lane);
+                for s in &batch[1..] {
+                    assert_eq!(
+                        s.sim.output_lane(&pb.name, lane),
+                        want,
+                        "seed {seed} cycle {cycle}: {} diverged from {} on lane {lane} of {}",
+                        s.describe(),
+                        batch[0].describe(),
+                        pb.name
+                    );
+                }
+            }
+        }
+        // Determinism contract: merged counters identical across
+        // backends and thread counts, every cycle — within each lane
+        // group (the RAM phase touches every active lane, so 32-lane
+        // counters legitimately differ from 1-lane ones).
+        for lanes in [1u32, 32] {
+            let group: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes == lanes).collect();
+            let want = group[0].sim.counters();
+            for s in &group[1..] {
                 assert_eq!(
-                    v1.bit(i),
+                    s.sim.counters(),
                     want,
-                    "seed {seed} cycle {cycle}: serial GEM diverged from golden on {}[{i}]",
-                    pb.name
-                );
-                assert_eq!(
-                    vn.bit(i),
-                    want,
-                    "seed {seed} cycle {cycle}: parallel GEM diverged from golden on {}[{i}]",
-                    pb.name
+                    "seed {seed} cycle {cycle}: counters diverged between {} and {}",
+                    s.describe(),
+                    group[0].describe()
                 );
             }
         }
-        // Determinism contract: merged counters identical 1 vs N threads,
-        // every cycle (not just at the end).
-        assert_eq!(
-            gem1.counters(),
-            gemn.counters(),
-            "seed {seed} cycle {cycle}: counters diverged between engines"
-        );
         gold.step();
     }
 
-    // PR-1 reconciliation invariants on the merged parallel breakdown.
-    let bd = gemn.breakdown();
-    assert_eq!(bd, gem1.breakdown(), "seed {seed}: breakdowns diverged");
+    // PR-1 reconciliation invariants on the merged breakdown, plus
+    // breakdown equality across the whole 1-lane group.
+    let scalar: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes == 1).collect();
+    let bd = scalar[0].sim.breakdown();
+    for s in &scalar[1..] {
+        assert_eq!(
+            s.sim.breakdown(),
+            bd,
+            "seed {seed}: breakdowns diverged between {} and {}",
+            s.describe(),
+            scalar[0].describe()
+        );
+    }
     let sum = bd.partition_sum();
     assert_eq!(sum.alu_ops, bd.total.alu_ops, "seed {seed}: alu_ops");
     assert_eq!(
@@ -144,16 +253,20 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
         sum.global_bytes <= bd.total.global_bytes,
         "seed {seed}: partitions attributed more global traffic than the device moved"
     );
-    gemn.exec_stats().parallel_tasks
+    sims.iter()
+        .filter(|s| s.threads > 1)
+        .map(|s| s.sim.exec_stats().parallel_tasks)
+        .sum()
 }
 
-/// Tier-1 smoke subset: a couple dozen random designs, short stimuli.
-/// The corpus must contain at least one multi-core placement, or the
-/// "parallel" engine under test silently degrades to serial.
+/// Tier-1 smoke subset: a couple dozen random designs, short stimuli,
+/// full backend × threads × lanes matrix per seed. The corpus must
+/// contain at least one multi-core placement, or the "parallel" engine
+/// under test silently degrades to serial.
 #[test]
 fn fuzz_smoke() {
     let mut pool_tasks = 0;
-    for seed in 0..24 {
+    for seed in 0..25 {
         pool_tasks += run_differential(seed, 12);
     }
     assert!(pool_tasks > 0, "no seed engaged the parallel engine");
@@ -163,7 +276,7 @@ fn fuzz_smoke() {
 /// design has at least one memory and every memory carries both a sync
 /// and an async read port. The plain corpus only hits memories
 /// probabilistically; this subset pins both RAM read paths (and their
-/// verifier checks) in every run.
+/// verifier checks) in every run — under both backends.
 #[test]
 fn ram_smoke() {
     for seed in 0..15 {
@@ -173,8 +286,9 @@ fn ram_smoke() {
     }
 }
 
-/// Full sweep: ≥200 random designs × multi-cycle stimuli. Run with
-/// `--ignored` (CI runs it in the parallel-determinism job).
+/// Full sweep: ≥200 random designs × multi-cycle stimuli × the full
+/// execution matrix. Run with `--ignored` (CI runs it in the
+/// backend-determinism job).
 #[test]
 #[ignore = "full sweep; run with --ignored"]
 fn fuzz_sweep() {

@@ -20,6 +20,7 @@
 //! presets), which is what Table II reports. [`gl0am`] provides the same
 //! treatment for the LUT4 gate-level baseline the paper compares against.
 
+pub mod compiled;
 pub mod counters;
 pub mod exec;
 pub mod gl0am;
@@ -27,10 +28,11 @@ pub mod machine;
 pub mod spec;
 pub mod timing;
 
+pub use compiled::{CompiledCore, CompiledWrite, WRITE_CONST};
 pub use counters::{
     CounterBreakdown, KernelCounters, KernelRates, LayerCounters, PartitionCounters,
 };
-pub use exec::{ExecMode, ExecStats, StageWait};
+pub use exec::{ExecBackend, ExecMode, ExecStats, StageWait};
 pub use gl0am::Gl0amModel;
 pub use machine::{DeviceConfig, GemGpu, GpuSnapshot, MachineError, RamBinding};
 pub use spec::GpuSpec;

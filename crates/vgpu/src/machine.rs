@@ -42,8 +42,9 @@
 //! [`lanes`]: GemGpu::lanes
 //! [`set_lanes`]: GemGpu::set_lanes
 
+use crate::compiled::{with_scratch, CompiledCore};
 use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
-use crate::exec::{CorePool, ExecMode, ExecStats};
+use crate::exec::{CorePool, ExecBackend, ExecMode, ExecStats};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
 use gem_place::splat;
 use gem_telemetry::span;
@@ -122,6 +123,12 @@ impl From<DecodeError> for MachineError {
 #[derive(Debug, Clone)]
 struct LoadedCore {
     dec: DecodedCore,
+    /// The same program lowered once to threaded-code form — what the
+    /// compiled backend executes (see `docs/COMPILED.md`). Built
+    /// unconditionally at load so [`GemGpu::set_backend`] is a pure
+    /// engine switch with no recompilation, mirroring
+    /// [`GemGpu::set_exec_mode`].
+    comp: CompiledCore,
     delta: KernelCounters,
     /// Static cost of one boomerang layer of this core (all layers of a
     /// core are structurally identical in cost): shared accesses, fold
@@ -170,6 +177,10 @@ pub struct GemGpu {
     input_cache: Vec<Vec<Option<Vec<u32>>>>,
     /// Worker pool when the mode is parallel (shared by clones).
     pool: Option<Arc<CorePool>>,
+    /// Core evaluation backend (interpreted or compiled threaded code).
+    /// Host configuration like the pool, not simulated state: snapshots
+    /// neither capture nor reset it.
+    backend: ExecBackend,
     /// Host-side fan-out statistics (not simulated state; see
     /// [`ExecStats`]).
     exec_stats: ExecStats,
@@ -262,11 +273,15 @@ struct CoreOutbox {
 }
 
 /// Executes one core as a pure function of the stage-start global array.
-/// Both execution engines call exactly this, which is the structural
-/// reason serial and parallel runs cannot diverge.
+/// Both execution engines and both backends call exactly this, which is
+/// the structural reason serial/parallel and interpreted/compiled runs
+/// cannot diverge: the pruning decision, counter deltas, and write
+/// buffering are shared, and the backends differ only in how the fold
+/// network is evaluated.
 fn execute_core(
     core: &LoadedCore,
     global: &[u32],
+    backend: ExecBackend,
     pruning: bool,
     prev_cache: Option<Vec<u32>>,
     ci: usize,
@@ -319,23 +334,31 @@ fn execute_core(
         }
         out.cache = Some(inputs);
     }
-    let mut state = vec![0u32; width];
-    for r in &core.dec.reads {
-        state[r.state as usize] = global[r.global as usize];
-    }
-    for layer in &core.dec.layers {
-        layer.execute_words(&mut state);
-    }
-    for w in &core.dec.writes {
-        let v = match w.src {
-            WriteSrc::State { addr, invert } => state[addr as usize] ^ splat(invert),
-            WriteSrc::Const(c) => splat(c),
-        };
-        if w.deferred {
-            out.deferred.push((w.global, v));
-        } else {
-            out.immediate.push((w.global, v));
+    match backend {
+        ExecBackend::Interpreted => {
+            let mut state = vec![0u32; width];
+            for r in &core.dec.reads {
+                state[r.state as usize] = global[r.global as usize];
+            }
+            for layer in &core.dec.layers {
+                layer.execute_words(&mut state);
+            }
+            for w in &core.dec.writes {
+                let v = match w.src {
+                    WriteSrc::State { addr, invert } => state[addr as usize] ^ splat(invert),
+                    WriteSrc::Const(c) => splat(c),
+                };
+                if w.deferred {
+                    out.deferred.push((w.global, v));
+                } else {
+                    out.immediate.push((w.global, v));
+                }
+            }
         }
+        ExecBackend::Compiled => with_scratch(|scratch| {
+            core.comp
+                .execute_words_into(global, scratch, &mut out.immediate, &mut out.deferred);
+        }),
     }
     out.delta = core.delta;
     out
@@ -414,8 +437,10 @@ impl GemGpu {
                     delta.alu_ops += layer_cost.1;
                     delta.block_syncs += layer_cost.2;
                 }
+                let comp = CompiledCore::lower(&dec);
                 cores.push(LoadedCore {
                     dec,
+                    comp,
                     delta,
                     layer_cost,
                 });
@@ -489,6 +514,7 @@ impl GemGpu {
             stages: Arc::new(stages),
             cfg,
             pool: None,
+            backend: ExecBackend::Interpreted,
             exec_stats: ExecStats {
                 threads: 1,
                 lanes: 1,
@@ -535,6 +561,24 @@ impl GemGpu {
             Some(p) => ExecMode::Parallel(p.threads()),
             None => ExecMode::Serial,
         }
+    }
+
+    /// Selects the core evaluation backend.
+    /// [`ExecBackend::Interpreted`] walks the decoded program;
+    /// [`ExecBackend::Compiled`] runs the threaded-code form lowered at
+    /// load. Results are bit-identical either way (waveforms *and*
+    /// counters — see `docs/COMPILED.md`); only host wall clock
+    /// differs. Switching backends mid-simulation is allowed and
+    /// composes freely with [`set_exec_mode`](Self::set_exec_mode) and
+    /// lane batching.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+        self.exec_stats.backend = backend;
+    }
+
+    /// The current core evaluation backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Host-side fan-out statistics (barrier waits, tasks dispatched).
@@ -758,7 +802,14 @@ impl GemGpu {
         for (ci, core) in stage.iter().enumerate() {
             let cache = std::mem::take(&mut self.input_cache[si][ci]);
             let started = Instant::now();
-            outboxes.push(execute_core(core, &self.global, self.pruning, cache, ci));
+            outboxes.push(execute_core(
+                core,
+                &self.global,
+                self.backend,
+                self.pruning,
+                cache,
+                ci,
+            ));
             if traced {
                 span::complete(
                     format!("core s{si}c{ci}"),
@@ -795,10 +846,11 @@ impl GemGpu {
             let global = Arc::clone(&global);
             let cache = std::mem::take(&mut self.input_cache[si][ci]);
             let pruning = self.pruning;
+            let backend = self.backend;
             let tx = tx.clone();
             pool.submit(Box::new(move || {
                 let started = Instant::now();
-                let out = execute_core(&stages[si][ci], &global, pruning, cache, ci);
+                let out = execute_core(&stages[si][ci], &global, backend, pruning, cache, ci);
                 // Release the snapshot handle *before* reporting so the
                 // coordinator can take the array back without a copy.
                 drop(global);
@@ -933,6 +985,15 @@ impl GemGpu {
             MetricKind::Gauge,
             self.lanes as f64,
         );
+        snap.push(MetricFamily {
+            name: "gem_vgpu_backend".to_string(),
+            help: "Configured core evaluation backend (1 on the active label)".to_string(),
+            kind: MetricKind::Gauge,
+            samples: vec![Sample {
+                labels: vec![("backend".to_string(), self.backend.name().to_string())],
+                value: 1.0,
+            }],
+        });
         snap.push_scalar(
             "gem_vgpu_parallel_tasks_total",
             "Core executions dispatched to the worker pool",
@@ -1317,7 +1378,7 @@ mod parallel_tests {
     /// One stage of `n` AND cores: core `i` computes
     /// `g[2n+i] = g[2i] & g[2i+1]`, alternating immediate and deferred
     /// writes so the merge path sees both write classes.
-    fn wide_machine(n: u32) -> GemGpu {
+    pub(super) fn wide_machine(n: u32) -> GemGpu {
         let width = 16u32;
         let mut cores = Vec::new();
         for i in 0..n {
@@ -1373,7 +1434,7 @@ mod parallel_tests {
 
     /// Drives `serial` and `parallel` with an identical input pattern and
     /// asserts bit-identical observable state and counters every cycle.
-    fn assert_lockstep(serial: &mut GemGpu, parallel: &mut GemGpu, n: u32, cycles: u64) {
+    pub(super) fn assert_lockstep(serial: &mut GemGpu, parallel: &mut GemGpu, n: u32, cycles: u64) {
         for c in 0..cycles {
             for i in 0..2 * n {
                 let v = (c.wrapping_mul(0x9E37) >> i) & 1 == 1;
@@ -1596,6 +1657,143 @@ mod parallel_tests {
             assert_eq!(ser.peek(g), par.peek(g));
         }
         assert_eq!(ser.counters(), par.counters());
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::parallel_tests::{assert_lockstep, wide_machine};
+    use super::*;
+    use crate::exec::{ExecBackend, ExecMode};
+
+    #[test]
+    fn compiled_backend_is_bit_identical_to_interpreted() {
+        let n = 6;
+        for threads in [1usize, 4] {
+            let mut interp = wide_machine(n);
+            let mut comp = wide_machine(n);
+            comp.set_backend(ExecBackend::Compiled);
+            comp.set_threads(threads);
+            assert_eq!(comp.backend(), ExecBackend::Compiled);
+            assert_eq!(comp.exec_stats().backend, ExecBackend::Compiled);
+            assert_eq!(interp.backend(), ExecBackend::Interpreted);
+            assert_lockstep(&mut interp, &mut comp, n, 32);
+        }
+    }
+
+    #[test]
+    fn compiled_backend_is_bit_identical_with_pruning() {
+        let n = 4;
+        let mut interp = wide_machine(n);
+        let mut comp = wide_machine(n);
+        interp.set_pruning(true);
+        comp.set_pruning(true);
+        comp.set_backend(ExecBackend::Compiled);
+        assert_lockstep(&mut interp, &mut comp, n, 24);
+        assert!(
+            comp.counters().blocks_skipped > 0,
+            "the pattern repeats, so pruning must fire under the compiled backend too"
+        );
+    }
+
+    #[test]
+    fn backend_switch_mid_simulation_keeps_the_trajectory() {
+        let n = 5;
+        let mut reference = wide_machine(n);
+        let mut switching = wide_machine(n);
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+        switching.set_backend(ExecBackend::Compiled);
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+        switching.set_exec_mode(ExecMode::Parallel(2));
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+        switching.set_backend(ExecBackend::Interpreted);
+        assert_lockstep(&mut reference, &mut switching, n, 8);
+    }
+
+    /// Backends × lanes: a 32-lane compiled batch tracks the
+    /// interpreted batch on every lane under divergent stimulus.
+    #[test]
+    fn compiled_lane_batch_matches_interpreted_per_lane() {
+        let n = 4;
+        let mut interp = wide_machine(n);
+        let mut comp = wide_machine(n);
+        comp.set_backend(ExecBackend::Compiled);
+        interp.set_lanes(32).expect("32 lanes");
+        comp.set_lanes(32).expect("32 lanes");
+        for c in 0u64..16 {
+            for i in 0..2 * n {
+                for lane in 0..32u32 {
+                    let v = (c.wrapping_mul(0x9E37) >> (i + lane)) & 1 == 1;
+                    interp.poke_lane(i, lane, v);
+                    comp.poke_lane(i, lane, v);
+                }
+            }
+            interp.step_cycle();
+            comp.step_cycle();
+            for g in 0..3 * n {
+                assert_eq!(
+                    interp.peek_lanes(g),
+                    comp.peek_lanes(g),
+                    "cycle {c}: lane word of global {g} diverged"
+                );
+            }
+            assert_eq!(interp.counters(), comp.counters(), "cycle {c} counters");
+        }
+    }
+
+    /// A snapshot is backend-agnostic in both directions: state taken
+    /// under one backend restores under the other and continues the
+    /// identical trajectory, and restore never resets the configured
+    /// backend (it is host configuration, like the thread count).
+    #[test]
+    fn snapshot_restore_is_backend_agnostic() {
+        let n = 4;
+        let mut comp = wide_machine(n);
+        comp.set_backend(ExecBackend::Compiled);
+        for i in 0..2 * n {
+            comp.poke(i, i % 3 == 0);
+        }
+        for _ in 0..5 {
+            comp.step_cycle();
+        }
+        let snap = comp.snapshot();
+        let mut interp = wide_machine(n);
+        interp.restore(&snap).expect("restores");
+        assert_eq!(
+            interp.backend(),
+            ExecBackend::Interpreted,
+            "restore must not change the configured backend"
+        );
+        assert_eq!(comp.backend(), ExecBackend::Compiled);
+        for i in 0..2 * n {
+            interp.poke(i, i % 3 == 0);
+            comp.poke(i, i % 3 == 0);
+        }
+        interp.step_cycle();
+        comp.step_cycle();
+        for g in 0..3 * n {
+            assert_eq!(interp.peek(g), comp.peek(g));
+        }
+        assert_eq!(interp.counters(), comp.counters());
+    }
+
+    #[test]
+    fn backend_metric_exported() {
+        let mut gpu = wide_machine(2);
+        let snap = gpu.metrics_snapshot();
+        let fam = snap.family("gem_vgpu_backend").unwrap();
+        assert_eq!(
+            fam.samples[0].labels,
+            vec![("backend".to_string(), "interpreted".to_string())]
+        );
+        gpu.set_backend(ExecBackend::Compiled);
+        let snap = gpu.metrics_snapshot();
+        let fam = snap.family("gem_vgpu_backend").unwrap();
+        assert_eq!(
+            fam.samples[0].labels,
+            vec![("backend".to_string(), "compiled".to_string())]
+        );
+        assert_eq!(fam.total(), 1.0);
     }
 }
 

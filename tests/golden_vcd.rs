@@ -7,6 +7,12 @@
 //! encoding, or the simulator that alters observable behavior shows up
 //! as a digest mismatch naming the design.
 //!
+//! Every waveform is produced under **both** execution backends
+//! (interpreted and compiled) and must hash identically: the backends
+//! share one golden corpus, there is no per-backend digest set. Blessing
+//! writes the interpreted digest; the compiled run is compared against
+//! it, never blessed from.
+//!
 //! To re-bless after an *intentional* behavioral change:
 //!
 //! ```text
@@ -15,7 +21,7 @@
 //!
 //! then review the `.digest` diff like any other golden-file change.
 
-use gem_core::{compile, CompileOptions, GemSimulator};
+use gem_core::{compile, CompileOptions, ExecBackend, GemSimulator};
 use gem_netlist::vcd::VcdWriter;
 use gem_netlist::verilog;
 use gem_sim::FuzzRng;
@@ -35,8 +41,8 @@ fn fnv1a(text: &str) -> u64 {
 }
 
 /// Compiles one design and records its outputs for [`CYCLES`] cycles of
-/// seeded random stimulus into a VCD document.
-fn waveform(path: &Path) -> String {
+/// seeded random stimulus into a VCD document, under the given backend.
+fn waveform(path: &Path, backend: ExecBackend) -> String {
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     let name = path.file_stem().unwrap().to_string_lossy().into_owned();
     let module = verilog::parse(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
@@ -55,6 +61,7 @@ fn waveform(path: &Path) -> String {
         .collect();
     w.begin();
     let mut sim = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("{name}: {e}"));
+    sim.set_backend(backend);
     // The stimulus seed is part of the golden contract — changing it
     // invalidates every digest.
     let mut stim = FuzzRng::new(0x601D);
@@ -75,7 +82,7 @@ fn waveform(path: &Path) -> String {
 /// lane 0 replays the pinned golden stimulus while every other lane
 /// runs its own unrelated stream. The digest must match the scalar
 /// run's — lane batching must not perturb observable behavior.
-fn lane_zero_waveform(path: &Path) -> String {
+fn lane_zero_waveform(path: &Path, backend: ExecBackend) -> String {
     const LANES: u32 = 32;
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     let name = path.file_stem().unwrap().to_string_lossy().into_owned();
@@ -94,6 +101,7 @@ fn lane_zero_waveform(path: &Path) -> String {
         .collect();
     w.begin();
     let mut sim = GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("{name}: {e}"));
+    sim.set_backend(backend);
     sim.set_lanes(LANES)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
     // Lane 0 replays the golden stimulus seed; the other 31 lanes run
@@ -127,13 +135,18 @@ fn lane_zero_of_batch_matches_golden_digests() {
     // by the scalar test above without forcing a lane run.
     for name in ["counter", "alu", "regfile"] {
         let path = root.join(format!("examples/designs/{name}.v"));
-        let digest = format!("{:016x}\n", fnv1a(&lane_zero_waveform(&path)));
         let want = std::fs::read_to_string(golden_dir.join(format!("{name}.digest")))
             .unwrap_or_else(|_| panic!("{name}: no pinned golden digest"));
-        assert_eq!(
-            digest, want,
-            "{name}: lane 0 of a 32-lane batch diverged from the pinned scalar waveform"
-        );
+        for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+            let digest = format!("{:016x}\n", fnv1a(&lane_zero_waveform(&path, backend)));
+            assert_eq!(
+                digest,
+                want,
+                "{name}: lane 0 of a 32-lane batch under the {} backend diverged \
+                 from the pinned scalar waveform",
+                backend.name()
+            );
+        }
     }
 }
 
@@ -159,7 +172,17 @@ fn example_designs_match_golden_digests() {
     let mut mismatches = Vec::new();
     for path in &paths {
         let name = path.file_stem().unwrap().to_string_lossy().into_owned();
-        let digest = format!("{:016x}\n", fnv1a(&waveform(path)));
+        let digest = format!(
+            "{:016x}\n",
+            fnv1a(&waveform(path, ExecBackend::Interpreted))
+        );
+        // The compiled backend shares the corpus: its waveform must hash
+        // to the *same* digest, before either is compared to the pin.
+        let compiled_digest = format!("{:016x}\n", fnv1a(&waveform(path, ExecBackend::Compiled)));
+        assert_eq!(
+            digest, compiled_digest,
+            "{name}: compiled backend produced a different waveform than interpreted"
+        );
         let golden_path = golden_dir.join(format!("{name}.digest"));
         if bless {
             std::fs::create_dir_all(&golden_dir).expect("mkdir tests/golden");
