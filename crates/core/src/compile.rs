@@ -1,7 +1,9 @@
 //! The end-to-end GEM compiler (RTL → bitstream).
 
 use gem_aig::{Eaig, Lit, Node, RAM_ADDR_BITS, RAM_DATA_BITS};
-use gem_isa::{assemble_core, Bitstream, ReadEntry, WriteEntry, WriteSrc};
+use gem_analyze::{AnalysisReport, Severity};
+use gem_isa::{assemble_core, Bitstream, ReadEntry, ScheduleCert, WriteEntry, WriteSrc};
+use gem_netlist::verilog::SourceLint;
 use gem_netlist::Module;
 use gem_partition::merge::{estimate_width, merge_partitions};
 use gem_partition::repcut::Region;
@@ -120,6 +122,9 @@ pub struct CompileReport {
     /// Whether the static bitstream verifier ran and passed (false when
     /// verification was disabled).
     pub verified: bool,
+    /// Whether the schedule happens-before checker ran and produced a
+    /// [`ScheduleCert`] (false when verification was disabled).
+    pub certified: bool,
 }
 
 impl CompileReport {
@@ -137,6 +142,7 @@ impl CompileReport {
         o.set("ram_blocks", self.ram_blocks);
         o.set("polyfilled_mem_bits", self.polyfilled_mem_bits);
         o.set("verified", self.verified);
+        o.set("certified", self.certified);
         o
     }
 }
@@ -168,6 +174,9 @@ pub struct Compiled {
     pub eaig_inputs: Vec<PortBits>,
     /// Output-port layout within the E-AIG's output list.
     pub eaig_outputs: Vec<PortBits>,
+    /// Schedule happens-before certificate (present when verification
+    /// ran; stored in the `.gemb` package and re-checked on load).
+    pub schedule_cert: Option<ScheduleCert>,
 }
 
 impl Compiled {
@@ -188,6 +197,9 @@ pub enum CompileError {
     Synth(SynthError),
     /// A partition stayed unmappable even after excessive re-partitioning.
     Place(PlaceError),
+    /// The static analyzer found error-severity diagnostics (e.g. a
+    /// combinational cycle) or the schedule could not be certified.
+    Analyze(String),
     /// The static bitstream verifier found invariant violations.
     Verify(String),
     /// Internal inconsistency (a bug).
@@ -199,6 +211,7 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Synth(e) => write!(f, "synthesis failed: {e}"),
             CompileError::Place(e) => write!(f, "placement failed: {e}"),
+            CompileError::Analyze(s) => write!(f, "static analysis failed: {s}"),
             CompileError::Verify(s) => write!(f, "bitstream verification failed: {s}"),
             CompileError::Internal(s) => write!(f, "internal compiler error: {s}"),
         }
@@ -213,15 +226,74 @@ impl From<SynthError> for CompileError {
     }
 }
 
+/// Runs the static analyzer as a recorded flow stage and gates the
+/// compile on error-severity diagnostics.
+fn analyze_stage(
+    m: &Module,
+    lints: &[SourceLint],
+    flow: &mut FlowRecorder,
+) -> Result<AnalysisReport, CompileError> {
+    let mut st = flow.stage("analyze");
+    let report = gem_analyze::analyze_with_lints(m, lints);
+    st.metric("diagnostics", report.diagnostics.len() as f64);
+    st.metric("errors", report.count(Severity::Error) as f64);
+    st.metric("warnings", report.count(Severity::Warning) as f64);
+    for p in &report.passes {
+        st.metric(&format!("{}_wall_ns", p.name), p.wall_ns as f64);
+        st.metric(&format!("{}_diagnostics", p.name), p.diagnostics as f64);
+    }
+    drop(st);
+    let errors: Vec<_> = report.errors().collect();
+    if let Some(first) = errors.first() {
+        return Err(CompileError::Analyze(format!(
+            "{} error-severity diagnostic(s); first: {first}",
+            errors.len()
+        )));
+    }
+    Ok(report)
+}
+
+/// Compiles Verilog source through the full GEM flow, running the static
+/// analyzer *before* netlist validation so structural errors surface as
+/// named diagnostics — a combinational loop reports the nets on the
+/// cycle ([`CompileError::Analyze`]) instead of an opaque levelization
+/// failure.
+///
+/// # Errors
+///
+/// [`CompileError::Analyze`] on parse-visible design errors (loops,
+/// undriven or multiply-driven nets, width mismatches), then everything
+/// [`compile`] can return.
+pub fn compile_verilog(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let (m, lints) = gem_netlist::verilog::parse_with_lints(source)
+        .map_err(|e| CompileError::Analyze(format!("parse failed: {e}")))?;
+    let mut flow = FlowRecorder::new("compile");
+    analyze_stage(&m, &lints, &mut flow)?;
+    // The analyzer passed; validation catches only what the lints do not
+    // model (it is the authoritative gate either way).
+    gem_netlist::validate(&m).map_err(|e| CompileError::Analyze(e.to_string()))?;
+    compile_with(&m, opts, flow)
+}
+
 /// Compiles an RTL module through the full GEM flow.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError`] when synthesis fails or a partition cannot be
 /// made mappable (e.g. the design's width genuinely exceeds
-/// `target_parts × core_width`).
+/// `target_parts × core_width`), and [`CompileError::Analyze`] when the
+/// static analyzer finds error-severity diagnostics.
 pub fn compile(m: &Module, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     let mut flow = FlowRecorder::new("compile");
+    analyze_stage(m, &[], &mut flow)?;
+    compile_with(m, opts, flow)
+}
+
+fn compile_with(
+    m: &Module,
+    opts: &CompileOptions,
+    mut flow: FlowRecorder,
+) -> Result<Compiled, CompileError> {
     let synth = {
         let mut st = flow.stage("synth");
         let synth = synthesize(m, &opts.synth)?;
@@ -591,6 +663,33 @@ fn compile_eaig_with(
         verified = true;
     }
 
+    // --- Schedule happens-before certification.
+    let mut schedule_cert = None;
+    if opts.verify {
+        let mut st = flow.stage("certify");
+        let ctx = crate::verify::context(&device, &io, Some(&programs));
+        match gem_isa::certify_schedule(&bitstream, &ctx) {
+            Ok(cert) => {
+                st.metric("reads", f64::from(cert.reads));
+                st.metric("barrier_edges", f64::from(cert.barrier_edges));
+                st.metric("boundary_edges", f64::from(cert.boundary_edges));
+                schedule_cert = Some(cert);
+            }
+            Err(violations) => {
+                st.metric("violations", violations.len() as f64);
+                drop(st);
+                let first = violations
+                    .first()
+                    .map_or_else(String::new, |v| v.message.clone());
+                return Err(CompileError::Analyze(format!(
+                    "schedule certification failed with {} violation(s); \
+                     first: {first}",
+                    violations.len()
+                )));
+            }
+        }
+    }
+
     let report = CompileReport {
         gates: synth.stats.gates,
         levels: synth.stats.levels,
@@ -602,6 +701,7 @@ fn compile_eaig_with(
         ram_blocks: synth.stats.ram_blocks,
         polyfilled_mem_bits: synth.stats.polyfilled_mem_bits,
         verified,
+        certified: schedule_cert.is_some(),
     };
     gem_telemetry::info!(
         "compiled: {} gates, {} parts, {} stages, {} layers, {} B bitstream",
@@ -622,6 +722,7 @@ fn compile_eaig_with(
         programs,
         eaig_inputs: synth.inputs,
         eaig_outputs: synth.outputs,
+        schedule_cert,
     })
 }
 

@@ -47,13 +47,14 @@ pub mod simulator;
 pub mod verify;
 
 pub use compile::{
-    compile, compile_eaig, CompileError, CompileOptions, CompileReport, Compiled, IoMap,
-    PortIndices,
+    compile, compile_eaig, compile_verilog, CompileError, CompileOptions, CompileReport, Compiled,
+    IoMap, PortIndices,
 };
+pub use gem_isa::ScheduleCert;
 pub use gem_vgpu::{ExecBackend, ExecMode, ExecStats};
 pub use package::{
-    device_from_json, device_to_json, io_from_json, io_to_json, report_from_json, Package,
-    ParsePackageError,
+    cert_from_json, cert_to_json, device_from_json, device_to_json, io_from_json, io_to_json,
+    report_from_json, Package, ParsePackageError,
 };
 pub use profile::{
     profile, BarrierProfile, LayerProfile, PartitionProfile, ProfileOptions, ProfileReport,

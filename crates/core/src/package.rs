@@ -11,7 +11,7 @@
 //! ```
 
 use crate::compile::{CompileReport, Compiled, IoMap, PortIndices};
-use gem_isa::Bitstream;
+use gem_isa::{Bitstream, ScheduleCert};
 use gem_telemetry::Json;
 use gem_vgpu::{DeviceConfig, RamBinding};
 use std::fmt;
@@ -30,6 +30,9 @@ pub struct Package {
     pub report: CompileReport,
     /// The assembled bitstream.
     pub bitstream: Bitstream,
+    /// Schedule happens-before certificate (absent in packages compiled
+    /// with verification off or written before certification existed).
+    pub schedule_cert: Option<ScheduleCert>,
 }
 
 /// Errors from [`Package::from_bytes`].
@@ -220,6 +223,47 @@ pub fn report_from_json(j: &Json) -> Result<CompileReport, ParsePackageError> {
         polyfilled_mem_bits: get_u64(j, "polyfilled_mem_bits")?,
         // Absent in packages written before the verifier existed.
         verified: j.get("verified").and_then(Json::as_bool).unwrap_or(false),
+        // Absent in packages written before schedule certification.
+        certified: j.get("certified").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+/// Serializes a [`ScheduleCert`] (package metadata schema). The u64
+/// digests ride as JSON integers — the in-repo JSON keeps them lossless.
+pub fn cert_to_json(c: &ScheduleCert) -> Json {
+    let mut o = Json::object();
+    o.set("version", c.version);
+    o.set("stages", c.stages);
+    o.set("cores", c.cores);
+    o.set("global_bits", c.global_bits);
+    o.set("reads", c.reads);
+    o.set("barrier_edges", c.barrier_edges);
+    o.set("boundary_edges", c.boundary_edges);
+    o.set("immediate_writes", c.immediate_writes);
+    o.set("deferred_writes", c.deferred_writes);
+    o.set("table_digest", c.table_digest);
+    o.set("bitstream_fnv", c.bitstream_fnv);
+    o
+}
+
+/// Parses the [`cert_to_json`] schema.
+///
+/// # Errors
+///
+/// Returns [`ParsePackageError::BadMeta`] naming the first violation.
+pub fn cert_from_json(j: &Json) -> Result<ScheduleCert, ParsePackageError> {
+    Ok(ScheduleCert {
+        version: get_u32(j, "version")?,
+        stages: get_u32(j, "stages")?,
+        cores: get_u32(j, "cores")?,
+        global_bits: get_u32(j, "global_bits")?,
+        reads: get_u32(j, "reads")?,
+        barrier_edges: get_u32(j, "barrier_edges")?,
+        boundary_edges: get_u32(j, "boundary_edges")?,
+        immediate_writes: get_u32(j, "immediate_writes")?,
+        deferred_writes: get_u32(j, "deferred_writes")?,
+        table_digest: get_u64(j, "table_digest")?,
+        bitstream_fnv: get_u64(j, "bitstream_fnv")?,
     })
 }
 
@@ -231,6 +275,7 @@ impl Package {
             io: c.io.clone(),
             report: c.report,
             bitstream: c.bitstream.clone(),
+            schedule_cert: c.schedule_cert,
         }
     }
 
@@ -240,6 +285,9 @@ impl Package {
         meta.set("device", device_to_json(&self.device));
         meta.set("io", io_to_json(&self.io));
         meta.set("report", self.report.to_json());
+        if let Some(cert) = &self.schedule_cert {
+            meta.set("schedule_cert", cert_to_json(cert));
+        }
         let meta = meta.to_string().into_bytes();
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
@@ -282,6 +330,7 @@ impl Package {
             io: io_from_json(get(&meta, "io")?)?,
             report: report_from_json(get(&meta, "report")?)?,
             bitstream,
+            schedule_cert: meta.get("schedule_cert").map(cert_from_json).transpose()?,
         })
     }
 
@@ -338,6 +387,21 @@ mod tests {
             direct.step();
             assert_eq!(from_pkg.output("q"), direct.output("q"));
         }
+    }
+
+    #[test]
+    fn schedule_cert_rides_the_package() {
+        let c = compiled();
+        let cert = c.schedule_cert.expect("verified compile carries a cert");
+        let pkg = Package::from_compiled(&c);
+        let back = Package::from_bytes(&pkg.to_bytes()).expect("parses");
+        assert_eq!(back.schedule_cert, Some(cert));
+        assert!(back.report.certified);
+        // A cert-less package (pre-certification writer) still loads.
+        let mut old = pkg.clone();
+        old.schedule_cert = None;
+        let back = Package::from_bytes(&old.to_bytes()).expect("parses");
+        assert_eq!(back.schedule_cert, None);
     }
 
     #[test]

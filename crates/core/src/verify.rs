@@ -37,6 +37,7 @@ pub fn context<'a>(
         input_slots: io.inputs.iter().flat_map(|p| p.bits.clone()).collect(),
         output_slots: io.outputs.iter().flat_map(|p| p.bits.clone()).collect(),
         programs,
+        schedule_cert: None,
     }
 }
 
@@ -55,14 +56,13 @@ pub fn verify(
 
 impl crate::Compiled {
     /// Verifies this compile result's bitstream against its own device,
-    /// I/O, and placement metadata (all six checks).
+    /// I/O, and placement metadata (all seven check families). When a
+    /// schedule certificate is attached, the `schedule` check
+    /// additionally cross-checks the stored cert against recomputation.
     pub fn verify(&self) -> VerifyReport {
-        verify(
-            &self.bitstream,
-            &self.device,
-            &self.io,
-            Some(&self.programs),
-        )
+        let mut ctx = context(&self.device, &self.io, Some(&self.programs));
+        ctx.schedule_cert = self.schedule_cert.as_ref();
+        verify_bitstream(&self.bitstream, &ctx)
     }
 }
 

@@ -28,17 +28,26 @@ fn compile_flow_stage_names_are_stable() {
     let compiled = compile(&m, &CompileOptions::small()).expect("compiles");
     assert_eq!(
         compiled.flow.stage_names(),
-        vec!["synth", "partition", "merge", "place", "encode", "verify"],
+        vec![
+            "analyze",
+            "synth",
+            "partition",
+            "merge",
+            "place",
+            "encode",
+            "verify",
+            "certify"
+        ],
         "stage names/order are part of the metrics-file format"
     );
-    // Entering after synthesis skips exactly the synth stage.
+    // Entering after synthesis skips the analyze and synth stages.
     let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
     let from_eaig = compile_eaig(synth, &CompileOptions::small()).expect("compiles");
     assert_eq!(
         from_eaig.flow.stage_names(),
-        vec!["partition", "merge", "place", "encode", "verify"]
+        vec!["partition", "merge", "place", "encode", "verify", "certify"]
     );
-    // Compiling with verification off drops exactly the verify stage.
+    // Compiling with verification off drops the verify and certify stages.
     let synth = synthesize(&m, &SynthOptions::default()).expect("synthesizes");
     let unverified = compile_eaig(
         synth,
@@ -52,6 +61,10 @@ fn compile_flow_stage_names_are_stable() {
         unverified.flow.stage_names(),
         vec!["partition", "merge", "place", "encode"]
     );
+    // The analyze stage records per-pass timings.
+    let analyze = compiled.flow.stage("analyze").expect("analyze recorded");
+    assert_eq!(analyze.metric("errors"), Some(0.0));
+    assert!(analyze.metric("loops_wall_ns").is_some());
     // Key size metrics are attached where documented.
     let report = &compiled.flow;
     assert!(report.stage("synth").unwrap().metric("gates").unwrap() > 0.0);

@@ -26,13 +26,17 @@
 //! and widths chosen to match the published word sizes (bitstream sizes in
 //! Table I are therefore comparable).
 
+#![deny(unsafe_code)]
+
 pub mod decode;
 pub mod encode;
 pub mod mutate;
+pub mod schedule;
 pub mod verify;
 
 pub use decode::{disassemble_core, disassemble_core_exact, DecodeError, DecodedCore};
 pub use encode::{assemble_core, assemble_decoded, Bitstream, ReadEntry, WriteEntry, WriteSrc};
+pub use schedule::{certify_schedule, ScheduleCert, CERT_VERSION};
 pub use verify::{verify_bitstream, VerifyContext, VerifyReport};
 
 /// Bits in an `INIT` word for core width `w` (floored so headers fit at

@@ -23,7 +23,7 @@
 
 use crate::{assemble_decoded, disassemble_core, Bitstream, DecodedCore, WriteSrc};
 use gem_place::PermSource;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// The ways a bitstream can be corrupted, each aimed at one verifier
@@ -59,10 +59,19 @@ pub enum MutationClass {
     TrailingGarbage,
     /// Bump the `INIT` layer count so the headers lie (`roundtrip`).
     CorruptCounts,
+    /// Flip a deferred send to immediate so a reader at the same or an
+    /// earlier stage receives the message *before* its producer runs —
+    /// a happens-before race the `schedule` certification must kill
+    /// (`schedule`, also `messages`).
+    MsgBeforeProducer,
+    /// Add a second sender to a slot another core already publishes —
+    /// two writers racing on one slot within a cycle (`schedule`, also
+    /// `messages`).
+    DualWriterSameSlot,
 }
 
 /// Every mutation class, in a stable order (the self-test iterates this).
-pub const ALL_CLASSES: [MutationClass; 13] = [
+pub const ALL_CLASSES: [MutationClass; 15] = [
     MutationClass::SwapLayers,
     MutationClass::DropRead,
     MutationClass::DropWrite,
@@ -76,6 +85,8 @@ pub const ALL_CLASSES: [MutationClass; 13] = [
     MutationClass::TruncateCore,
     MutationClass::TrailingGarbage,
     MutationClass::CorruptCounts,
+    MutationClass::MsgBeforeProducer,
+    MutationClass::DualWriterSameSlot,
 ];
 
 /// The classes whose mutants are detectable from the bitstream and
@@ -84,7 +95,7 @@ pub const ALL_CLASSES: [MutationClass; 13] = [
 /// that only the `merge` consistency check — which needs placement
 /// metadata — can distinguish from the original; fault drills against
 /// `.gemb` packages (which carry no programs) must draw from this set.
-pub const PROGRAM_FREE_CLASSES: [MutationClass; 10] = [
+pub const PROGRAM_FREE_CLASSES: [MutationClass; 12] = [
     MutationClass::DropRead,
     MutationClass::DropWrite,
     MutationClass::DupWrite,
@@ -95,6 +106,8 @@ pub const PROGRAM_FREE_CLASSES: [MutationClass; 10] = [
     MutationClass::TruncateCore,
     MutationClass::TrailingGarbage,
     MutationClass::CorruptCounts,
+    MutationClass::MsgBeforeProducer,
+    MutationClass::DualWriterSameSlot,
 ];
 
 impl MutationClass {
@@ -114,6 +127,8 @@ impl MutationClass {
             MutationClass::TruncateCore => "truncate_core",
             MutationClass::TrailingGarbage => "trailing_garbage",
             MutationClass::CorruptCounts => "corrupt_counts",
+            MutationClass::MsgBeforeProducer => "msg_before_producer",
+            MutationClass::DualWriterSameSlot => "dual_writer_same_slot",
         }
     }
 }
@@ -146,6 +161,22 @@ impl SplitMix64 {
     }
 }
 
+/// Cross-core facts a structured mutation may need: who reads what (and
+/// how early), and who writes what. Precomputed once per [`mutate`] call
+/// from the whole bitstream, since a single core sees only its own
+/// program.
+struct MutCtx {
+    /// Slots some core reads: the drop-write class must hit one of these
+    /// so the lost send is observable.
+    read_globals: HashSet<u32>,
+    /// Earliest stage at which each global is read.
+    read_min_stage: HashMap<u32, usize>,
+    /// One writer coordinate per written global.
+    writer_coords: HashMap<u32, (usize, usize)>,
+    /// Coordinate of the core being mutated.
+    at: (usize, usize),
+}
+
 /// Applies `class` to one core of `bs`, chosen by seeded rotation over
 /// the cores until one admits the mutation. Returns `None` when no core
 /// does (e.g. `SwapLayers` on a design whose every core has fewer than
@@ -161,18 +192,34 @@ pub fn mutate(bs: &Bitstream, class: MutationClass, seed: u64) -> Option<Bitstre
     if coords.is_empty() {
         return None;
     }
-    // Slots some core reads: the drop-write class must hit one of these
-    // so the lost send is observable.
-    let read_globals: HashSet<u32> = coords
-        .iter()
-        .filter_map(|&(si, ci)| disassemble_core(&bs.stages[si][ci]).ok())
-        .flat_map(|d| d.reads.into_iter().map(|r| r.global))
-        .collect();
+    let mut read_globals: HashSet<u32> = HashSet::new();
+    let mut read_min_stage: HashMap<u32, usize> = HashMap::new();
+    let mut writer_coords: HashMap<u32, (usize, usize)> = HashMap::new();
+    for &(si, ci) in &coords {
+        let Ok(d) = disassemble_core(&bs.stages[si][ci]) else {
+            continue;
+        };
+        for r in &d.reads {
+            read_globals.insert(r.global);
+            let e = read_min_stage.entry(r.global).or_insert(si);
+            *e = (*e).min(si);
+        }
+        for w in &d.writes {
+            writer_coords.entry(w.global).or_insert((si, ci));
+        }
+    }
+    let mut ctx = MutCtx {
+        read_globals,
+        read_min_stage,
+        writer_coords,
+        at: (0, 0),
+    };
     let mut rng = SplitMix64::new(seed.wrapping_mul(0x100_0000_01B3) ^ class as u64);
     let start = rng.below(coords.len());
     for k in 0..coords.len() {
         let (si, ci) = coords[(start + k) % coords.len()];
-        if let Some(bytes) = apply(class, &bs.stages[si][ci], bs, &read_globals, &mut rng) {
+        ctx.at = (si, ci);
+        if let Some(bytes) = apply(class, &bs.stages[si][ci], bs, &ctx, &mut rng) {
             let mut out = bs.clone();
             out.stages[si][ci] = bytes;
             return Some(out);
@@ -206,7 +253,7 @@ fn apply(
     class: MutationClass,
     bytes: &[u8],
     bs: &Bitstream,
-    read_globals: &HashSet<u32>,
+    ctx: &MutCtx,
     rng: &mut SplitMix64,
 ) -> Option<Vec<u8>> {
     match class {
@@ -235,7 +282,7 @@ fn apply(
         // Structured damage: decode, perturb, canonical re-encode.
         _ => {
             let mut dec = disassemble_core(bytes).ok()?;
-            mutate_decoded(class, &mut dec, bs, read_globals, rng)?;
+            mutate_decoded(class, &mut dec, bs, ctx, rng)?;
             Some(assemble_decoded(&dec))
         }
     }
@@ -245,7 +292,7 @@ fn mutate_decoded(
     class: MutationClass,
     dec: &mut DecodedCore,
     bs: &Bitstream,
-    read_globals: &HashSet<u32>,
+    ctx: &MutCtx,
     rng: &mut SplitMix64,
 ) -> Option<()> {
     match class {
@@ -291,7 +338,7 @@ fn mutate_decoded(
         }
         MutationClass::DropWrite => {
             let candidates: Vec<usize> = (0..dec.writes.len())
-                .filter(|&i| read_globals.contains(&dec.writes[i].global))
+                .filter(|&i| ctx.read_globals.contains(&dec.writes[i].global))
                 .collect();
             if candidates.is_empty() {
                 return None;
@@ -395,6 +442,57 @@ fn mutate_decoded(
             let bit = layer.folds[k].xa.get_mut(j)?;
             *bit = !*bit;
         }
+        MutationClass::MsgBeforeProducer => {
+            // Flip a deferred send to immediate when some core reads the
+            // slot at this stage or earlier: the cycle-boundary
+            // happens-before edge disappears and the only remaining
+            // producer is an immediate write the reader cannot be
+            // ordered after.
+            let (si, _) = ctx.at;
+            let candidates: Vec<usize> = (0..dec.writes.len())
+                .filter(|&i| {
+                    dec.writes[i].deferred
+                        && ctx
+                            .read_min_stage
+                            .get(&dec.writes[i].global)
+                            .is_some_and(|&rs| rs <= si)
+                })
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            dec.writes[candidates[rng.below(candidates.len())]].deferred = false;
+        }
+        MutationClass::DualWriterSameSlot => {
+            // Add a second sender to a slot a *different* core already
+            // publishes. The payload is a constant so the mutant stays
+            // in-bounds for any state size — the only broken invariant
+            // is the single-writer-per-slot rule.
+            let already: HashSet<u32> = dec.writes.iter().map(|w| w.global).collect();
+            let mut candidates: Vec<(u32, bool)> = Vec::new();
+            for (&global, &coord) in &ctx.writer_coords {
+                if coord != ctx.at && !already.contains(&global) {
+                    // Match the victim's deferred flag so the slot's
+                    // cycle-start membership is unchanged and the race
+                    // is the sole defect.
+                    if let Ok(victim) = disassemble_core(&bs.stages[coord.0][coord.1]) {
+                        if let Some(w) = victim.writes.iter().find(|w| w.global == global) {
+                            candidates.push((global, w.deferred));
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return None;
+            }
+            candidates.sort_unstable();
+            let (global, deferred) = candidates[rng.below(candidates.len())];
+            dec.writes.push(crate::WriteEntry {
+                global,
+                src: WriteSrc::Const(rng.below(2) == 1),
+                deferred,
+            });
+        }
         _ => unreachable!("raw classes handled in apply()"),
     }
     Some(())
@@ -470,9 +568,11 @@ mod tests {
             .iter()
             .filter(|c| mutate(&bs, **c, 1).is_some())
             .count();
-        // drop_write needs a cross-core reader; everything else should
-        // land on this fixture.
-        assert!(applicable >= ALL_CLASSES.len() - 1, "{applicable} classes");
+        // drop_write needs a cross-core reader, and the two schedule-race
+        // classes need either a same-stage reader of a deferred slot or a
+        // second core to race against; everything else should land on
+        // this single-core fixture.
+        assert!(applicable >= ALL_CLASSES.len() - 3, "{applicable} classes");
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Schedule happens-before certification (the [`ScheduleCert`] artifact).
+//!
+//! The `messages` check family answers "does every recv have a matching
+//! send"; this module goes one step further and *certifies the ordering*:
+//! it reconstructs the cross-core message graph from the encoded
+//! bitstream alone and proves, for every inter-core read, a
+//! happens-before edge from the producing write — either a **stage
+//! barrier** (the producer's immediate write ran in a strictly earlier
+//! pipeline stage) or the **cycle boundary** (the slot is defined at
+//! cycle start: a deferred write committed last cycle, a testbench-poked
+//! input, a RAM read-data commit, or a power-on constant). It also
+//! proves no two writers race on one slot within a cycle.
+//!
+//! The proof is summarized into a compact, machine-checkable
+//! [`ScheduleCert`]: per-slot producer/consumer facts are folded into a
+//! canonical FNV digest, and the certificate is pinned to the exact
+//! bitstream bytes it certifies. The `.gemb` package stores the cert
+//! next to the bitstream, and the verifier's `schedule` check family
+//! (see [`crate::verify`]) recomputes it from scratch and rejects any
+//! artifact whose stored cert does not match — so a cert in hand means
+//! the race-freedom argument was re-derived, not trusted.
+
+use crate::verify::{VerifyContext, Violation};
+use crate::{disassemble_core_exact, Bitstream, DecodedCore};
+use std::collections::{HashMap, HashSet};
+
+/// Format version of [`ScheduleCert`] (bumped on any change to the
+/// digest's canonical form).
+pub const CERT_VERSION: u32 = 1;
+
+/// A machine-checkable summary of the happens-before proof for one
+/// compiled bitstream.
+///
+/// All counts are re-derivable from the bitstream plus device context;
+/// `table_digest` folds the canonical per-slot schedule table (producer
+/// stage/core, deferred flag, first read stage, reader count, in slot
+/// order) and `bitstream_fnv` pins the cert to the exact bytes it
+/// certifies. Two certs are interchangeable iff they are `==`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleCert {
+    /// Certificate format version ([`CERT_VERSION`]).
+    pub version: u32,
+    /// Pipeline stages in the certified bitstream.
+    pub stages: u32,
+    /// Total cores across all stages.
+    pub cores: u32,
+    /// Size of the device-global signal array.
+    pub global_bits: u32,
+    /// Total `READ_GLOBAL` entries across all cores.
+    pub reads: u32,
+    /// Reads whose ordering proof is a stage barrier (immediate
+    /// producer in a strictly earlier stage).
+    pub barrier_edges: u32,
+    /// Reads whose ordering proof is the cycle boundary (deferred
+    /// producer, input, RAM read-data, or power-on constant).
+    pub boundary_edges: u32,
+    /// Immediate (same-cycle) `WRITE_GLOBAL` entries.
+    pub immediate_writes: u32,
+    /// Deferred (cycle-boundary) `WRITE_GLOBAL` entries.
+    pub deferred_writes: u32,
+    /// FNV-1a fold of the canonical per-slot schedule table.
+    pub table_digest: u64,
+    /// FNV-1a fold of the certified bitstream's serialized bytes.
+    pub bitstream_fnv: u64,
+}
+
+impl ScheduleCert {
+    /// One-line human summary (used by CLI tables and logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "v{} {} stage(s) × {} core(s): {} read(s) ordered ({} by stage \
+             barrier, {} by cycle boundary), digest {:016x}",
+            self.version,
+            self.stages,
+            self.cores,
+            self.reads,
+            self.barrier_edges,
+            self.boundary_edges,
+            self.table_digest
+        )
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01B3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a over a byte slice from the standard offset basis.
+pub(crate) fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, bytes);
+    h
+}
+
+/// The happens-before facts extracted by one analysis walk, shared
+/// between [`certify_schedule`] and the verifier's `schedule` check.
+pub(crate) struct ScheduleAnalysis {
+    pub reads: u32,
+    pub barrier_edges: u32,
+    pub boundary_edges: u32,
+    pub immediate_writes: u32,
+    pub deferred_writes: u32,
+    pub table_digest: u64,
+}
+
+/// Walks the decoded cores, emits every happens-before violation into
+/// `v`, and returns the analysis summary. The caller stamps the `check`
+/// field of the violations.
+pub(crate) fn analyze_schedule(
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) -> ScheduleAnalysis {
+    // Producer table: every writer of every global slot.
+    let mut writers: HashMap<u32, Vec<(usize, usize, bool)>> = HashMap::new();
+    let mut immediate_writes = 0u32;
+    let mut deferred_writes = 0u32;
+    for (si, stage) in decoded.iter().enumerate() {
+        for (ci, dec) in stage.iter().enumerate() {
+            let Some(dec) = dec else { continue };
+            for w in &dec.writes {
+                writers
+                    .entry(w.global)
+                    .or_default()
+                    .push((si, ci, w.deferred));
+                if w.deferred {
+                    deferred_writes += 1;
+                } else {
+                    immediate_writes += 1;
+                }
+            }
+        }
+    }
+
+    // No two writers may race on one slot: within a cycle there is no
+    // ordering between two sends to the same global, whatever their
+    // stages or deferred flags.
+    for (&slot, ws) in &writers {
+        if ws.len() > 1 {
+            let mut sorted = ws.clone();
+            sorted.sort_unstable();
+            let (s0, c0, _) = sorted[0];
+            let (s1, c1, _) = sorted[1];
+            v.push(Violation {
+                check: "",
+                location: Some((s0, c0)),
+                message: format!(
+                    "global {slot} has {} racing writers within one cycle \
+                     (stage {s0} core {c0} and stage {s1} core {c1}, no \
+                     happens-before edge between sends)",
+                    ws.len()
+                ),
+            });
+        }
+    }
+
+    // Slots proven defined at cycle start, and the earliest stage at
+    // which an immediate write defines each slot mid-cycle.
+    let rdata_slots: HashSet<u32> = ctx
+        .rams
+        .iter()
+        .flat_map(|r| r.rdata.iter().copied())
+        .collect();
+    let mut cycle_start: HashSet<u32> = ctx.input_slots.iter().copied().collect();
+    cycle_start.extend(rdata_slots.iter().copied());
+    let mut immediate_stage: HashMap<u32, usize> = HashMap::new();
+    for (&slot, ws) in &writers {
+        for &(si, _, deferred) in ws {
+            if deferred {
+                cycle_start.insert(slot);
+            } else {
+                let e = immediate_stage.entry(slot).or_insert(si);
+                *e = (*e).min(si);
+            }
+        }
+    }
+    // A power-on constant proves the boundary edge at cycle 0 only; from
+    // cycle 1 on the slot holds whatever was last written. An
+    // initial-one slot whose only writers are immediate therefore has no
+    // steady-state boundary edge — early-stage readers would see the
+    // previous cycle's mid-cycle value, which is exactly the
+    // message-before-producer race.
+    for &slot in &ctx.initial_ones {
+        let immediate_only = writers
+            .get(&slot)
+            .is_some_and(|ws| ws.iter().all(|&(_, _, deferred)| !deferred));
+        if !immediate_only {
+            cycle_start.insert(slot);
+        }
+    }
+
+    // Every read needs a happens-before edge from its producer.
+    let mut reads = 0u32;
+    let mut barrier_edges = 0u32;
+    let mut boundary_edges = 0u32;
+    let mut first_read_stage: HashMap<u32, u32> = HashMap::new();
+    let mut reader_count: HashMap<u32, u32> = HashMap::new();
+    for (si, stage) in decoded.iter().enumerate() {
+        for (ci, dec) in stage.iter().enumerate() {
+            let Some(dec) = dec else { continue };
+            for r in &dec.reads {
+                reads += 1;
+                let e = first_read_stage.entry(r.global).or_insert(si as u32);
+                *e = (*e).min(si as u32);
+                *reader_count.entry(r.global).or_insert(0) += 1;
+                if immediate_stage.get(&r.global).is_some_and(|&s| s < si) {
+                    barrier_edges += 1;
+                } else if cycle_start.contains(&r.global) {
+                    boundary_edges += 1;
+                } else {
+                    let why = match (writers.get(&r.global), immediate_stage.get(&r.global)) {
+                        (Some(_), Some(&ws)) => format!(
+                            "its only producer is an immediate write at stage \
+                             {ws}, not before stage {si} (message would arrive \
+                             before the producer runs)"
+                        ),
+                        (Some(_), None) => "its producers cannot be ordered".to_string(),
+                        (None, _) => "no core ever writes it".to_string(),
+                    };
+                    v.push(Violation {
+                        check: "",
+                        location: Some((si, ci)),
+                        message: format!(
+                            "read of global {} at stage {si} has no \
+                             happens-before edge from a producing write: {why}",
+                            r.global
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Canonical per-slot table digest: slot order, producer coordinates
+    // sorted, then consumer facts. Any schedule change perturbs it.
+    let mut slots: Vec<u32> = writers.keys().copied().collect();
+    slots.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for slot in slots {
+        fnv1a(&mut h, &slot.to_le_bytes());
+        let mut ws = writers[&slot].clone();
+        ws.sort_unstable();
+        for (si, ci, deferred) in ws {
+            fnv1a(&mut h, &(si as u32).to_le_bytes());
+            fnv1a(&mut h, &(ci as u32).to_le_bytes());
+            fnv1a(&mut h, &[u8::from(deferred)]);
+        }
+        let fr = first_read_stage.get(&slot).copied().unwrap_or(u32::MAX);
+        fnv1a(&mut h, &fr.to_le_bytes());
+        let rc = reader_count.get(&slot).copied().unwrap_or(0);
+        fnv1a(&mut h, &rc.to_le_bytes());
+    }
+
+    ScheduleAnalysis {
+        reads,
+        barrier_edges,
+        boundary_edges,
+        immediate_writes,
+        deferred_writes,
+        table_digest: h,
+    }
+}
+
+/// Builds the certificate from an analysis and the bitstream it covers.
+pub(crate) fn cert_from_analysis(bs: &Bitstream, a: &ScheduleAnalysis) -> ScheduleCert {
+    ScheduleCert {
+        version: CERT_VERSION,
+        stages: bs.stages.len() as u32,
+        cores: bs.total_cores() as u32,
+        global_bits: bs.global_bits,
+        reads: a.reads,
+        barrier_edges: a.barrier_edges,
+        boundary_edges: a.boundary_edges,
+        immediate_writes: a.immediate_writes,
+        deferred_writes: a.deferred_writes,
+        table_digest: a.table_digest,
+        bitstream_fnv: fnv1a_bytes(&bs.to_bytes()),
+    }
+}
+
+/// Statically proves the compiled schedule race-free and returns its
+/// certificate, or the happens-before violations that block one.
+///
+/// A certificate exists iff every core decodes, no two writers race on
+/// one global slot, and every read is ordered after its producing write
+/// by a stage barrier or the cycle boundary. The returned violations are
+/// stamped with the `schedule` check name so they drop straight into a
+/// [`crate::VerifyReport`]-style pipeline.
+pub fn certify_schedule(
+    bs: &Bitstream,
+    ctx: &VerifyContext<'_>,
+) -> Result<ScheduleCert, Vec<Violation>> {
+    let mut v = Vec::new();
+    let decoded: Vec<Vec<Option<DecodedCore>>> = bs
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(si, stage)| {
+            stage
+                .iter()
+                .enumerate()
+                .map(|(ci, bytes)| match disassemble_core_exact(bytes) {
+                    Ok(dec) => Some(dec),
+                    Err(e) => {
+                        v.push(Violation {
+                            check: "",
+                            location: Some((si, ci)),
+                            message: format!("cannot certify an undecodable core: {e}"),
+                        });
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let analysis = analyze_schedule(&decoded, ctx, &mut v);
+    if v.is_empty() {
+        Ok(cert_from_analysis(bs, &analysis))
+    } else {
+        for viol in &mut v {
+            viol.check = "schedule";
+        }
+        Err(v)
+    }
+}

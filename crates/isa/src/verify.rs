@@ -17,6 +17,7 @@
 //! | `bounds`    | state addresses stay inside `state_size`, globals inside the signal array, RAM bindings match the fixed 8192×32 geometry |
 //! | `budget`    | per-core instruction counts account for every encoded byte; inbox/outbox budgets hold |
 //! | `merge`     | the encoded programs are structurally consistent with the placement/merge metadata (when provided) |
+//! | `schedule`  | happens-before certification: every read is ordered after its producing write by a stage barrier or the cycle boundary, no two writers race on a slot, and the stored [`ScheduleCert`] (when provided) matches a from-scratch recomputation |
 //!
 //! The verifier never panics on hostile input: anything the decoder
 //! rejects becomes a `roundtrip` violation and the remaining checks skip
@@ -25,6 +26,7 @@
 //! every class [`crate::mutate::MutationClass`] knows and asserts each
 //! mutant is killed.
 
+use crate::schedule::{self, ScheduleCert};
 use crate::{assemble_decoded, core_size_bits, disassemble_core_exact, Bitstream, DecodedCore};
 use crate::{WriteEntry, WriteSrc};
 use gem_aig::{RAM_ADDR_BITS, RAM_DATA_BITS};
@@ -81,6 +83,11 @@ pub struct VerifyContext<'a> {
     /// `None` skips the `merge` consistency check (e.g. verifying a
     /// `.gemb` package, which does not carry programs).
     pub programs: Option<&'a [Vec<CoreProgram>]>,
+    /// The schedule certificate stored with the artifact, if any. The
+    /// `schedule` check always re-derives the happens-before proof from
+    /// the bitstream; when a cert is provided it must additionally match
+    /// the recomputation bit-for-bit.
+    pub schedule_cert: Option<&'a ScheduleCert>,
 }
 
 /// One invariant violation.
@@ -126,13 +133,14 @@ pub struct VerifyReport {
 }
 
 /// The check families, in execution order.
-pub const CHECK_NAMES: [&str; 6] = [
+pub const CHECK_NAMES: [&str; 7] = [
     "roundtrip",
     "layers",
     "messages",
     "bounds",
     "budget",
     "merge",
+    "schedule",
 ];
 
 impl VerifyReport {
@@ -223,6 +231,9 @@ pub fn verify_bitstream(bs: &Bitstream, ctx: &VerifyContext<'_>) -> VerifyReport
         check_budget(bs, &decoded, ctx, v)
     });
     run(&mut report, "merge", &mut |v| check_merge(&decoded, ctx, v));
+    run(&mut report, "schedule", &mut |v| {
+        check_schedule(bs, &decoded, ctx, v)
+    });
     report
 }
 
@@ -828,9 +839,56 @@ fn check_merge(
     }
 }
 
+// ------------------------------------------------------------ schedule --
+
+/// The seventh check family: re-derives the happens-before proof from
+/// the bitstream (racing writers, reads with no ordering edge from
+/// their producer) and, when the context carries a stored
+/// [`ScheduleCert`], cross-checks it against a from-scratch
+/// recomputation — a stale or forged certificate is a violation even if
+/// the schedule itself is race-free.
+fn check_schedule(
+    bs: &Bitstream,
+    decoded: &[Vec<Option<DecodedCore>>],
+    ctx: &VerifyContext<'_>,
+    v: &mut Vec<Violation>,
+) {
+    let before = v.len();
+    let analysis = schedule::analyze_schedule(decoded, ctx, v);
+    let Some(stored) = ctx.schedule_cert else {
+        return;
+    };
+    if v.len() > before || decoded.iter().flatten().any(|d| d.is_none()) {
+        viol(
+            v,
+            None,
+            "a schedule certificate is attached but the happens-before \
+             proof does not reconstruct (cert cannot be trusted)"
+                .into(),
+        );
+        return;
+    }
+    let recomputed = schedule::cert_from_analysis(bs, &analysis);
+    if *stored != recomputed {
+        viol(
+            v,
+            None,
+            format!(
+                "stored schedule certificate does not match recomputation \
+                 (stored digest {:016x}/fnv {:016x}, recomputed {:016x}/{:016x})",
+                stored.table_digest,
+                stored.bitstream_fnv,
+                recomputed.table_digest,
+                recomputed.bitstream_fnv
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::certify_schedule;
     use crate::{assemble_core, ReadEntry};
     use gem_place::BoomerangLayer;
 
@@ -909,6 +967,7 @@ mod tests {
             // slot 3 is the primary output.
             output_slots: vec![3],
             programs: None,
+            schedule_cert: None,
         };
         (bs, vec![vec![prog0, prog1]], ctx)
     }
@@ -923,6 +982,49 @@ mod tests {
         ctx.programs = Some(&programs);
         let r = verify_bitstream(&bs, &ctx);
         assert!(r.passed(), "with programs: {}", r.summary());
+    }
+
+    #[test]
+    fn valid_schedule_certifies_and_recheck_passes() {
+        let (bs, _, mut ctx) = tiny();
+        let cert = certify_schedule(&bs, &ctx).expect("tiny schedule certifies");
+        assert_eq!(cert.version, crate::CERT_VERSION);
+        assert_eq!(cert.stages, 1);
+        assert_eq!(cert.cores, 2);
+        // All three reads are cycle-boundary ordered (inputs + FF slot).
+        assert_eq!(cert.reads, 3);
+        assert_eq!(cert.boundary_edges, 3);
+        assert_eq!(cert.barrier_edges, 0);
+        assert!(cert.summary().contains("3 read(s)"));
+        ctx.schedule_cert = Some(&cert);
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(r.passed(), "cert recheck: {}", r.summary());
+        assert_eq!(r.checks.len(), CHECK_NAMES.len());
+    }
+
+    #[test]
+    fn tampered_cert_is_a_schedule_violation() {
+        let (bs, _, mut ctx) = tiny();
+        let mut cert = certify_schedule(&bs, &ctx).unwrap();
+        cert.table_digest ^= 1;
+        ctx.schedule_cert = Some(&cert);
+        let r = verify_bitstream(&bs, &ctx);
+        assert!(r.check("schedule").unwrap().violations > 0);
+        assert!(r.summary().contains("certificate"));
+    }
+
+    #[test]
+    fn racing_writers_block_certification() {
+        let (bs, _, ctx) = tiny();
+        // Point core 1's write at core 0's output slot: two senders, one
+        // slot, no ordering between them.
+        let mutant =
+            crate::mutate::mutate(&bs, crate::mutate::MutationClass::DualWriterSameSlot, 1)
+                .expect("dual-writer applies to tiny");
+        let errs = certify_schedule(&mutant, &ctx).unwrap_err();
+        assert!(errs.iter().any(|e| e.check == "schedule"));
+        let r = verify_bitstream(&mutant, &ctx);
+        assert!(r.check("schedule").unwrap().violations > 0);
     }
 
     #[test]

@@ -208,6 +208,51 @@ fn program_free_classes_die_without_placement_metadata() {
     }
 }
 
+/// The schedule-race classes must be killed *by the happens-before
+/// checker itself* — the `schedule` check family flags them and
+/// [`gem_isa::certify_schedule`] refuses to certify the mutant — not
+/// merely by some other family happening to trip. This is the static
+/// counterpart of the runtime-divergence argument: the race never needs
+/// to manifest on hardware to be rejected.
+#[test]
+fn schedule_checker_kills_both_race_classes() {
+    let fixtures = fixtures();
+    for class in [
+        MutationClass::MsgBeforeProducer,
+        MutationClass::DualWriterSameSlot,
+    ] {
+        let mut kills = 0usize;
+        for (name, c) in &fixtures {
+            let ctx = gem_core::verify::context(&c.device, &c.io, None);
+            assert!(
+                gem_isa::certify_schedule(&c.bitstream, &ctx).is_ok(),
+                "{name}: clean bitstream must certify"
+            );
+            for seed in 1..=4u64 {
+                let Some(mutant) = mutate(&c.bitstream, class, seed) else {
+                    continue;
+                };
+                let vr = verify_bitstream(&mutant, &ctx);
+                let sched = vr.check("schedule").expect("schedule family ran");
+                assert!(
+                    sched.violations > 0,
+                    "{class} seed {seed} on {name}: race not flagged by the \
+                     schedule check itself ({})",
+                    vr.summary()
+                );
+                let errs = gem_isa::certify_schedule(&mutant, &ctx)
+                    .expect_err("racy mutant must not certify");
+                assert!(errs.iter().all(|e| e.check == "schedule"));
+                kills += 1;
+            }
+        }
+        assert!(
+            kills >= 3,
+            "class {class}: only {kills} schedule-race mutants applied"
+        );
+    }
+}
+
 /// Merge-only classes (excluded from `PROGRAM_FREE_CLASSES`) must still
 /// die when programs *are* present — otherwise the exclusion list is
 /// hiding a verifier gap rather than a metadata limitation.

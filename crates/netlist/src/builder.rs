@@ -336,6 +336,38 @@ impl ModuleBuilder {
         q
     }
 
+    /// Declares a *forward* net: a net with the given width and no driver
+    /// yet, to be driven later with [`drive`](Self::drive). This is the
+    /// combinational analogue of the [`dff`](Self::dff)/
+    /// [`connect_dff`](Self::connect_dff) two-phase protocol and exists so
+    /// frontends can represent reconvergent (and even cyclic) `assign`
+    /// networks structurally; a forward net that is never driven shows up
+    /// as an undriven net in validation.
+    pub fn forward(&mut self, width: u32) -> NetId {
+        self.add_net(width, None)
+    }
+
+    /// Drives a previously declared [`forward`](Self::forward) net from
+    /// `src` through an identity (full-width slice) cell. The widths must
+    /// match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn drive(&mut self, out: NetId, src: NetId) {
+        assert_eq!(
+            self.width(out),
+            self.width(src),
+            "drive width mismatch: out {} vs src {}",
+            self.width(out),
+            self.width(src)
+        );
+        self.cells.push(Cell {
+            kind: CellKind::Slice { a: src, lo: 0 },
+            out,
+        });
+    }
+
     /// Declares a memory array and returns its id. Ports are added with
     /// [`read_port`](Self::read_port) and [`write_port`](Self::write_port).
     pub fn memory(&mut self, name: impl Into<String>, words: u32, width: u32) -> MemId {
@@ -376,19 +408,38 @@ impl ModuleBuilder {
     /// names, unconnected flip-flops (reported as undriven nets), or a
     /// combinational cycle.
     pub fn finish(self) -> Result<Module, ValidateError> {
-        let module = Module {
+        let module = self.finish_raw();
+        validate(&module)?;
+        Ok(module)
+    }
+
+    /// Returns the module **without validating it** — the escape hatch for
+    /// analysis tooling (`gem-analyze`) that wants to diagnose broken
+    /// netlists (combinational cycles, multiple drivers, width mismatches)
+    /// with full structural context instead of receiving the first
+    /// [`ValidateError`]. Anything feeding the compile flow must still
+    /// pass [`validate`].
+    pub fn finish_raw(self) -> Module {
+        Module {
             name: self.name,
             nets: self.nets,
             ports: self.ports,
             cells: self.cells,
             memories: self.memories,
-        };
-        validate(&module)?;
-        Ok(module)
+        }
     }
 }
 
-fn validate(m: &Module) -> Result<(), ValidateError> {
+/// Validates a [`Module`]: driver uniqueness, width consistency,
+/// zero-width nets, duplicate port names, combinational acyclicity.
+/// [`ModuleBuilder::finish`] runs this automatically; it is public so
+/// modules obtained through [`ModuleBuilder::finish_raw`] (e.g. by the
+/// static analyzer) can be re-checked before entering the flow.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found.
+pub fn validate(m: &Module) -> Result<(), ValidateError> {
     // Zero-width nets.
     for (i, n) in m.nets.iter().enumerate() {
         if n.width == 0 {
@@ -578,7 +629,17 @@ fn check_acyclic(m: &Module) -> Result<(), ValidateError> {
                         color[next.0 as usize] = GRAY;
                         stack.push((next.0, 0));
                     }
-                    GRAY => return Err(ValidateError::CombinationalCycle(next)),
+                    GRAY => {
+                        // The DFS stack is the current path; the suffix
+                        // starting at `next` is the cycle, in dependency
+                        // order (each net reads the one after it).
+                        let pos = stack
+                            .iter()
+                            .position(|&(n, _)| n == next.0)
+                            .expect("gray net must be on the DFS path");
+                        let cycle = stack[pos..].iter().map(|&(n, _)| NetId(n)).collect();
+                        return Err(ValidateError::CombinationalCycle { cycle });
+                    }
                     _ => {}
                 }
             } else {
@@ -618,20 +679,64 @@ mod tests {
     }
 
     #[test]
-    fn combinational_cycle_detected() {
+    fn pending_dff_is_undriven() {
         let mut b = ModuleBuilder::new("m");
-        let q = b.dff(1); // placeholder net we'll abuse: drive via not of itself
+        let q = b.dff(1); // never connected: shows up as an undriven net
         let n = b.not(q);
         let n2 = b.not(n);
-        // Leave q pending (undriven) but also create a real cycle via concat:
-        // can't express a cycle through the builder API without dff, so test
-        // undriven detection here instead.
-        let _ = n2;
         b.output("q", n2);
         match b.finish() {
             Err(ValidateError::UndrivenNet(_)) => {}
             other => panic!("expected undriven, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn combinational_cycle_detected_with_witness_path() {
+        // f -> not -> not -> back into f via drive: a genuine 3-net cycle.
+        let mut b = ModuleBuilder::new("m");
+        let f = b.forward(1);
+        let x = b.not(f);
+        let y = b.not(x);
+        b.drive(f, y);
+        b.output("y", y);
+        match b.finish() {
+            Err(ValidateError::CombinationalCycle { cycle }) => {
+                assert!(cycle.len() >= 3, "cycle too short: {cycle:?}");
+                for (i, &n) in cycle.iter().enumerate() {
+                    let next = cycle[(i + 1) % cycle.len()];
+                    assert!(
+                        [f, x, y].contains(&n) && [f, x, y].contains(&next),
+                        "cycle {cycle:?} strayed off the loop"
+                    );
+                }
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_forward_net_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let f = b.forward(4);
+        let n = b.not(f);
+        b.output("y", n);
+        match b.finish() {
+            Err(ValidateError::UndrivenNet(net)) => assert_eq!(net, f),
+            other => panic!("expected undriven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn driven_forward_net_is_an_identity() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let f = b.forward(4);
+        let inv = b.not(a);
+        b.drive(f, inv);
+        b.output("y", f);
+        let m = b.finish().unwrap();
+        assert_eq!(m.width(m.port("y").unwrap().net), 4);
     }
 
     #[test]

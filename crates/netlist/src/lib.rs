@@ -34,7 +34,7 @@ pub mod value;
 pub mod vcd;
 pub mod verilog;
 
-pub use builder::ModuleBuilder;
+pub use builder::{validate, ModuleBuilder};
 pub use module::{
     Binary, Cell, CellId, CellKind, MemId, Memory, Module, Net, NetId, Port, PortDir, ReadKind,
     ReadPort, Unary, ValidateError, WritePort,

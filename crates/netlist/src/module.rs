@@ -343,9 +343,13 @@ pub enum ValidateError {
     ZeroWidth(NetId),
     /// Two ports share a name.
     DuplicatePort(String),
-    /// The combinational part of the design has a cycle through the given
-    /// net.
-    CombinationalCycle(NetId),
+    /// The combinational part of the design has a cycle; `cycle` lists the
+    /// nets on it in dependency order (each net combinationally depends on
+    /// the next, and the last depends on the first).
+    CombinationalCycle {
+        /// The nets forming the cycle, in dependency order.
+        cycle: Vec<NetId>,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -356,8 +360,18 @@ impl fmt::Display for ValidateError {
             ValidateError::WidthMismatch(s) => write!(f, "width mismatch: {s}"),
             ValidateError::ZeroWidth(n) => write!(f, "net {n} has zero width"),
             ValidateError::DuplicatePort(s) => write!(f, "duplicate port name {s:?}"),
-            ValidateError::CombinationalCycle(n) => {
-                write!(f, "combinational cycle through net {n}")
+            ValidateError::CombinationalCycle { cycle } => {
+                write!(f, "combinational cycle through ")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                if let Some(first) = cycle.first() {
+                    write!(f, " -> {first}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -73,14 +73,62 @@ impl From<ValidateError> for ParseVerilogError {
     }
 }
 
+/// A source-level observation made during elaboration that is legal
+/// Verilog but suspicious — the raw material for `gem-analyze`'s
+/// frontend lint family. These never fail [`parse`]; they ride along on
+/// [`parse_with_lints`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceLint {
+    /// An implicit resize dropped high bits: the right-hand side of an
+    /// assignment to `target` was `from` bits wide, the target only `to`.
+    WidthTruncation {
+        /// The assigned wire/reg/memory name.
+        target: String,
+        /// RHS width before the implicit resize.
+        from: u32,
+        /// Target width.
+        to: u32,
+    },
+}
+
+impl fmt::Display for SourceLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceLint::WidthTruncation { target, from, to } => write!(
+                f,
+                "assignment to {target:?} truncates {from}-bit value to {to} bits"
+            ),
+        }
+    }
+}
+
 /// Parses Verilog source into a [`Module`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseVerilogError::Syntax`] for constructs outside the subset
 /// and [`ParseVerilogError::Validate`] if the elaborated netlist is
-/// inconsistent (e.g. a combinational cycle).
+/// inconsistent (e.g. a combinational cycle — the error carries the full
+/// cycle path).
 pub fn parse(src: &str) -> Result<Module, ParseVerilogError> {
+    let (module, _) = parse_with_lints(src)?;
+    crate::builder::validate(&module)?;
+    Ok(module)
+}
+
+/// Like [`parse`], but returns the module **unvalidated** together with
+/// the frontend's [`SourceLint`]s. This is the entry point for the static
+/// analyzer: broken-but-elaboratable netlists (combinational `assign`
+/// loops, multiply assigned wires) come back as structural [`Module`]s so
+/// the analyzer can name the nets involved, instead of dying on the first
+/// [`ValidateError`]. Run [`crate::validate`] before feeding the module to
+/// synthesis.
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError::Syntax`] for constructs outside the
+/// subset.
+pub fn parse_with_lints(src: &str) -> Result<(Module, Vec<SourceLint>), ParseVerilogError> {
     let tokens = lex(src)?;
     let mut parser = Parser { tokens, pos: 0 };
     let ast = parser.module()?;
@@ -670,6 +718,16 @@ struct Elab<'a> {
     nets: HashMap<String, NetId>,
     mems: HashMap<String, crate::module::MemId>,
     ast: &'a AstModule,
+    /// Wires whose `assign` is currently being elaborated; re-entering one
+    /// means a combinational cycle, which is broken with a forward net so
+    /// the loop becomes structural (and diagnosable) instead of recursing
+    /// forever.
+    in_flight: Vec<String>,
+    /// Forward nets created to break cycles, keyed by wire name; the
+    /// owning `resolve` closes the loop with `drive` when its RHS lands.
+    placeholders: HashMap<String, NetId>,
+    /// Frontend lints collected along the way (width truncations).
+    lints: Vec<SourceLint>,
 }
 
 fn syntax_err<T>(m: impl Into<String>) -> Result<T, ParseVerilogError> {
@@ -679,13 +737,16 @@ fn syntax_err<T>(m: impl Into<String>) -> Result<T, ParseVerilogError> {
     })
 }
 
-fn elaborate(ast: &AstModule) -> Result<Module, ParseVerilogError> {
+fn elaborate(ast: &AstModule) -> Result<(Module, Vec<SourceLint>), ParseVerilogError> {
     let mut e = Elab {
         b: ModuleBuilder::new(ast.name.clone()),
         decls: HashMap::new(),
         nets: HashMap::new(),
         mems: HashMap::new(),
         ast,
+        in_flight: Vec::new(),
+        placeholders: HashMap::new(),
+        lints: Vec::new(),
     };
     // Pass 1: declare everything.
     for d in &ast.decls {
@@ -759,7 +820,7 @@ fn elaborate(ast: &AstModule) -> Result<Module, ParseVerilogError> {
             _ => {}
         }
     }
-    Ok(e.b.finish()?)
+    Ok((e.b.finish_raw(), e.lints))
 }
 
 impl Elab<'_> {
@@ -772,22 +833,73 @@ impl Elab<'_> {
             Some(d) => d.clone(),
             None => return syntax_err(format!("undeclared identifier {name:?}")),
         };
-        let assign = self
+        if self.in_flight.iter().any(|f| f == name) {
+            // A combinational `assign` cycle: break it with a forward net
+            // so the loop becomes a structural cycle in the module (which
+            // validation and the analyzer then name), rather than
+            // recursing without bound here.
+            let p = self.b.forward(decl.width);
+            self.b.name_net(p, name);
+            self.nets.insert(name.to_string(), p);
+            self.placeholders.insert(name.to_string(), p);
+            return Ok(p);
+        }
+        let assigns: Vec<(Target2, Expr, u32)> = self
             .ast
             .assigns
             .iter()
-            .find(|(Target2::Whole(t), _, _)| t == name)
-            .cloned();
-        match assign {
-            Some((_, rhs, _)) => {
-                let mut n = self.expr(&rhs)?;
-                n = self.b.resize(n, decl.width);
-                self.b.name_net(n, name);
-                self.nets.insert(name.to_string(), n);
-                Ok(n)
-            }
-            None => syntax_err(format!("wire {name:?} has no assign")),
+            .filter(|(Target2::Whole(t), _, _)| t == name)
+            .cloned()
+            .collect();
+        if assigns.is_empty() {
+            return syntax_err(format!("wire {name:?} has no assign"));
         }
+        if assigns.len() > 1 {
+            // Multiply assigned wire: elaborate every RHS and drive one
+            // shared net from each, so validation/analysis reports the
+            // multiple drivers by name instead of silently using the
+            // first assign.
+            let p = self.b.forward(decl.width);
+            self.b.name_net(p, name);
+            self.nets.insert(name.to_string(), p);
+            for (_, rhs, _) in &assigns {
+                self.in_flight.push(name.to_string());
+                let res = self.expr(rhs);
+                self.in_flight.pop();
+                let n = self.sized_to(res?, decl.width, name);
+                self.b.drive(p, n);
+            }
+            return Ok(p);
+        }
+        let (_, rhs, _) = &assigns[0];
+        self.in_flight.push(name.to_string());
+        let res = self.expr(rhs);
+        self.in_flight.pop();
+        let n = self.sized_to(res?, decl.width, name);
+        if let Some(&p) = self.placeholders.get(name) {
+            // The RHS looped back through this wire; close the structural
+            // cycle on the forward net that broke the recursion.
+            self.b.drive(p, n);
+            Ok(p)
+        } else {
+            self.b.name_net(n, name);
+            self.nets.insert(name.to_string(), n);
+            Ok(n)
+        }
+    }
+
+    /// Resizes `n` to `want` bits, recording a truncation lint when high
+    /// bits are dropped.
+    fn sized_to(&mut self, n: NetId, want: u32, target: &str) -> NetId {
+        let have = self.width(n);
+        if have > want {
+            self.lints.push(SourceLint::WidthTruncation {
+                target: target.to_string(),
+                from: have,
+                to: want,
+            });
+        }
+        self.b.resize(n, want)
     }
 
     fn expr(&mut self, e: &Expr) -> Result<NetId, ParseVerilogError> {
@@ -946,7 +1058,7 @@ impl Elab<'_> {
                             }
                         };
                         let rhs_net = self.rhs_expr(rhs)?;
-                        let rhs_net = self.b.resize(rhs_net, decl.width);
+                        let rhs_net = self.sized_to(rhs_net, decl.width, name);
                         let old = next.get(name).copied().unwrap_or(self.nets[name]);
                         let merged = self.b.mux(path, rhs_net, old);
                         next.insert(name.clone(), merged);
@@ -959,7 +1071,7 @@ impl Elab<'_> {
                         let addr = self.expr(idx)?;
                         let data0 = self.rhs_expr(rhs)?;
                         let width = self.decls[name].width;
-                        let data = self.b.resize(data0, width);
+                        let data = self.sized_to(data0, width, name);
                         self.b.write_port(mem, addr, data, path);
                     }
                 },
@@ -1147,5 +1259,106 @@ mod tests {
             endmodule
         "#;
         assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn assign_cycle_elaborates_and_fails_validation_with_path() {
+        let src = r#"
+            module m(input [3:0] a, output [3:0] y);
+              wire [3:0] p;
+              wire [3:0] q;
+              assign p = q ^ a;
+              assign q = p + 4'd1;
+              assign y = q;
+            endmodule
+        "#;
+        // The raw module elaborates (the cycle is broken structurally)...
+        let (module, lints) = parse_with_lints(src).unwrap();
+        assert!(lints.is_empty());
+        // ...and validation names the full cycle, not just one net.
+        match parse(src) {
+            Err(ParseVerilogError::Validate(ValidateError::CombinationalCycle { cycle })) => {
+                assert!(cycle.len() >= 2, "cycle too short: {cycle:?}");
+                let names: Vec<_> = cycle
+                    .iter()
+                    .filter_map(|&n| module.net(n).name.clone())
+                    .collect();
+                assert!(
+                    names.iter().any(|n| n == "p" || n == "q"),
+                    "cycle path {names:?} should mention p or q"
+                );
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_referential_assign_is_a_cycle() {
+        let src = r#"
+            module m(input [3:0] a, output [3:0] y);
+              wire [3:0] w;
+              assign w = w & a;
+              assign y = w;
+            endmodule
+        "#;
+        assert!(matches!(
+            parse(src),
+            Err(ParseVerilogError::Validate(
+                ValidateError::CombinationalCycle { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn duplicate_assign_is_multiply_driven() {
+        let src = r#"
+            module m(input [3:0] a, input [3:0] b, output [3:0] y);
+              wire [3:0] w;
+              assign w = a;
+              assign w = b;
+              assign y = w;
+            endmodule
+        "#;
+        match parse(src) {
+            Err(ParseVerilogError::Validate(ValidateError::MultipleDrivers(n))) => {
+                // `assign y = w` aliases w's net to y, so either name
+                // identifies the offender.
+                let (module, _) = parse_with_lints(src).unwrap();
+                let name = module.net(n).name.clone().expect("offender is named");
+                assert!(name == "w" || name == "y", "unexpected name {name:?}");
+            }
+            other => panic!("expected multiple drivers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncating_assign_is_linted() {
+        let src = r#"
+            module m(input [7:0] a, output [3:0] y);
+              assign y = a;
+            endmodule
+        "#;
+        let (_, lints) = parse_with_lints(src).unwrap();
+        assert_eq!(
+            lints,
+            vec![SourceLint::WidthTruncation {
+                target: "y".to_string(),
+                from: 8,
+                to: 4,
+            }]
+        );
+        assert!(parse(src).is_ok(), "truncation is legal, only linted");
+    }
+
+    #[test]
+    fn clean_sources_carry_no_lints() {
+        let src = r#"
+            module m(input clk, input [7:0] a, output reg [7:0] q, output [7:0] y);
+              assign y = a ^ 8'hFF;
+              always @(posedge clk) q <= a + 8'd1;
+            endmodule
+        "#;
+        let (_, lints) = parse_with_lints(src).unwrap();
+        assert!(lints.is_empty(), "unexpected lints: {lints:?}");
     }
 }

@@ -27,6 +27,8 @@
 //! executed directly ([`CoreProgram::evaluate`]) or assembled into the GEM
 //! bitstream by `gem-isa`.
 
+#![deny(unsafe_code)]
+
 pub mod compiled;
 pub mod layer;
 pub mod placer;

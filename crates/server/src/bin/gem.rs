@@ -6,6 +6,7 @@
 //!             [--reset port] [--stimulus in.vcd] [--vcd out.vcd]
 //!             [--gpu a100|3090]
 //! gem stats   <design.v>            # Table-I style report
+//! gem lint    <design.v|design.gemb> [--json] [--deny warnings]
 //! gem serve   [--addr host:port] [--workers N] [--queue N] [--cache N]
 //!             [--idle-ms N] [--port-file path]
 //! gem client  --addr host:port <action> [...]
@@ -19,6 +20,7 @@
 //! speed. `serve` starts the multi-session simulation service
 //! (`docs/SERVER.md`); `client` drives one against a running server.
 
+use gem_analyze::Severity;
 use gem_core::{
     compile, CompileOptions, ExecBackend, GemSimulator, Package, ProfileOptions, VcdStimulus,
 };
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => traced(&args[1..], cmd_run),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("profile") => traced(&args[1..], cmd_profile),
         Some("trace-check") => cmd_trace_check(&args[1..]),
@@ -69,6 +72,9 @@ USAGE:
               [--gpu a100|3090] [--threads N] [--backend interpreted|compiled]
               [--emit-metrics out.json] [--trace-out trace.json]
   gem stats   <design.v> [--emit-metrics out.json]
+  gem lint    <design.v|design.gemb> [--json] [--deny warnings]
+              [--width N] [--parts N] [--stages N] [--fault SEED]
+              [--emit-metrics out.json]
   gem verify  <design.gemb|design.v> [--width N] [--parts N] [--stages N]
               [--fault SEED] [--emit-metrics out.json]
   gem profile <design.v> [--cycles N] [--threads N]
@@ -109,6 +115,16 @@ timings/sizes (when the design is compiled in this invocation) and the
 per-partition runtime counters (when it is run). For `serve` it writes
 the gem_server_* families after shutdown; for `verify` it writes the
 gem_verify_* families.
+
+`lint` runs the whole-program static analyzer (docs/ANALYZE.md).
+On Verilog source it prints every netlist diagnostic (comb loops with
+the cycle named, undriven/multiply-driven nets, width mismatches, dead
+and constant cones) and, when the netlist is error-free, compiles to
+attach the schedule happens-before certificate. On a `.gemb` package
+it re-checks the stored certificate against the bitstream. Exit is
+nonzero on any error-severity finding; --deny warnings extends that to
+warnings (the CI gate). --fault SEED (packages only) injects a seeded
+schedule-race mutation first — the command must then FAIL.
 
 `verify` runs the static bitstream checker (docs/VERIFY.md) over a
 package or a freshly compiled design, prints a per-check table, and
@@ -208,14 +224,16 @@ fn positional(args: &[String]) -> Result<&String, String> {
 
 fn compile_verilog(path: &str, args: &[String]) -> Result<gem_core::Compiled, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let module = verilog::parse(&src).map_err(|e| format!("{path}: {e}"))?;
     let opts = CompileOptions {
         core_width: flag_u64(args, "--width", 2048)? as u32,
         target_parts: flag_u64(args, "--parts", 8)? as usize,
         stages: flag_u64(args, "--stages", 1)? as usize,
         ..Default::default()
     };
-    compile(&module, &opts).map_err(|e| format!("compilation failed: {e}"))
+    // The analyzing front end rejects broken designs with named
+    // witnesses (e.g. a combinational loop's cycle) instead of an
+    // opaque levelization failure deep in synthesis.
+    gem_core::compile_verilog(&src, &opts).map_err(|e| format!("{path}: compilation failed: {e}"))
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
@@ -253,6 +271,182 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     println!("replication cost:  {:.2}%", r.replication_cost * 100.0);
     println!("bitstream size:    {} bytes", r.bitstream_bytes);
     emit_metrics(args, Some(compiled.metrics_json()), None)
+}
+
+/// `gem lint`: whole-program static analysis. Verilog source runs the
+/// netlist lint passes and (when error-free) a full compile to attach
+/// the schedule happens-before certificate; a `.gemb` package re-checks
+/// its stored certificate against the bitstream. Error-severity
+/// findings exit nonzero; `--deny warnings` extends that to warnings.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let input = positional(args)?;
+    let json_mode = args.iter().any(|a| a == "--json");
+    let deny_floor = match flag(args, "--deny").as_deref() {
+        None => None,
+        Some("warnings") => Some(Severity::Warning),
+        Some(other) => return Err(format!("--deny expects \"warnings\", got {other:?}")),
+    };
+
+    let diagnostics: Vec<gem_analyze::Diagnostic>;
+    let summary: String;
+    let mut certified = false;
+    let mut cert_line: Option<String> = None;
+    let mut analysis: Option<gem_analyze::AnalysisReport> = None;
+    let mut compile_error: Option<String> = None;
+    let metrics_doc: Json;
+
+    if input.ends_with(".gemb") {
+        let bytes = std::fs::read(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let pkg = Package::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        let fault = flag_u64(args, "--fault", 0)?;
+        let bitstream = if fault != 0 {
+            // Drill specifically against the happens-before checker:
+            // both race classes must be killed by the schedule family.
+            gem_isa::mutate::corrupt_from(
+                &pkg.bitstream,
+                fault,
+                &[
+                    gem_isa::mutate::MutationClass::MsgBeforeProducer,
+                    gem_isa::mutate::MutationClass::DualWriterSameSlot,
+                ],
+            )
+        } else {
+            pkg.bitstream.clone()
+        };
+        let mut ctx = gem_core::verify::context(&pkg.device, &pkg.io, None);
+        ctx.schedule_cert = pkg.schedule_cert.as_ref();
+        let report = gem_isa::verify_bitstream(&bitstream, &ctx);
+        let schedule: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.check == "schedule")
+            .cloned()
+            .collect();
+        let other = report.violations.len() - schedule.len();
+        if other > 0 {
+            compile_error = Some(format!("{other} non-schedule verifier violation(s)"));
+        }
+        diagnostics = gem_analyze::diagnostics_from_violations(&schedule);
+        certified = report.passed() && pkg.schedule_cert.is_some();
+        cert_line = pkg.schedule_cert.as_ref().map(|c| c.summary());
+        summary = format!("package re-check: {}", report.summary());
+        metrics_doc = gem_core::verify_metrics(&report).to_json();
+    } else {
+        if flag(args, "--fault").is_some() {
+            return Err(
+                "--fault drills need a .gemb package (compile one with `gem compile`)".into(),
+            );
+        }
+        let src =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input:?}: {e}"))?;
+        let (module, lints) =
+            verilog::parse_with_lints(&src).map_err(|e| format!("{input}: {e}"))?;
+        let report = gem_analyze::analyze_with_lints(&module, &lints);
+        diagnostics = report.diagnostics.clone();
+        summary = report.summary();
+        if report.clean(Severity::Error) {
+            let opts = CompileOptions {
+                core_width: flag_u64(args, "--width", 2048)? as u32,
+                target_parts: flag_u64(args, "--parts", 8)? as usize,
+                stages: flag_u64(args, "--stages", 1)? as usize,
+                ..Default::default()
+            };
+            match compile(&module, &opts) {
+                Ok(c) => {
+                    certified = c.report.certified;
+                    cert_line = c.schedule_cert.as_ref().map(|x| x.summary());
+                }
+                Err(e) => compile_error = Some(e.to_string()),
+            }
+        }
+        metrics_doc = gem_analyze::analyze_metrics(&report).to_json();
+        analysis = Some(report);
+    }
+
+    if json_mode {
+        let mut doc = Json::object();
+        doc.set(
+            "diagnostics",
+            Json::Array(
+                diagnostics
+                    .iter()
+                    .map(|d| {
+                        let mut o = Json::object();
+                        o.set("code", d.code);
+                        o.set("severity", d.severity.name());
+                        o.set("message", d.message.clone());
+                        o.set("witness", d.witness.clone());
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        doc.set("summary", summary.clone());
+        doc.set(
+            "clean",
+            diagnostics.iter().all(|d| d.severity < Severity::Warning),
+        );
+        doc.set("certified", certified);
+        if let Some(c) = &cert_line {
+            doc.set("cert", c.clone());
+        }
+        if let Some(e) = &compile_error {
+            doc.set("compile_error", e.clone());
+        }
+        println!("{}", doc.to_string_pretty());
+    } else {
+        println!("design:   {input}");
+        if let Some(r) = &analysis {
+            println!("{:<12} {:>9} {:>12}", "pass", "findings", "wall");
+            for p in &r.passes {
+                println!(
+                    "{:<12} {:>9} {:>9.2} µs",
+                    p.name,
+                    p.diagnostics,
+                    p.wall_ns as f64 / 1e3
+                );
+            }
+        }
+        for d in &diagnostics {
+            println!("  {d}");
+        }
+        println!("summary:  {summary}");
+        match &cert_line {
+            Some(c) => println!("schedule: {c}"),
+            None => println!("schedule: no certificate"),
+        }
+        if let Some(e) = &compile_error {
+            println!("compile:  {e}");
+        }
+    }
+    if let Some(path) = flag(args, "--emit-metrics") {
+        std::fs::write(&path, metrics_doc.to_string_pretty())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        // Stderr so `--json` stdout stays machine-parseable.
+        eprintln!("wrote {path}");
+    }
+
+    let errors = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(format!("FAIL: {errors} error-severity finding(s)"));
+    }
+    if let Some(e) = compile_error {
+        return Err(format!(
+            "FAIL: analysis clean but compile/certification failed: {e}"
+        ));
+    }
+    if let Some(floor) = deny_floor {
+        let denied = diagnostics.iter().filter(|d| d.severity >= floor).count();
+        if denied > 0 {
+            return Err(format!(
+                "FAIL (--deny warnings): {denied} finding(s) at or above warning severity"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {

@@ -16,8 +16,7 @@
 //! per revision instead of recompiled per request.
 
 use crate::metrics::{inc, ServerMetrics};
-use gem_core::{compile, CompileOptions, Compiled};
-use gem_netlist::verilog;
+use gem_core::{compile_verilog, CompileOptions, Compiled};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -120,19 +119,18 @@ impl CompileCache {
         // Compile outside the lock; waiters park on the condvar.
         inc(&self.metrics.cache_misses);
         inc(&self.metrics.compiles_total);
-        let result: CacheResult = verilog::parse(source)
-            .map_err(|e| e.to_string())
-            .and_then(|m| {
-                compile(&m, opts).map_err(|e| {
-                    // A verifier rejection is the gate working as designed:
-                    // count it, and let the Err land in the cache as a
-                    // negative entry — the malformed artifact itself is
-                    // dropped here and can never be served.
-                    if matches!(e, gem_core::CompileError::Verify(_)) {
-                        inc(&self.metrics.verify_failures);
-                    }
-                    e.to_string()
-                })
+        let result: CacheResult = compile_verilog(source, opts)
+            .map_err(|e| {
+                // A verifier or analyzer rejection is the gate working as
+                // designed: count it, and let the Err land in the cache as
+                // a negative entry — the malformed (or uncertifiable)
+                // artifact itself is dropped here and can never be served.
+                match &e {
+                    gem_core::CompileError::Verify(_) => inc(&self.metrics.verify_failures),
+                    gem_core::CompileError::Analyze(_) => inc(&self.metrics.analyze_failures),
+                    _ => {}
+                }
+                e.to_string()
             })
             .map(Arc::new);
         let mut st = self.state.lock().unwrap();
@@ -265,6 +263,29 @@ endmodule
         assert!(cached, "v1 must have survived eviction");
         let (_, _, cached) = cache.get_or_compile(&v2, &opts());
         assert!(!cached, "v2 must have been evicted");
+    }
+
+    #[test]
+    fn analyzer_rejections_are_negative_cached_and_counted() {
+        let m = Arc::new(ServerMetrics::default());
+        let cache = CompileCache::new(4, Arc::clone(&m));
+        let looped = "
+module looped(input a, output y);
+  wire fb;
+  assign fb = fb & a;
+  assign y = ~fb;
+endmodule
+";
+        let (_, r1, cached1) = cache.get_or_compile(looped, &opts());
+        let err = r1.expect_err("combinational loop must be rejected");
+        assert!(!cached1);
+        assert!(err.contains("static analysis failed"), "{err}");
+        assert!(err.contains("GEM-L001"), "names the lint: {err}");
+        assert!(err.contains("fb"), "names the looped net: {err}");
+        let (_, r2, cached2) = cache.get_or_compile(looped, &opts());
+        assert!(r2.is_err() && cached2, "negative entry served from cache");
+        assert_eq!(m.compiles_total.load(Ordering::Relaxed), 1);
+        assert_eq!(m.analyze_failures.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -324,6 +324,17 @@ impl GemClient {
         )
     }
 
+    /// Lints a design server-side: runs the static analyzer and, when
+    /// the netlist is error-free, compiles (through the cache) to attach
+    /// the schedule certificate. Returns the full response
+    /// (`diagnostics`, `summary`, `clean`, `certified`, optional `cert`).
+    pub fn lint(&mut self, source: &str, opts: Json) -> Result<Json, ClientError> {
+        self.request(
+            "lint",
+            vec![("source", Json::Str(source.into())), ("opts", opts)],
+        )
+    }
+
     /// Checkpoints the session's machine state server-side.
     pub fn save(&mut self, session: u64) -> Result<(), ClientError> {
         self.request("save", vec![("session", Json::U64(session))])

@@ -72,6 +72,9 @@ pub struct ServerMetrics {
     /// Compiles rejected by the static bitstream verifier (the failing
     /// artifact is negatively cached, never served).
     pub verify_failures: AtomicU64,
+    /// Compiles rejected by the static analyzer or the schedule
+    /// happens-before checker (negatively cached like verify failures).
+    pub analyze_failures: AtomicU64,
     /// Summed queue+execution latency of completed jobs, microseconds.
     pub job_latency_micros: AtomicU64,
     /// Simulated cycles executed on behalf of all sessions.
@@ -197,6 +200,11 @@ impl ServerMetrics {
             "gem_server_verify_failures_total",
             "Compiles rejected by the static bitstream verifier",
             &self.verify_failures,
+        );
+        c(
+            "gem_server_analyze_failures_total",
+            "Compiles rejected by the static analyzer or schedule certifier",
+            &self.analyze_failures,
         );
         c(
             "gem_server_job_latency_micros_total",

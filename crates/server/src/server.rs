@@ -301,6 +301,7 @@ fn dispatch(state: &Arc<ServerState>, id: u64, req: &Json) -> (Json, bool) {
         "step" => cmd_step(state, id, req),
         "replay" => cmd_replay(state, id, req),
         "profile" => cmd_profile(state, id, req),
+        "lint" => cmd_lint(state, id, req),
         "save" => cmd_save(state, id, req),
         "restore" => cmd_restore(state, id, req),
         "close" => cmd_close(state, id, req),
@@ -815,6 +816,59 @@ fn cmd_profile(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
             }
             Err(e) => protocol::err_response(id, codes::INTERNAL, &e.to_string()),
         }
+    })
+}
+
+/// `lint`: run the static analyzer over a design source and, when the
+/// netlist is clean of errors, compile it (through the cache) to attach
+/// the schedule happens-before certificate. Sessions are untouched.
+fn cmd_lint(state: &Arc<ServerState>, id: u64, req: &Json) -> CmdResult {
+    let source = protocol::req_str(req, "source").map_err(bad)?.to_string();
+    let opts = compile_opts(req)?;
+    let state2 = Arc::clone(state);
+    run_on_pool(state, "lint", move || {
+        let (module, lints) = match gem_netlist::verilog::parse_with_lints(&source) {
+            Ok(r) => r,
+            Err(e) => return protocol::err_response(id, codes::COMPILE_FAILED, &e.to_string()),
+        };
+        let report = gem_analyze::analyze_with_lints(&module, &lints);
+        let diagnostics: Vec<Json> = report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut o = Json::object();
+                o.set("code", d.code);
+                o.set("severity", d.severity.name());
+                o.set("message", d.message.as_str());
+                o.set("witness", d.witness.as_str());
+                o
+            })
+            .collect();
+        let mut r = protocol::ok_response(id);
+        r.set("diagnostics", Json::Array(diagnostics));
+        r.set("summary", report.summary());
+        r.set("clean", report.clean(gem_analyze::Severity::Warning));
+        // Certification needs the compiled schedule; skip it when the
+        // netlist already has error-severity findings.
+        let mut certified = false;
+        if report.clean(gem_analyze::Severity::Error) {
+            let (key, result, cached) = state2.cache.get_or_compile(&source, &opts);
+            r.set("key", format!("{key:016x}"));
+            r.set("cached", cached);
+            match result {
+                Ok(design) => {
+                    certified = design.report.certified;
+                    if let Some(cert) = &design.schedule_cert {
+                        r.set("cert", cert.summary());
+                    }
+                }
+                Err(e) => {
+                    r.set("compile_error", e.as_str());
+                }
+            }
+        }
+        r.set("certified", certified);
+        r
     })
 }
 

@@ -939,3 +939,58 @@ fn backend_option_selects_engine_without_changing_waveforms() {
 
     shutdown_and_join(addr, server);
 }
+
+/// The `lint` wire op returns typed diagnostics and a schedule
+/// certificate for clean designs, and names the offending nets — with
+/// no compile attempted — for designs with error-severity findings.
+#[test]
+fn lint_op_reports_diagnostics_and_certification() {
+    let (addr, server) = start_server(ServerConfig::default());
+    let mut client = GemClient::connect(addr).expect("connect");
+
+    // Clean design: zero warnings, compiled and certified.
+    let resp = client.lint(DESIGN_A, wire_opts()).expect("lint clean");
+    assert_eq!(resp.get("clean").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("certified").and_then(Json::as_bool), Some(true));
+    let cert = resp.get("cert").and_then(Json::as_str).expect("cert");
+    assert!(cert.contains("read(s) ordered"), "cert summary: {cert}");
+
+    // A combinational loop: GEM-L001 with the looped nets named, not
+    // certified, and no compile burned on it.
+    let looped = "
+module looped(input a, output y);
+  wire fb;
+  assign fb = fb & a;
+  assign y = ~fb;
+endmodule
+";
+    let resp = client.lint(looped, wire_opts()).expect("lint runs");
+    assert_eq!(resp.get("clean").and_then(Json::as_bool), Some(false));
+    assert_eq!(resp.get("certified").and_then(Json::as_bool), Some(false));
+    let diags = resp
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .expect("diagnostics array");
+    let loop_diag = diags
+        .iter()
+        .find(|d| d.get("code").and_then(Json::as_str) == Some("GEM-L001"))
+        .expect("comb-loop diagnostic");
+    assert_eq!(
+        loop_diag.get("severity").and_then(Json::as_str),
+        Some("error")
+    );
+    let witness = loop_diag
+        .get("witness")
+        .and_then(Json::as_str)
+        .expect("witness");
+    assert!(witness.contains("fb"), "witness names the net: {witness}");
+
+    let stats = quiesced_stats(&mut client);
+    assert_eq!(
+        metric(&stats, "gem_server_compiles_total"),
+        1.0,
+        "only the clean design compiled"
+    );
+
+    shutdown_and_join(addr, server);
+}

@@ -1,0 +1,10 @@
+// Lint fixture: combinational cycle (GEM-L001, error).
+//
+// `fb` feeds itself through an AND gate with no flip-flop on the path,
+// so the design cannot be levelized. `gem lint` names the cycle:
+// the witness walks fb -> (and output) -> fb.
+module comb_loop(input a, output y);
+  wire fb;
+  assign fb = fb & a;
+  assign y = ~fb;
+endmodule

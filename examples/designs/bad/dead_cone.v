@@ -1,0 +1,10 @@
+// Lint fixture: dead logic cone (GEM-L006, info).
+//
+// `unused` is computed but feeds no output and no live state, so the
+// whole cone is dead weight synthesis will prune. The aggregated
+// diagnostic names example nets from the cone.
+module dead_cone(input [3:0] a, input [3:0] b, output [3:0] y);
+  wire [3:0] unused;
+  assign unused = a ^ b;
+  assign y = a & b;
+endmodule

@@ -1,0 +1,10 @@
+// Lint fixture: multiply-driven net (GEM-L003, error).
+//
+// Two continuous assigns race on `w`; hardware would short two gate
+// outputs together. The witness names the contested net.
+module multi_driven(input a, input b, output y);
+  wire w;
+  assign w = a;
+  assign w = b;
+  assign y = w;
+endmodule

@@ -1,0 +1,8 @@
+// Lint fixture: width truncation (GEM-L005, warning).
+//
+// An 8-bit sum is assigned to a 4-bit output; the elaborator silently
+// drops the top nibble and records a source lint, which the analyzer
+// surfaces as a warning naming both widths.
+module width_mismatch(input [7:0] a, input [7:0] b, output [3:0] y);
+  assign y = a + b;
+endmodule
