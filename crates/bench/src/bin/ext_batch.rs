@@ -1,37 +1,42 @@
 //! **Lane-batched multi-stimulus execution** — aggregate throughput of
-//! one 32-lane batch simulator vs independent single-lane runs.
+//! one 64-lane batch simulator vs independent single-lane runs.
 //!
-//! The lane subsystem packs up to 32 independent stimulus streams into
-//! the bit-lanes of the vGPU's u32 state words, so one `step()` advances
-//! 32 simulations (GATSPI/RTLflow-style data parallelism; see
-//! docs/BATCH.md). This binary measures what that buys on the largest
-//! evaluation design:
+//! The lane subsystem packs up to 64 independent stimulus streams into
+//! the bit-lanes of the vGPU's 64-bit state words (`gem_place::Word`),
+//! so one `step()` advances 64 simulations (GATSPI/RTLflow-style data
+//! parallelism; see docs/BATCH.md). This binary measures what that buys
+//! on the largest evaluation design:
 //!
 //! * **single-lane baseline**: one simulator, one stream — wall-clock
 //!   simulated cycles/sec,
-//! * **batch engines** at 8 and 32 lanes: one simulator, N streams —
-//!   wall-clock *aggregate* lane-cycles/sec (steps/sec × lanes),
-//! * **bank reference**: 32 independent single-lane simulators stepped
-//!   round-robin — the honest no-lane way to run 32 streams.
+//! * **batch engines** at 8, 32, and 64 lanes: one simulator, N streams
+//!   — wall-clock *aggregate* lane-cycles/sec (steps/sec × lanes),
+//! * **bank reference**: 64 independent single-lane simulators stepped
+//!   round-robin — the honest no-lane way to run 64 streams.
 //!
-//! Before any number is reported the binary *proves* lane equivalence on
-//! this design: every lane of a 32-lane batch must match its own
-//! independent single-lane run bit for bit over 64 cycles of distinct
-//! per-lane stimulus.
+//! Before any number is reported the binary *proves* lane equivalence
+//! on this design, across the whole execution matrix: a reference
+//! per-lane trace is recorded from 64 independent single-lane runs,
+//! and a full-width 64-lane batch must reproduce it bit for bit under
+//! `{interpreted, compiled} × {1, 4} threads`.
 //!
 //! Records `BENCH_batch.json` (plus the usual
-//! `target/gem-experiments/ext_batch.json`).
+//! `target/gem-experiments/ext_batch.json`). The recorded run must show
+//! the 64-lane aggregate at ≥ 1.5x the 32-lane aggregate (the word
+//! lift's payoff) and ≥ 8x the single-lane baseline.
 //!
 //! Usage: `cargo run -p gem-bench --release --bin ext_batch
 //!         [--scale 1] [--cycles 256]`
 
 use gem_bench::{arg, compile_design, fmt_hz, suite, write_record};
-use gem_core::GemSimulator;
+use gem_core::{ExecBackend, GemSimulator};
+use gem_netlist::Bits;
 use gem_sim::FuzzRng;
 use gem_telemetry::Json;
 use std::time::Instant;
 
-const LANES: usize = 32;
+const LANES: usize = GemSimulator::MAX_LANES as usize;
+const PROOF_CYCLES: u64 = 48;
 
 fn main() {
     let scale = arg("--scale", 1) as u32;
@@ -58,38 +63,74 @@ fn main() {
     let lane_rng = |lane: usize| FuzzRng::new(0xBA7C_4000 ^ lane as u64);
 
     // --- lane-equivalence proof (refuse to benchmark a wrong engine) --
-    {
-        let mut batch = GemSimulator::new(&compiled).expect("loads");
-        batch.set_lanes(LANES as u32).expect("32 lanes");
+    // Reference trace: 64 independent single-lane runs, recorded once
+    // (the stimulus is deterministic, so one recording serves every
+    // batch configuration).
+    let reference: Vec<Vec<Vec<Bits>>> = {
         let mut bank: Vec<GemSimulator> = (0..LANES)
             .map(|_| GemSimulator::new(&compiled).expect("loads"))
             .collect();
         let mut rngs: Vec<FuzzRng> = (0..LANES).map(lane_rng).collect();
-        for cycle in 0..64u64 {
+        let mut trace = Vec::new();
+        for _ in 0..PROOF_CYCLES {
             for (lane, rng) in rngs.iter_mut().enumerate() {
                 for (name, width) in &inputs {
-                    let v = rng.bits(*width);
-                    batch.set_input_lane(name, lane as u32, v.clone());
-                    bank[lane].set_input(name, v);
+                    bank[lane].set_input(name, rng.bits(*width));
                 }
             }
-            batch.step();
             for sim in bank.iter_mut() {
                 sim.step();
             }
-            for p in compiled.io.outputs.iter() {
-                for (lane, sim) in bank.iter().enumerate() {
-                    assert_eq!(
-                        batch.output_lane(&p.name, lane as u32),
-                        sim.output(&p.name),
-                        "cycle {cycle}: lane {lane} diverged from its independent run on {}",
-                        p.name
-                    );
+            trace.push(
+                bank.iter()
+                    .map(|sim| {
+                        compiled
+                            .io
+                            .outputs
+                            .iter()
+                            .map(|p| sim.output(&p.name))
+                            .collect()
+                    })
+                    .collect(),
+            );
+        }
+        trace
+    };
+    // The full-width batch must reproduce the reference per lane, under
+    // both backends and both thread counts.
+    for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+        for threads in [1usize, 4] {
+            let mut batch = GemSimulator::new(&compiled).expect("loads");
+            batch.set_backend(backend);
+            batch.set_threads(threads);
+            batch.set_lanes(LANES as u32).expect("64 lanes");
+            let mut rngs: Vec<FuzzRng> = (0..LANES).map(lane_rng).collect();
+            for (cycle, want) in reference.iter().enumerate() {
+                for (lane, rng) in rngs.iter_mut().enumerate() {
+                    for (name, width) in &inputs {
+                        batch.set_input_lane(name, lane as u32, rng.bits(*width));
+                    }
+                }
+                batch.step();
+                for (pi, p) in compiled.io.outputs.iter().enumerate() {
+                    for (lane, lane_want) in want.iter().enumerate() {
+                        assert_eq!(
+                            batch.output_lane(&p.name, lane as u32),
+                            lane_want[pi],
+                            "{} backend, {threads} thread(s), cycle {cycle}: lane {lane} \
+                             diverged from its independent run on {}",
+                            backend.name(),
+                            p.name
+                        );
+                    }
                 }
             }
         }
-        println!("  equivalence: 32-lane batch == 32 independent runs over 64 cycles ✓");
     }
+    println!(
+        "  equivalence: {LANES}-lane batch == {LANES} independent runs over \
+         {PROOF_CYCLES} cycles, {{interpreted, compiled}} x {{1, 4}} threads ✓"
+    );
 
     let mut rec = Json::object();
     rec.set("design", design.name.clone());
@@ -121,8 +162,8 @@ fn main() {
 
     // --- batch engines -------------------------------------------------
     let mut rows = Vec::new();
-    let mut speedup_at_max = 0.0;
-    for lanes in [8usize, LANES] {
+    let mut aggregates: Vec<(usize, f64)> = Vec::new();
+    for lanes in [8usize, 32, LANES] {
         let mut sim = GemSimulator::new(&compiled).expect("loads");
         sim.set_lanes(lanes as u32).expect("lane count");
         let mut rngs: Vec<FuzzRng> = (0..lanes).map(lane_rng).collect();
@@ -155,13 +196,21 @@ fn main() {
         row.set("aggregate_cycles_per_sec", aggregate);
         row.set("speedup_vs_single", speedup);
         rows.push(row);
-        if lanes == LANES {
-            speedup_at_max = speedup;
-        }
+        aggregates.push((lanes, aggregate));
     }
     rec.set("engines", Json::Array(rows));
+    let agg = |lanes: usize| {
+        aggregates
+            .iter()
+            .find(|(l, _)| *l == lanes)
+            .map(|(_, a)| *a)
+            .expect("engine row recorded")
+    };
+    let speedup_at_max = agg(LANES) / single_hz;
+    let word_lift_gain = agg(LANES) / agg(32);
+    println!("  64-lane over 32-lane aggregate: {word_lift_gain:.2}x");
 
-    // --- bank reference: 32 independent sims, no lanes -----------------
+    // --- bank reference: 64 independent sims, no lanes -----------------
     let bank_aggregate = {
         let mut bank: Vec<GemSimulator> = (0..LANES)
             .map(|_| GemSimulator::new(&compiled).expect("loads"))
@@ -178,8 +227,8 @@ fn main() {
         for _ in 0..4 {
             drive_step(&mut bank);
         }
-        // The bank costs ~32x a single step; fewer rounds suffice.
-        let rounds = (cycles / 8).max(8);
+        // The bank costs ~64x a single step; fewer rounds suffice.
+        let rounds = (cycles / 16).max(8);
         let t0 = Instant::now();
         for _ in 0..rounds {
             drive_step(&mut bank);
@@ -187,14 +236,16 @@ fn main() {
         rounds as f64 * LANES as f64 / t0.elapsed().as_secs_f64()
     };
     println!(
-        "  bank of 32 (no lanes): {} lane-cycles/s aggregate ({:.2}x)",
+        "  bank of {LANES} (no lanes): {} lane-cycles/s aggregate ({:.2}x)",
         fmt_hz(bank_aggregate),
         bank_aggregate / single_hz
     );
     rec.set("bank_aggregate_cycles_per_sec", bank_aggregate);
-    // The headline number: aggregate throughput of the full batch over
-    // the single-lane baseline.
+    // The headline numbers: aggregate throughput of the full batch over
+    // the single-lane baseline, and what the u32 → u64 word lift bought
+    // over the old 32-lane ceiling.
     rec.set("speedup_aggregate", speedup_at_max);
+    rec.set("speedup_64_vs_32_aggregate", word_lift_gain);
 
     write_record("ext_batch", &rec);
     if let Err(e) = std::fs::write("BENCH_batch.json", rec.to_string_pretty()) {
@@ -205,5 +256,9 @@ fn main() {
     assert!(
         speedup_at_max >= 8.0,
         "aggregate speedup at {LANES} lanes fell below 8x: {speedup_at_max:.2}"
+    );
+    assert!(
+        word_lift_gain >= 1.5,
+        "64-lane aggregate fell below 1.5x the 32-lane aggregate: {word_lift_gain:.2}"
     );
 }

@@ -2,6 +2,7 @@
 
 use crate::compile::Compiled;
 use gem_netlist::Bits;
+use gem_place::Word;
 use gem_telemetry::{MetricFamily, MetricKind, MetricsSink, MetricsSnapshot, Sample};
 use gem_vgpu::{
     CounterBreakdown, ExecBackend, ExecMode, ExecStats, GemGpu, GpuSnapshot, KernelCounters,
@@ -286,15 +287,16 @@ impl GemSimulator {
     }
 
     /// Packed injection path: sets an input port from lane words, one
-    /// `u32` per port bit (bit `k` of `words[i]` is port bit `i` in lane
-    /// `k`). This is how a batch driver feeds 32 stimulus streams in one
-    /// call per port; see `gem_sim::LaneBatch::pack`.
+    /// machine [`Word`] per port bit (bit `k` of `words[i]` is port bit
+    /// `i` in lane `k`). This is how a batch driver feeds up to
+    /// [`Self::MAX_LANES`] stimulus streams in one call per port; see
+    /// `gem_sim::LaneBatch::pack`.
     ///
     /// # Panics
     ///
     /// Panics if the port does not exist or `words` length differs from
     /// the port width.
-    pub fn set_input_lanes(&mut self, name: &str, words: &[u32]) {
+    pub fn set_input_lanes(&mut self, name: &str, words: &[Word]) {
         let port = self
             .io
             .input(name)
@@ -309,13 +311,13 @@ impl GemSimulator {
         }
     }
 
-    /// Packed demux path: reads an output port as lane words, one `u32`
-    /// per port bit; see `gem_sim::LaneBatch::unpack`.
+    /// Packed demux path: reads an output port as lane words, one
+    /// machine [`Word`] per port bit; see `gem_sim::LaneBatch::unpack`.
     ///
     /// # Panics
     ///
     /// Panics if the port does not exist.
-    pub fn output_lanes(&self, name: &str) -> Vec<u32> {
+    pub fn output_lanes(&self, name: &str) -> Vec<Word> {
         let port = self
             .io
             .output(name)
@@ -571,10 +573,14 @@ mod tests {
         let m = b.finish().expect("valid");
         let c = compile(&m, &CompileOptions::small()).expect("compiles");
         let mut sim = GemSimulator::new(&c).expect("loads");
-        sim.set_lanes(32).expect("32 lanes");
+        sim.set_lanes(64).expect("64 lanes");
         // Port bit i in lane k: x = k's bit pattern, y = rotated.
-        let x_words: Vec<u32> = (0..4).map(|i| 0xDEAD_BEEFu32.rotate_left(i)).collect();
-        let y_words: Vec<u32> = (0..4).map(|i| 0x1234_5678u32.rotate_right(i)).collect();
+        let x_words: Vec<Word> = (0..4)
+            .map(|i| 0xDEAD_BEEF_0BAD_F00Du64.rotate_left(i))
+            .collect();
+        let y_words: Vec<Word> = (0..4)
+            .map(|i| 0x1234_5678_9ABC_DEF0u64.rotate_right(i))
+            .collect();
         sim.set_input_lanes("x", &x_words);
         sim.set_input_lanes("y", &y_words);
         sim.step();
@@ -583,12 +589,10 @@ mod tests {
             assert_eq!(*z, x_words[i] ^ y_words[i], "port bit {i}");
         }
         // The packed view agrees with the per-lane view.
-        for lane in 0..32 {
+        for lane in 0..64 {
             assert_eq!(
                 sim.output_lane("z", lane).to_u64(),
-                (0..4)
-                    .map(|i| u64::from((z_words[i] >> lane) & 1) << i)
-                    .sum::<u64>()
+                (0..4).map(|i| ((z_words[i] >> lane) & 1) << i).sum::<u64>()
             );
         }
     }
@@ -634,8 +638,8 @@ mod tests {
             Err(gem_vgpu::MachineError::BadLanes(0))
         ));
         assert!(matches!(
-            sim.set_lanes(64),
-            Err(gem_vgpu::MachineError::BadLanes(64))
+            sim.set_lanes(65),
+            Err(gem_vgpu::MachineError::BadLanes(65))
         ));
         assert_eq!(sim.lanes(), 1);
     }

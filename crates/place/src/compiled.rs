@@ -5,7 +5,7 @@
 //! enum-tagged permutation, per-slot `bool` fold constants, and a dense
 //! `Option` writeback plan. The reference executors
 //! ([`BoomerangLayer::execute`] / [`execute_words`]) re-interpret those
-//! tags every cycle — an enum match per gathered bit, a `bool → u32`
+//! tags every cycle — an enum match per gathered bit, a `bool → Word`
 //! splat per fold operand, and an `Option` test per fold slot, millions
 //! of times per simulated second. That per-instruction dispatch is
 //! exactly what BENCH_parallel.json shows dominating wall clock.
@@ -14,8 +14,9 @@
 //!
 //! * the permutation becomes a flat `u32` index array
 //!   ([`PERM_CONST`] marks constant-zero slots),
-//! * fold constants become pre-splatted 32-lane mask words, so the
-//!   inner loop is three bitwise ops on `u32`s with no branches,
+//! * fold constants become pre-splatted lane mask words (one machine
+//!   [`Word`] per slot), so the inner loop is three bitwise ops on
+//!   `Word`s with no branches,
 //! * the writeback plan becomes a sparse `(slot, addr)` list — only
 //!   slots that actually write are visited,
 //! * the fold pyramid runs over two caller-provided ping-pong row
@@ -30,7 +31,7 @@
 //!
 //! [`execute_words`]: BoomerangLayer::execute_words
 
-use crate::layer::{splat, BoomerangLayer, PermSource};
+use crate::layer::{splat, BoomerangLayer, PermSource, Word};
 
 /// Sentinel in [`CompiledLayer::perm`] for a constant-zero row slot
 /// (lowered from [`PermSource::ConstFalse`]).
@@ -41,11 +42,11 @@ pub const PERM_CONST: u32 = u32::MAX;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoldOp {
     /// XOR mask on operand A, one lane word per slot.
-    pub xa: Box<[u32]>,
+    pub xa: Box<[Word]>,
     /// XOR mask on operand B.
-    pub xb: Box<[u32]>,
-    /// OR mask on operand B after the XOR (`u32::MAX` bypasses B).
-    pub ob: Box<[u32]>,
+    pub xb: Box<[Word]>,
+    /// OR mask on operand B after the XOR (`Word::MAX` bypasses B).
+    pub ob: Box<[Word]>,
     /// `(slot, state address)` pairs that write back, in slot order
     /// (matching the interpreter's within-level write order).
     pub writeback: Box<[(u32, u32)]>,
@@ -148,7 +149,12 @@ impl CompiledLayer {
     /// inner loop is expressible as a zip over `chunks_exact(2)` —
     /// bounds-check-free and auto-vectorizable — instead of five
     /// index-checked accesses per slot.
-    pub fn execute_words_into(&self, state: &mut [u32], row: &mut Vec<u32>, next: &mut Vec<u32>) {
+    pub fn execute_words_into(
+        &self,
+        state: &mut [Word],
+        row: &mut Vec<Word>,
+        next: &mut Vec<Word>,
+    ) {
         row.clear();
         row.extend(self.perm.iter().map(|&p| {
             if p == PERM_CONST {
@@ -198,7 +204,7 @@ mod tests {
         let mut x = seed;
         let mut layer = BoomerangLayer::new(width);
         for p in layer.perm.iter_mut() {
-            *p = if xorshift(&mut x) % 4 == 0 {
+            *p = if xorshift(&mut x).is_multiple_of(4) {
                 PermSource::ConstFalse
             } else {
                 PermSource::State((xorshift(&mut x) % state_size as u64) as u32)
@@ -213,7 +219,7 @@ mod tests {
         }
         for wb in layer.writeback.iter_mut() {
             for slot in wb.iter_mut() {
-                if xorshift(&mut x) % 2 == 0 {
+                if xorshift(&mut x).is_multiple_of(2) {
                     *slot = Some((xorshift(&mut x) % state_size as u64) as u32);
                 }
             }
@@ -235,7 +241,7 @@ mod tests {
             let layer = random_layer(0xC0DE ^ trial, width, state_size);
             let comp = CompiledLayer::lower(&layer);
             let mut x = trial.wrapping_mul(0x5851_F42D_4C95_7F2D) + 1;
-            let words: Vec<u32> = (0..state_size).map(|_| xorshift(&mut x) as u32).collect();
+            let words: Vec<Word> = (0..state_size).map(|_| xorshift(&mut x)).collect();
             let mut want = words.clone();
             layer.execute_words(&mut want);
             let mut got = words;
@@ -259,8 +265,8 @@ mod tests {
         layer.writeback[1][0] = Some(3);
         let comp = CompiledLayer::lower(&layer);
         assert_eq!(&*comp.perm, &[3, PERM_CONST, 0, 1]);
-        assert_eq!(&*comp.folds[0].xa, &[0, u32::MAX]);
-        assert_eq!(&*comp.folds[0].ob, &[u32::MAX, 0]);
+        assert_eq!(&*comp.folds[0].xa, &[0, Word::MAX]);
+        assert_eq!(&*comp.folds[0].ob, &[Word::MAX, 0]);
         assert_eq!(&*comp.folds[0].writeback, &[(1, 2)]);
         assert_eq!(&*comp.folds[1].writeback, &[(0, 3)]);
     }
@@ -283,9 +289,9 @@ mod tests {
     fn constant_layer_is_inert() {
         let layer = BoomerangLayer::new(8);
         let comp = CompiledLayer::lower(&layer);
-        let mut state = vec![0xDEAD_BEEF; 4];
+        let mut state = vec![0xDEAD_BEEF_DEAD_BEEF; 4];
         let (mut row, mut next) = (Vec::new(), Vec::new());
         comp.execute_words_into(&mut state, &mut row, &mut next);
-        assert_eq!(state, vec![0xDEAD_BEEF; 4]);
+        assert_eq!(state, vec![0xDEAD_BEEF_DEAD_BEEF; 4]);
     }
 }

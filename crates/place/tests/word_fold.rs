@@ -1,0 +1,194 @@
+//! Word-fold property suite: the safety argument for the u32 → u64
+//! lane-word lift.
+//!
+//! The boomerang fold network is pure bitwise logic, so widening the
+//! machine word cannot change any lane's value — *if* the executor
+//! really is lane-oblivious. These tests pin that claim directly:
+//! `execute_words::<u64>` over lanes 0..64 must be bit-identical to two
+//! independent `u32`-half executions (low 32 lanes / high 32 lanes)
+//! glued back together, `splat` must equal a per-lane poke, and the
+//! compiled lowering must agree with the generic interpreter at the
+//! full 64-lane width.
+
+use gem_place::{
+    splat, BoomerangLayer, CompiledLayer, FoldConsts, LaneWord, PermSource, Word, CORE_WIDTH,
+};
+
+fn xorshift(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_layer(x: &mut u64, width: u32, state_size: usize) -> BoomerangLayer {
+    let mut layer = BoomerangLayer::new(width);
+    for p in layer.perm.iter_mut() {
+        *p = if xorshift(x).is_multiple_of(4) {
+            PermSource::ConstFalse
+        } else {
+            PermSource::State((xorshift(x) % state_size as u64) as u32)
+        };
+    }
+    for fc in layer.folds.iter_mut() {
+        for j in 0..fc.xa.len() {
+            fc.xa[j] = xorshift(x) & 1 == 1;
+            fc.xb[j] = xorshift(x) & 1 == 1;
+            fc.ob[j] = xorshift(x) & 1 == 1;
+        }
+    }
+    for wb in layer.writeback.iter_mut() {
+        for slot in wb.iter_mut() {
+            if xorshift(x).is_multiple_of(2) {
+                *slot = Some((xorshift(x) % state_size as u64) as u32);
+            }
+        }
+    }
+    layer
+}
+
+/// Random multi-layer programs (layers share state, so writebacks from
+/// one layer feed the next — the aliasing the machine actually runs).
+fn random_program(x: &mut u64, state_size: usize) -> Vec<BoomerangLayer> {
+    let n = 2 + (xorshift(x) % 3) as usize;
+    (0..n)
+        .map(|_| {
+            let width = [4u32, 16, 64, 128][(xorshift(x) % 4) as usize];
+            random_layer(x, width, state_size)
+        })
+        .collect()
+}
+
+/// The tentpole property: executing the 64-lane word equals executing
+/// the low and high 32-lane halves independently and gluing the halves
+/// back together. This is what makes the representation swap safe — no
+/// information flows between lanes, so a 64-wide machine is exactly two
+/// 32-wide machines sharing the instruction stream.
+#[test]
+fn u64_fold_equals_two_glued_u32_half_folds() {
+    let mut x = 0x5EED_0F64_u64;
+    for trial in 0..48u64 {
+        let state_size = 24 + (xorshift(&mut x) % 40) as usize;
+        let layers = random_program(&mut x, state_size);
+        let wide: Vec<u64> = (0..state_size).map(|_| xorshift(&mut x)).collect();
+        let mut lo: Vec<u32> = wide.iter().map(|&w| w as u32).collect();
+        let mut hi: Vec<u32> = wide.iter().map(|&w| (w >> 32) as u32).collect();
+        let mut got = wide.clone();
+        for layer in &layers {
+            layer.execute_words::<u64>(&mut got);
+            layer.execute_words::<u32>(&mut lo);
+            layer.execute_words::<u32>(&mut hi);
+        }
+        let glued: Vec<u64> = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| u64::from(l) | (u64::from(h) << 32))
+            .collect();
+        assert_eq!(got, glued, "trial {trial}: u64 fold != glued u32 halves");
+    }
+}
+
+/// Same glue property for the compiled (threaded-code) form: the
+/// lowered layer at `Word = u64` must match the generic `u32`
+/// interpreter run twice, half per half.
+#[test]
+fn compiled_u64_fold_equals_glued_u32_half_interpreters() {
+    let mut x = 0x00C0_DE64_u64;
+    let (mut row, mut next) = (Vec::new(), Vec::new());
+    for trial in 0..48u64 {
+        let state_size = 24 + (xorshift(&mut x) % 40) as usize;
+        let layers = random_program(&mut x, state_size);
+        let compiled: Vec<CompiledLayer> = layers.iter().map(CompiledLayer::lower).collect();
+        let wide: Vec<Word> = (0..state_size).map(|_| xorshift(&mut x)).collect();
+        let mut lo: Vec<u32> = wide.iter().map(|&w| w as u32).collect();
+        let mut hi: Vec<u32> = wide.iter().map(|&w| (w >> 32) as u32).collect();
+        let mut got = wide.clone();
+        for (layer, comp) in layers.iter().zip(&compiled) {
+            comp.execute_words_into(&mut got, &mut row, &mut next);
+            layer.execute_words::<u32>(&mut lo);
+            layer.execute_words::<u32>(&mut hi);
+        }
+        let glued: Vec<Word> = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| Word::from(l) | (Word::from(h) << 32))
+            .collect();
+        assert_eq!(
+            got, glued,
+            "trial {trial}: compiled u64 != glued u32 halves"
+        );
+    }
+}
+
+/// `splat` broadcast must equal poking the constant into each of the 64
+/// lanes individually, and the trait constants must be consistent.
+#[test]
+fn splat_broadcast_equals_per_lane_poke() {
+    for v in [false, true] {
+        let mut poked: Word = 0;
+        for lane in 0..Word::BITS {
+            if v {
+                poked |= 1 << lane;
+            }
+        }
+        assert_eq!(splat(v), poked);
+        assert_eq!(
+            <u32 as LaneWord>::broadcast(v),
+            if v { u32::MAX } else { 0 }
+        );
+        // Every lane of the splatted word reads back the constant.
+        for lane in 0..Word::BITS {
+            assert_eq!((splat(v) >> lane) & 1 == 1, v, "lane {lane}");
+        }
+    }
+    assert_eq!(<Word as LaneWord>::LANES, 64);
+    assert_eq!(<u32 as LaneWord>::LANES, 32);
+    assert_eq!(<Word as LaneWord>::ONES, Word::MAX);
+    assert_eq!(<Word as LaneWord>::ZERO, 0);
+}
+
+/// A lane above 31 must actually influence the fold result — guards
+/// against a silent truncation back to 32 lanes anywhere in the path.
+#[test]
+fn high_lanes_are_live() {
+    // A lane-63-only input difference must stay confined to lane 63
+    // through random layers (no cross-lane leakage)...
+    let mut x = 0xA11_1A9E5u64;
+    let state_size = 16usize;
+    for _ in 0..16 {
+        let layer = random_layer(&mut x, 16, state_size);
+        let addr = (xorshift(&mut x) % state_size as u64) as usize;
+        let base: Vec<Word> = (0..state_size).map(|_| xorshift(&mut x)).collect();
+        let mut a = base.clone();
+        let mut b = base;
+        b[addr] ^= 1 << 63;
+        layer.execute_words::<Word>(&mut a);
+        layer.execute_words::<Word>(&mut b);
+        let low_mask: Word = (1 << 63) - 1;
+        for (i, (&wa, &wb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(
+                wa & low_mask,
+                wb & low_mask,
+                "low lanes leaked at state {i}"
+            );
+        }
+    }
+    // ...and a pass-through layer (ob bypass) must carry lane 63: a
+    // flip at the source shows up at the writeback target.
+    let mut layer = BoomerangLayer::new(2);
+    layer.perm = vec![PermSource::State(0), PermSource::ConstFalse];
+    layer.folds[0].ob[0] = true; // B forced 1 → out = A
+    layer.writeback[0][0] = Some(1);
+    let mut state: Vec<Word> = vec![1 << 63, 0];
+    layer.execute_words::<Word>(&mut state);
+    assert_eq!(state[1], 1 << 63, "lane 63 dropped by pass-through fold");
+}
+
+/// The default core width still divides evenly into lane words — the
+/// ISA row shapes don't change with the word width.
+#[test]
+fn core_width_is_word_aligned() {
+    assert_eq!(CORE_WIDTH % <Word as LaneWord>::LANES, 0);
+    let _ = FoldConsts::neutral(4); // module link sanity
+}

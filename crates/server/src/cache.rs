@@ -253,10 +253,12 @@ endmodule
         let v1 = COUNTER.to_string();
         let v2 = COUNTER.replace("8'd1", "8'd2");
         let v3 = COUNTER.replace("8'd1", "8'd3");
-        cache.get_or_compile(&v1, &opts());
-        cache.get_or_compile(&v2, &opts());
-        cache.get_or_compile(&v1, &opts()); // touch v1; v2 is now LRU
-        cache.get_or_compile(&v3, &opts()); // evicts v2
+        assert!(cache.get_or_compile(&v1, &opts()).1.is_ok());
+        assert!(cache.get_or_compile(&v2, &opts()).1.is_ok());
+        // Touch v1; v2 is now LRU.
+        assert!(cache.get_or_compile(&v1, &opts()).1.is_ok());
+        // Evicts v2.
+        assert!(cache.get_or_compile(&v3, &opts()).1.is_ok());
         assert_eq!(cache.len(), 2);
         assert_eq!(m.cache_evictions.load(Ordering::Relaxed), 1);
         let (_, _, cached) = cache.get_or_compile(&v1, &opts());

@@ -152,7 +152,7 @@ impl GemClient {
     }
 
     /// Opens a *batch* session: `lanes` independent stimulus streams
-    /// stepped together (1..=32). Returns the full response (`session`,
+    /// stepped together (1..=64). Returns the full response (`session`,
     /// `lanes`, `key`, `cached`, `report`).
     pub fn open_lanes(
         &mut self,

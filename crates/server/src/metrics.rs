@@ -41,7 +41,7 @@ pub struct ServerMetrics {
     /// Sessions opened with more than one lane (batch sessions).
     pub batch_sessions: AtomicU64,
     /// Total stimulus lanes across currently live sessions (a
-    /// single-lane session contributes 1, a full batch session 32).
+    /// single-lane session contributes 1, a full batch session 64).
     pub lanes_active: AtomicU64,
     /// Jobs offered to the worker pool (accepted or not).
     pub jobs_submitted: AtomicU64,

@@ -30,7 +30,7 @@ pub mod codes {
     pub const NOT_FOUND: &str = "not_found";
     /// The design failed to parse or compile.
     pub const COMPILE_FAILED: &str = "compile_failed";
-    /// A lane count outside `1..=32`, or a lane index at or beyond the
+    /// A lane count outside `1..=64`, or a lane index at or beyond the
     /// session's lane count.
     pub const BAD_LANES: &str = "bad_lanes";
     /// An unknown execution-backend name in the `backend` option

@@ -29,7 +29,7 @@ pub struct SessionEntry {
     pub key: u64,
     /// The shared compiled design (IO map, report, golden E-AIG).
     pub design: Arc<Compiled>,
-    /// Stimulus lanes this session runs (1 for plain sessions, up to 32
+    /// Stimulus lanes this session runs (1 for plain sessions, up to 64
     /// for batch sessions). Fixed at `open`; counted into the
     /// `gem_server_lanes_active` gauge while the session lives.
     pub lanes: u32,

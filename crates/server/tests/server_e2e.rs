@@ -224,7 +224,7 @@ fn concurrent_sessions_share_compiles_and_match_golden() {
                 let mut golden = EaigSim::new(&compiled.eaig);
                 for cycle in 0..20u64 {
                     if i < 2 {
-                        let en = (cycle + i as u64) % 3 != 0;
+                        let en = !(cycle + i as u64).is_multiple_of(3);
                         let delta = (cycle * 7 + i as u64 * 13) & 0xFF;
                         let delta_hex = format!("{delta:02x}");
                         let resp = client
@@ -569,14 +569,14 @@ fn batch_sessions_fan_lanes_over_the_wire() {
     let mut client = GemClient::connect(addr).expect("connect");
 
     // --- lane-count validation -----------------------------------------
-    for lanes in [0u32, 33, 64] {
+    for lanes in [0u32, 65, 128] {
         let err = client
             .open_lanes(DESIGN_A, wire_opts(), lanes)
             .expect_err("bad lane count must be rejected");
         match err {
             gem_server::ClientError::Server { code, message, .. } => {
                 assert_eq!(code, "bad_lanes", "lanes={lanes}");
-                assert!(message.contains("between 1 and 32"), "got: {message}");
+                assert!(message.contains("between 1 and 64"), "got: {message}");
             }
             other => panic!("expected server error, got {other}"),
         }
@@ -703,7 +703,7 @@ fn batch_sessions_fan_lanes_over_the_wire() {
         .collect();
 
     // Too many stimuli for the session is a typed error, session intact.
-    let five: Vec<&str> = std::iter::repeat(texts[0].as_str()).take(5).collect();
+    let five: Vec<&str> = std::iter::repeat_n(texts[0].as_str(), 5).collect();
     let err = client
         .replay_batch(mixer, &five)
         .expect_err("5 stimuli on a 4-lane session");
@@ -767,6 +767,98 @@ fn batch_sessions_fan_lanes_over_the_wire() {
     shutdown_and_join(addr, server);
 }
 
+/// A full-width batch session end to end: `open {"lanes": 64}` succeeds
+/// (65 is rejected pre-pool in the validation sweep above), a 64-stream
+/// lockstep `replay_batch` produces 64 per-lane output VCDs bit-equal
+/// to 64 independent single-lane sessions replaying the same stimuli,
+/// and per-lane poke/peek addresses every one of the 64 lanes.
+#[test]
+fn full_width_batch_matches_independent_sessions() {
+    let (addr, server) = start_server(ServerConfig::default());
+    let mut client = GemClient::connect(addr).expect("connect");
+    const LANES: usize = 64;
+    let resp = client
+        .open_lanes(DESIGN_B, wire_opts(), LANES as u32)
+        .expect("open 64-lane batch");
+    let batch = resp.get("session").and_then(Json::as_u64).unwrap();
+    assert_eq!(resp.get("lanes").and_then(Json::as_u64), Some(64));
+
+    // 64 distinct stimulus streams.
+    let cycles = 6u64;
+    let stim = |lane: usize, t: u64| {
+        (
+            (t * 5 + lane as u64 * 7 + 1) & 0xFF,
+            (t * 3 + lane as u64 * 11 + 2) & 0xFF,
+        )
+    };
+    let texts: Vec<String> = (0..LANES)
+        .map(|lane| {
+            let mut w = VcdWriter::new("tb");
+            let va = w.add_var("a", 8);
+            let vb = w.add_var("b", 8);
+            w.begin();
+            for t in 0..cycles {
+                let (a, b) = stim(lane, t);
+                w.timestamp(t);
+                w.change(va, &Bits::from_u64(a, 8));
+                w.change(vb, &Bits::from_u64(b, 8));
+            }
+            w.finish()
+        })
+        .collect();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let resp = client.replay_batch(batch, &refs).expect("replay 64 lanes");
+    assert_eq!(resp.get("cycles").and_then(Json::as_u64), Some(cycles));
+    let vcds = resp
+        .get("vcds")
+        .and_then(Json::as_array)
+        .expect("per-lane output vcds");
+    assert_eq!(vcds.len(), LANES);
+
+    // Every lane must be bit-equal to its own independent session.
+    for lane in 0..LANES {
+        let resp = client.open(DESIGN_B, wire_opts()).expect("open single");
+        let single = resp.get("session").and_then(Json::as_u64).unwrap();
+        let replayed = client.replay(single, &texts[lane]).expect("replay single");
+        let batch_dump =
+            gem_netlist::vcd::VcdDump::parse(vcds[lane].as_str().unwrap()).expect("batch vcd");
+        let single_dump = gem_netlist::vcd::VcdDump::parse(
+            replayed.get("vcd").and_then(Json::as_str).expect("vcd"),
+        )
+        .expect("single vcd");
+        for port in ["x", "r"] {
+            assert_eq!(
+                vcd_port_values(&batch_dump, port),
+                vcd_port_values(&single_dump, port),
+                "lane {lane} port {port} diverged from its independent session"
+            );
+        }
+        client.close(single).expect("close single");
+    }
+
+    // Per-lane poke/peek across the full width (x is combinational, so
+    // the session state left by the replay does not disturb it).
+    for lane in 0..LANES as u32 {
+        client
+            .poke_lane(batch, lane, "a", &format!("{lane:02x}"))
+            .expect("poke a");
+        client.poke_lane(batch, lane, "b", "a5").expect("poke b");
+    }
+    client.step(batch, 1, vec![]).expect("step");
+    for lane in 0..LANES as u32 {
+        let (a, b) = (u64::from(lane), 0xA5u64);
+        let want = ((a ^ b) + (a & b)) & 0xFF;
+        let got = client.peek_lane(batch, lane, "x").expect("peek x");
+        assert_eq!(
+            u64::from_str_radix(&got, 16).unwrap(),
+            want,
+            "lane {lane} poke/peek"
+        );
+    }
+    client.close(batch).expect("close batch");
+    shutdown_and_join(addr, server);
+}
+
 /// Two sessions on the *same cached compiled design*, both running the
 /// parallel vGPU engine (`sim_threads: 3`), stepping simultaneously
 /// from two client threads with different stimuli. Guards the
@@ -814,7 +906,7 @@ fn parallel_engine_sessions_share_design_without_bleed() {
                     // Deliberately different stimuli per session: any
                     // cross-session bleed diverges from the golden model
                     // within a cycle.
-                    let en = (cycle + 2 * i as u64) % 3 != 0;
+                    let en = !(cycle + 2 * i as u64).is_multiple_of(3);
                     let delta = (cycle * 31 + i as u64 * 101) & 0xFF;
                     let delta_hex = format!("{delta:02x}");
                     let resp = client

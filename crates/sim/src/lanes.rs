@@ -1,16 +1,16 @@
 //! Lane-batched multi-stimulus plumbing (`docs/BATCH.md`).
 //!
-//! GEM's evaluator computes 32 Boolean signals per machine word, so one
-//! bitstream execution can carry 32 *independent* stimulus streams — one
+//! GEM's evaluator computes 64 Boolean signals per machine word, so one
+//! bitstream execution can carry 64 *independent* stimulus streams — one
 //! per bit-lane — at the cost of one (the GATSPI/RTLflow observation;
 //! [`crate::BatchSim`] is the same idea over the E-AIG). This module is
 //! the stimulus side of that capability:
 //!
-//! * [`LaneBatch`] — up to 32 per-lane stimulus streams with per-lane
+//! * [`LaneBatch`] — up to 64 per-lane stimulus streams with per-lane
 //!   reset/cycle *skew* (lane `k` may start its stream `skew` cycles
 //!   late, holding its inputs until then) and per-cycle activity masks,
 //! * [`pack`]/[`unpack`] — the lane-word transpose: per-lane [`Bits`]
-//!   values ⇄ one `u32` lane word per port bit, the format
+//!   values ⇄ one machine [`Word`] lane word per port bit, the format
 //!   `GemSimulator::set_input_lanes` / `output_lanes` speak,
 //! * [`LaneTarget`] + [`LaneBatch::run`] — a generic per-lane
 //!   poke/step/peek surface and a driver that replays the whole batch
@@ -25,9 +25,15 @@
 use gem_netlist::Bits;
 use std::fmt;
 
-/// Maximum stimulus lanes a batch may hold (the machine lane word is a
-/// `u32`; keep in lockstep with `GemGpu::MAX_LANES`).
-pub const MAX_LANES: usize = 32;
+/// The machine lane word this module packs into — keep in lockstep with
+/// `gem_place::Word` (the lib dependency graph deliberately stays
+/// netlist + aig, so the alias is mirrored here rather than imported;
+/// the differential suites hold the two in agreement end to end).
+pub type Word = u64;
+
+/// Maximum stimulus lanes a batch may hold (one per bit of the machine
+/// [`Word`]; keep in lockstep with `GemGpu::MAX_LANES`).
+pub const MAX_LANES: usize = Word::BITS as usize;
 
 /// Errors from batch construction and the pack/unpack transposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,8 +103,8 @@ impl LaneStream {
     }
 }
 
-/// Up to 32 independent stimulus streams destined for the bit-lanes of
-/// one bitstream execution.
+/// Up to [`MAX_LANES`] independent stimulus streams destined for the
+/// bit-lanes of one bitstream execution.
 #[derive(Debug, Clone)]
 pub struct LaneBatch {
     streams: Vec<LaneStream>,
@@ -144,8 +150,8 @@ impl LaneBatch {
     /// Poke mask for `cycle`: bit `k` set when lane `k`'s stream is
     /// applying stimulus at that batch cycle (past its skew, before its
     /// end).
-    pub fn active_mask(&self, cycle: u64) -> u32 {
-        let mut m = 0u32;
+    pub fn active_mask(&self, cycle: u64) -> Word {
+        let mut m: Word = 0;
         for (lane, s) in self.streams.iter().enumerate() {
             if cycle >= s.skew && cycle < s.skew + s.cycles.len() as u64 {
                 m |= 1 << lane;
@@ -260,7 +266,7 @@ pub fn first_divergence(a: &[Vec<Vec<Bits>>], b: &[Vec<Vec<Bits>>]) -> Option<La
 /// # Errors
 ///
 /// [`LaneError`] on an empty/oversized slice or width disagreement.
-pub fn pack(values: &[Bits]) -> Result<Vec<u32>, LaneError> {
+pub fn pack(values: &[Bits]) -> Result<Vec<Word>, LaneError> {
     if values.is_empty() {
         return Err(LaneError::NoLanes);
     }
@@ -268,7 +274,7 @@ pub fn pack(values: &[Bits]) -> Result<Vec<u32>, LaneError> {
         return Err(LaneError::TooManyLanes(values.len()));
     }
     let width = values[0].width();
-    let mut words = vec![0u32; width as usize];
+    let mut words: Vec<Word> = vec![0; width as usize];
     for (lane, v) in values.iter().enumerate() {
         if v.width() != width {
             return Err(LaneError::WidthMismatch {
@@ -288,7 +294,7 @@ pub fn pack(values: &[Bits]) -> Result<Vec<u32>, LaneError> {
 
 /// Unpacks lane words back into per-lane values: the inverse of
 /// [`pack`] for the first `lanes` lanes.
-pub fn unpack(words: &[u32], lanes: usize) -> Vec<Bits> {
+pub fn unpack(words: &[Word], lanes: usize) -> Vec<Bits> {
     (0..lanes.min(MAX_LANES))
         .map(|lane| {
             let mut v = Bits::zeros(words.len() as u32);
@@ -314,21 +320,21 @@ mod tests {
             LaneBatch::new(Vec::new()),
             Err(LaneError::NoLanes)
         ));
-        let too_many = vec![LaneStream::default(); 33];
+        let too_many = vec![LaneStream::default(); 65];
         assert!(matches!(
             LaneBatch::new(too_many),
-            Err(LaneError::TooManyLanes(33))
+            Err(LaneError::TooManyLanes(65))
         ));
-        let ok = LaneBatch::new(vec![LaneStream::default(); 32]).expect("32 lanes fit");
-        assert_eq!(ok.lanes(), 32);
+        let ok = LaneBatch::new(vec![LaneStream::default(); 64]).expect("64 lanes fit");
+        assert_eq!(ok.lanes(), 64);
     }
 
     #[test]
     fn pack_unpack_round_trips() {
-        let values: Vec<Bits> = (0..32u64).map(|k| b(k * 0x11 & 0xFF, 8)).collect();
+        let values: Vec<Bits> = (0..64u64).map(|k| b((k * 0x11) & 0xFF, 8)).collect();
         let words = pack(&values).expect("packs");
         assert_eq!(words.len(), 8);
-        assert_eq!(unpack(&words, 32), values);
+        assert_eq!(unpack(&words, 64), values);
         // Spot-check the transpose: bit i of word = lane's value bit i.
         for (i, w) in words.iter().enumerate() {
             for (lane, v) in values.iter().enumerate() {
@@ -349,8 +355,8 @@ mod tests {
             })
         );
         assert_eq!(pack(&[]), Err(LaneError::NoLanes));
-        let many: Vec<Bits> = (0..33).map(|_| b(0, 1)).collect();
-        assert_eq!(pack(&many), Err(LaneError::TooManyLanes(33)));
+        let many: Vec<Bits> = (0..65).map(|_| b(0, 1)).collect();
+        assert_eq!(pack(&many), Err(LaneError::TooManyLanes(65)));
     }
 
     #[test]

@@ -3,11 +3,11 @@
 //!
 //! For every seed the suite builds a random module
 //! ([`gem_sim::random_module`]), compiles it, and runs the same random
-//! stimulus through the golden [`EaigSim`] and **eight** `GemSimulator`
+//! stimulus through the golden [`EaigSim`] and **twelve** `GemSimulator`
 //! configurations in lockstep — every point of
 //!
 //! ```text
-//! {interpreted, compiled} × {1, 4} threads × {1, 32} lanes
+//! {interpreted, compiled} × {1, 4} threads × {1, 32, 64} lanes
 //! ```
 //!
 //! asserting, every cycle:
@@ -15,9 +15,11 @@
 //! * bit-exact outputs against the golden model (lane 0 of batch
 //!   sessions replays the golden stimulus),
 //! * bit-exact noise-lane outputs across every batch configuration
-//!   (lanes 1..32 carry per-lane noise streams, identical across sims),
+//!   (lanes 1..64 carry per-lane noise streams, identical across sims;
+//!   lanes a narrower sim doesn't run are compared only among the sims
+//!   that do run them),
 //! * identical architectural counters within each lane-count group
-//!   (RAM-phase counters are lane-dependent, so 1-lane and 32-lane
+//!   (RAM-phase counters are lane-dependent, so the 1-, 32- and 64-lane
 //!   groups are compared separately) — the determinism contract for
 //!   both the thread knob and the backend knob,
 //! * the PR-1 counter-reconciliation invariants on the merged breakdown.
@@ -36,7 +38,7 @@
 use gem_core::{compile, CompileOptions, ExecBackend, GemSimulator};
 use gem_sim::{random_module, EaigSim, FuzzConfig, FuzzRng};
 
-/// Salt for the noise streams driving lanes 1..32 of batch sims (lane 0
+/// Salt for the noise streams driving lanes 1..64 of batch sims (lane 0
 /// replays the golden stimulus).
 const NOISE_SALT: u64 = 0xBADC_AB1E;
 
@@ -101,7 +103,7 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
     let mut sims = Vec::new();
     for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
         for threads in [1usize, 4] {
-            for lanes in [1u32, 32] {
+            for lanes in [1u32, 32, 64] {
                 let mut sim =
                     GemSimulator::new(&compiled).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
                 sim.set_threads(threads);
@@ -146,11 +148,13 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
             }
         }
         // Noise lanes: one draw per (lane, input) per cycle, applied to
-        // every batch sim, so their lanes are comparable bit-for-bit.
+        // every batch sim that runs the lane, so active lanes are
+        // comparable bit-for-bit across sims of the same (or wider)
+        // lane count.
         for lane in 1..GemSimulator::MAX_LANES {
             for p in m.inputs() {
                 let v = noise[lane as usize - 1].bits(m.width(p.net));
-                for s in sims.iter_mut().filter(|s| s.lanes > 1) {
+                for s in sims.iter_mut().filter(|s| s.lanes > lane) {
                     s.sim.set_input_lane(&p.name, lane, v.clone());
                 }
             }
@@ -183,20 +187,23 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
                 }
             }
         }
-        // Noise lanes must agree across every batch configuration: the
-        // backend-equivalence claim covers all 32 stimulus streams, not
-        // just the golden-checked lane 0.
-        let batch: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes > 1).collect();
+        // Noise lanes must agree across every batch configuration that
+        // runs them: the backend-equivalence claim covers all 64
+        // stimulus streams, not just the golden-checked lane 0. Lanes
+        // 1..32 are cross-checked over every batch sim; lanes 32..64
+        // only among the full-width (64-lane) sims.
         for pb in compiled.eaig_outputs.iter() {
             for lane in 1..GemSimulator::MAX_LANES {
-                let want = batch[0].sim.output_lane(&pb.name, lane);
-                for s in &batch[1..] {
+                let group: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes > lane).collect();
+                assert!(group.len() >= 4, "lane {lane}: matrix lost its sims");
+                let want = group[0].sim.output_lane(&pb.name, lane);
+                for s in &group[1..] {
                     assert_eq!(
                         s.sim.output_lane(&pb.name, lane),
                         want,
                         "seed {seed} cycle {cycle}: {} diverged from {} on lane {lane} of {}",
                         s.describe(),
-                        batch[0].describe(),
+                        group[0].describe(),
                         pb.name
                     );
                 }
@@ -206,7 +213,7 @@ fn run_differential_with(seed: u64, cycles: u64, cfg: &FuzzConfig) -> u64 {
         // backends and thread counts, every cycle — within each lane
         // group (the RAM phase touches every active lane, so 32-lane
         // counters legitimately differ from 1-lane ones).
-        for lanes in [1u32, 32] {
+        for lanes in [1u32, 32, 64] {
             let group: Vec<&MatrixSim> = sims.iter().filter(|s| s.lanes == lanes).collect();
             let want = group[0].sim.counters();
             for s in &group[1..] {

@@ -1,13 +1,13 @@
-//! Differential lane-equivalence fuzzing: a 32-lane batch must be
-//! bit-identical, per lane, to 32 independent single-lane runs.
+//! Differential lane-equivalence fuzzing: a full-width 64-lane batch
+//! must be bit-identical, per lane, to 64 independent single-lane runs.
 //!
 //! For every seed the suite builds a random module
-//! ([`gem_sim::random_module`]), compiles it once, and derives 32
+//! ([`gem_sim::random_module`]), compiles it once, and derives 64
 //! *different* stimulus streams from the seed (one per lane, each with
 //! its own `FuzzRng`). The same [`gem_sim::LaneBatch`] then drives:
 //!
-//! * one `GemSimulator` with `set_lanes(32)` — the lane-batched engine,
-//! * 32 independent single-lane `GemSimulator`s — the reference bank,
+//! * one `GemSimulator` with `set_lanes(64)` — the lane-batched engine,
+//! * 64 independent single-lane `GemSimulator`s — the reference bank,
 //!
 //! through the engine-agnostic [`gem_sim::LaneTarget`] surface, and
 //! [`gem_sim::lanes::first_divergence`] diffs the per-lane traces. Both
@@ -30,7 +30,10 @@ use gem_netlist::Bits;
 use gem_sim::lanes::first_divergence;
 use gem_sim::{random_module, FuzzConfig, FuzzRng, LaneBatch, LaneStream, LaneTarget};
 
-const LANES: usize = 32;
+// Run the reference comparison at the machine's full lane width: if any
+// stage of the pipeline silently truncated back to 32 lanes, the high
+// half of the batch would diverge from its independent runs here.
+const LANES: usize = 64;
 
 /// The lane-batched engine as a [`LaneTarget`].
 struct BatchTarget {
@@ -88,7 +91,7 @@ fn compile_seed(seed: u64, cfg: &FuzzConfig) -> Compiled {
         .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"))
 }
 
-/// Builds 32 distinct per-lane stimulus streams for a compiled design.
+/// Builds 64 distinct per-lane stimulus streams for a compiled design.
 /// Every third lane starts `lane / 3` cycles late (per-lane reset skew).
 fn batch_for(compiled: &Compiled, seed: u64, cycles: u64) -> LaneBatch {
     let streams = (0..LANES)
@@ -107,7 +110,7 @@ fn batch_for(compiled: &Compiled, seed: u64, cycles: u64) -> LaneBatch {
             LaneStream { skew, cycles }
         })
         .collect();
-    LaneBatch::new(streams).expect("32 lanes fit")
+    LaneBatch::new(streams).expect("64 lanes fit")
 }
 
 /// Runs one seed: batch vs bank at `threads`, trace-diffed per lane.

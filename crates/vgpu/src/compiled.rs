@@ -23,7 +23,7 @@
 //! [`execute_core`]: crate::machine::GemGpu
 
 use gem_isa::{DecodedCore, WriteSrc};
-use gem_place::{splat, CompiledLayer};
+use gem_place::{splat, CompiledLayer, Word};
 use std::cell::RefCell;
 
 /// Sentinel in [`CompiledWrite::addr`]: the entry publishes a constant
@@ -39,13 +39,13 @@ pub struct CompiledWrite {
     pub addr: u32,
     /// Pre-splatted invert mask (or the constant's lane word when
     /// `addr == WRITE_CONST`).
-    pub xor: u32,
+    pub xor: Word,
 }
 
 impl CompiledWrite {
     /// The lane word this entry publishes given the core state.
     #[inline]
-    fn value(&self, state: &[u32]) -> u32 {
+    fn value(&self, state: &[Word]) -> Word {
         if self.addr == WRITE_CONST {
             self.xor
         } else {
@@ -127,10 +127,10 @@ impl CompiledCore {
     /// buffers; all visible effects go through `imm_out` / `def_out`.
     pub fn execute_words_into(
         &self,
-        global: &[u32],
+        global: &[Word],
         scratch: &mut Scratch,
-        imm_out: &mut Vec<(u32, u32)>,
-        def_out: &mut Vec<(u32, u32)>,
+        imm_out: &mut Vec<(u32, Word)>,
+        def_out: &mut Vec<(u32, Word)>,
     ) {
         let Scratch { state, row, next } = scratch;
         state.clear();
@@ -174,9 +174,9 @@ impl CompiledCore {
 /// inside the fold network.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    state: Vec<u32>,
-    row: Vec<u32>,
-    next: Vec<u32>,
+    state: Vec<Word>,
+    row: Vec<Word>,
+    next: Vec<Word>,
 }
 
 thread_local! {
@@ -242,7 +242,7 @@ mod tests {
             CompiledWrite {
                 global: 7,
                 addr: 2,
-                xor: u32::MAX
+                xor: Word::MAX
             }
         );
         assert_eq!(
@@ -250,7 +250,7 @@ mod tests {
             CompiledWrite {
                 global: 8,
                 addr: WRITE_CONST,
-                xor: u32::MAX
+                xor: Word::MAX
             }
         );
     }
@@ -260,14 +260,14 @@ mod tests {
         let comp = CompiledCore::lower(&sample_core());
         // global[5] = a, global[6] = b → immediate (7, !(a&b)),
         // deferred (8, ones).
-        let mut global = vec![0u32; 9];
+        let mut global: Vec<Word> = vec![0; 9];
         global[5] = 0b1010;
         global[6] = 0b1100;
         let mut imm = Vec::new();
         let mut def = Vec::new();
         with_scratch(|s| comp.execute_words_into(&global, s, &mut imm, &mut def));
-        assert_eq!(imm, vec![(7, !(0b1010u32 & 0b1100))]);
-        assert_eq!(def, vec![(8, u32::MAX)]);
+        assert_eq!(imm, vec![(7, !(0b1010 as Word & 0b1100))]);
+        assert_eq!(def, vec![(8, Word::MAX)]);
     }
 
     #[test]

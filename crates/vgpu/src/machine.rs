@@ -25,8 +25,8 @@
 //! counters; see `docs/PARALLEL.md`).
 //!
 //! **Lane batching** (`docs/BATCH.md`): every global signal is stored as
-//! a `u32` *lane word* — bit `k` is the signal's value in independent
-//! simulation `k`. The fold network is pure bitwise logic
+//! a machine-word ([`gem_place::Word`], a `u64`) *lane word* — bit `k`
+//! is the signal's value in independent simulation `k`. The fold network is pure bitwise logic
 //! ([`gem_place::BoomerangLayer::execute_words`]), so one [`step_cycle`]
 //! advances up to [`GemGpu::MAX_LANES`] stimulus streams at the cost of
 //! one. The scalar API ([`poke`]/[`peek`]) stays the single-stimulus
@@ -46,7 +46,7 @@ use crate::compiled::{with_scratch, CompiledCore};
 use crate::counters::{CounterBreakdown, KernelCounters, LayerCounters, PartitionCounters};
 use crate::exec::{CorePool, ExecBackend, ExecMode, ExecStats};
 use gem_isa::{disassemble_core, Bitstream, DecodeError, DecodedCore, WriteSrc};
-use gem_place::splat;
+use gem_place::{splat, Word};
 use gem_telemetry::span;
 use gem_telemetry::{MetricFamily, MetricKind, MetricsSnapshot, Sample};
 use std::fmt;
@@ -93,6 +93,10 @@ pub enum MachineError {
     SnapshotMismatch(String),
     /// A lane count outside `1..=`[`GemGpu::MAX_LANES`] was requested.
     BadLanes(u32),
+    /// A snapshot was captured with a different machine lane-word width
+    /// (e.g. a stale 32-wide snapshot restored onto the 64-wide
+    /// machine). The payload is `(snapshot bits, machine bits)`.
+    SnapshotWordWidth(u32, u32),
 }
 
 impl fmt::Display for MachineError {
@@ -105,6 +109,10 @@ impl fmt::Display for MachineError {
                 f,
                 "bad lane count {n}: must be between 1 and {}",
                 GemGpu::MAX_LANES
+            ),
+            MachineError::SnapshotWordWidth(snap, mach) => write!(
+                f,
+                "snapshot lane word is {snap} bits wide, machine word is {mach} bits"
             ),
         }
     }
@@ -151,8 +159,8 @@ pub struct GemGpu {
     stages: Arc<Vec<Vec<LoadedCore>>>,
     /// Global signal array as lane words: bit `k` of `global[i]` is
     /// signal `i` in simulation lane `k`.
-    global: Vec<u32>,
-    deferred: Vec<(u32, u32)>,
+    global: Vec<Word>,
+    deferred: Vec<(u32, Word)>,
     /// RAM contents per block, one image per active lane
     /// (`ram_mem[ram][lane]`); inactive lanes read image 0.
     ram_mem: Vec<Vec<Box<[u32]>>>,
@@ -174,7 +182,7 @@ pub struct GemGpu {
     /// words: a core is skipped only when *every* lane's read set is
     /// unchanged, which keeps pruning conservative (never wrong) under
     /// lane batching.
-    input_cache: Vec<Vec<Option<Vec<u32>>>>,
+    input_cache: Vec<Vec<Option<Vec<Word>>>>,
     /// Worker pool when the mode is parallel (shared by clones).
     pool: Option<Arc<CorePool>>,
     /// Core evaluation backend (interpreted or compiled threaded code).
@@ -194,21 +202,27 @@ pub struct GemGpu {
 /// `gem-server` and for checkpointed long simulations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuSnapshot {
-    global: Vec<u32>,
-    deferred: Vec<(u32, u32)>,
+    global: Vec<Word>,
+    deferred: Vec<(u32, Word)>,
     ram_mem: Vec<Vec<Box<[u32]>>>,
     lanes: u32,
+    /// Lane-word width ([`Word::BITS`]) at capture time. Restoring onto
+    /// a machine with a different word width is a typed error
+    /// ([`MachineError::SnapshotWordWidth`]) — a 32-wide snapshot's
+    /// lane packing is meaningless to the 64-wide machine.
+    word_bits: u32,
     counters: KernelCounters,
     part_counters: Vec<Vec<KernelCounters>>,
     layer_counters: Vec<LayerCounters>,
-    input_cache: Vec<Vec<Option<Vec<u32>>>>,
+    input_cache: Vec<Vec<Option<Vec<Word>>>>,
 }
 
 impl GpuSnapshot {
     /// Approximate heap footprint in bytes (capacity accounting for
     /// server-side snapshot budgets).
     pub fn approx_bytes(&self) -> usize {
-        self.global.len() * 4
+        let wb = std::mem::size_of::<Word>();
+        self.global.len() * wb
             + self
                 .ram_mem
                 .iter()
@@ -220,7 +234,7 @@ impl GpuSnapshot {
                 .iter()
                 .flatten()
                 .flatten()
-                .map(|v| v.len() * 4)
+                .map(|v| v.len() * wb)
                 .sum::<usize>()
     }
 
@@ -228,17 +242,35 @@ impl GpuSnapshot {
     pub fn lanes(&self) -> u32 {
         self.lanes
     }
+
+    /// Lane-word width (in bits) the snapshot was captured at.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Returns the snapshot with a forged lane-word width — a test hook
+    /// for exercising the stale-snapshot rejection path (there is no
+    /// other way to fabricate a legacy 32-wide snapshot in-process).
+    #[doc(hidden)]
+    pub fn with_word_bits(mut self, bits: u32) -> Self {
+        self.word_bits = bits;
+        self
+    }
 }
 
 /// Mask of the active lanes: the low `lanes` bits set.
 #[inline]
-fn lane_mask(lanes: u32) -> u32 {
-    if lanes >= 32 {
-        u32::MAX
+fn lane_mask(lanes: u32) -> Word {
+    if lanes >= Word::BITS {
+        Word::MAX
     } else {
-        (1u32 << lanes) - 1
+        ((1 as Word) << lanes) - 1
     }
 }
+
+/// Bytes one lane word occupies — the unit of the global-traffic cost
+/// model for signal gathers and publishes.
+const WORD_BYTES: u64 = std::mem::size_of::<Word>() as u64;
 
 /// Bits per 128-byte global-memory transaction.
 const LINE_BITS: u64 = 128 * 8;
@@ -258,10 +290,10 @@ struct CoreOutbox {
     ci: usize,
     /// Immediate writes (full lane words): visible to later stages after
     /// the barrier.
-    immediate: Vec<(u32, u32)>,
+    immediate: Vec<(u32, Word)>,
     /// Deferred writes (full lane words): committed at the cycle
     /// boundary.
-    deferred: Vec<(u32, u32)>,
+    deferred: Vec<(u32, Word)>,
     /// Counter events charged to this core this cycle.
     delta: KernelCounters,
     /// Whether pruning skipped the fold work (layer counters then don't
@@ -269,7 +301,7 @@ struct CoreOutbox {
     skipped: bool,
     /// New pruning input-cache value for this core (`None` when pruning
     /// is off).
-    cache: Option<Vec<u32>>,
+    cache: Option<Vec<Word>>,
 }
 
 /// Executes one core as a pure function of the stage-start global array.
@@ -280,10 +312,10 @@ struct CoreOutbox {
 /// network is evaluated.
 fn execute_core(
     core: &LoadedCore,
-    global: &[u32],
+    global: &[Word],
     backend: ExecBackend,
     pruning: bool,
-    prev_cache: Option<Vec<u32>>,
+    prev_cache: Option<Vec<Word>>,
     ci: usize,
 ) -> CoreOutbox {
     let width = core.dec.width as usize;
@@ -296,7 +328,7 @@ fn execute_core(
         cache: None,
     };
     if pruning {
-        let inputs: Vec<u32> = core
+        let inputs: Vec<Word> = core
             .dec
             .reads
             .iter()
@@ -309,8 +341,9 @@ fn execute_core(
             // input gather, not the bitstream stream or the folds.
             out.delta = KernelCounters {
                 blocks_skipped: 1,
-                global_bytes: 4 * core.dec.reads.len() as u64,
-                global_transactions: 1 + core.dec.reads.len() as u64 / 32,
+                global_bytes: WORD_BYTES * core.dec.reads.len() as u64,
+                global_transactions: 1 + core.dec.reads.len() as u64
+                    / (LINE_BITS / (8 * WORD_BYTES)),
                 ..Default::default()
             };
             out.skipped = true;
@@ -336,7 +369,7 @@ fn execute_core(
     }
     match backend {
         ExecBackend::Interpreted => {
-            let mut state = vec![0u32; width];
+            let mut state = vec![Word::MIN; width];
             for r in &core.dec.reads {
                 state[r.state as usize] = global[r.global as usize];
             }
@@ -412,9 +445,10 @@ impl GemGpu {
                     blocks_run: 1,
                     ..Default::default()
                 };
-                // Signal gathers/publishes: 32-bit accesses, coalescing
-                // determined by how many 128-byte lines they touch.
-                delta.global_bytes += 4 * (dec.reads.len() + dec.writes.len()) as u64;
+                // Signal gathers/publishes: one lane word per signal,
+                // coalescing determined by how many 128-byte lines they
+                // touch.
+                delta.global_bytes += WORD_BYTES * (dec.reads.len() + dec.writes.len()) as u64;
                 delta.global_transactions += line_transactions(
                     dec.reads
                         .iter()
@@ -476,7 +510,7 @@ impl GemGpu {
             .iter()
             .map(|_| vec![vec![0u32; 8192].into_boxed_slice()])
             .collect();
-        let mut global = vec![0u32; gb as usize];
+        let mut global = vec![Word::MIN; gb as usize];
         for &idx in &cfg.initial_ones {
             // Power-on ones hold in every lane.
             global[idx as usize] = splat(true);
@@ -611,9 +645,9 @@ impl GemGpu {
         self.global[index as usize] & 1 == 1
     }
 
-    /// Maximum stimulus lanes one machine can batch (the lane word is a
-    /// `u32`).
-    pub const MAX_LANES: u32 = 32;
+    /// Maximum stimulus lanes one machine can batch (one per bit of
+    /// the machine [`Word`]).
+    pub const MAX_LANES: u32 = Word::BITS;
 
     /// Active stimulus lanes.
     pub fn lanes(&self) -> u32 {
@@ -666,7 +700,7 @@ impl GemGpu {
     pub fn poke_lane(&mut self, index: u32, lane: u32, v: bool) {
         debug_assert!(lane < self.lanes, "lane {lane} is not active");
         let g = &mut self.global[index as usize];
-        let bit = 1u32 << lane;
+        let bit = (1 as Word) << lane;
         *g = (*g & !bit) | (splat(v) & bit);
         if lane == 0 {
             let amask = lane_mask(self.lanes);
@@ -682,14 +716,14 @@ impl GemGpu {
     /// Writes a full lane word of a global signal — the packed injection
     /// path. Bits above the active lane count are ignored; the inactive
     /// lanes are forced to mirror lane 0.
-    pub fn poke_lanes(&mut self, index: u32, word: u32) {
+    pub fn poke_lanes(&mut self, index: u32, word: Word) {
         let amask = lane_mask(self.lanes);
         self.global[index as usize] = (word & amask) | (splat(word & 1 == 1) & !amask);
     }
 
     /// Reads a full lane word of a global signal — the packed demux
     /// path.
-    pub fn peek_lanes(&self, index: u32) -> u32 {
+    pub fn peek_lanes(&self, index: u32) -> Word {
         self.global[index as usize]
     }
 
@@ -746,22 +780,22 @@ impl GemGpu {
         let amask = lane_mask(self.lanes);
         for ri in 0..self.cfg.rams.len() {
             let b = self.cfg.rams[ri].clone();
-            let addr_of = |g: &Vec<u32>, bits: &[u32; 13], lane: usize| -> usize {
+            let addr_of = |g: &Vec<Word>, bits: &[u32; 13], lane: usize| -> usize {
                 bits.iter()
                     .enumerate()
                     .filter(|(_, &i)| (g[i as usize] >> lane) & 1 == 1)
                     .map(|(k, _)| 1usize << k)
                     .sum()
             };
-            let mut words = [0u32; 32];
+            let mut words = [0u32; GemGpu::MAX_LANES as usize];
             for (l, w) in words.iter_mut().enumerate().take(lanes) {
                 let raddr = addr_of(&self.global, &b.raddr, l);
                 *w = self.ram_mem[ri][l][raddr];
             }
             for (k, &g) in b.rdata.iter().enumerate() {
-                let mut v = 0u32;
+                let mut v: Word = 0;
                 for (l, w) in words.iter().enumerate().take(lanes) {
-                    v |= ((w >> k) & 1) << l;
+                    v |= (Word::from((w >> k) & 1)) << l;
                 }
                 v |= splat(v & 1 == 1) & !amask;
                 self.deferred.push((g, v));
@@ -1044,6 +1078,7 @@ impl GemGpu {
             deferred: self.deferred.clone(),
             ram_mem: self.ram_mem.clone(),
             lanes: self.lanes,
+            word_bits: Word::BITS,
             counters: self.counters,
             part_counters: self.part_counters.clone(),
             layer_counters: self.layer_counters.clone(),
@@ -1061,6 +1096,9 @@ impl GemGpu {
     /// untouched) when any state dimension differs from the loaded
     /// design.
     pub fn restore(&mut self, s: &GpuSnapshot) -> Result<(), MachineError> {
+        if s.word_bits != Word::BITS {
+            return Err(MachineError::SnapshotWordWidth(s.word_bits, Word::BITS));
+        }
         if s.global.len() != self.global.len() {
             return Err(MachineError::SnapshotMismatch(format!(
                 "global array is {} bits, design has {}",
@@ -1096,7 +1134,7 @@ impl GemGpu {
             )));
         }
         let cache_shape =
-            |ic: &Vec<Vec<Option<Vec<u32>>>>| -> Vec<usize> { ic.iter().map(Vec::len).collect() };
+            |ic: &Vec<Vec<Option<Vec<Word>>>>| -> Vec<usize> { ic.iter().map(Vec::len).collect() };
         if cache_shape(&s.input_cache) != cache_shape(&self.input_cache) {
             return Err(MachineError::SnapshotMismatch(
                 "pruning cache shape differs".to_string(),
@@ -1560,7 +1598,7 @@ mod parallel_tests {
         gpu.set_exec_mode(ExecMode::Parallel(3));
         for c in 0..12 {
             for i in 0..2 * n {
-                gpu.poke(i, (c * 7 >> i) & 1 == 1);
+                gpu.poke(i, ((c * 7) >> i) & 1 == 1);
             }
             gpu.step_cycle();
         }
@@ -1710,20 +1748,20 @@ mod backend_tests {
         assert_lockstep(&mut reference, &mut switching, n, 8);
     }
 
-    /// Backends × lanes: a 32-lane compiled batch tracks the
-    /// interpreted batch on every lane under divergent stimulus.
+    /// Backends × lanes: a full-width (64-lane) compiled batch tracks
+    /// the interpreted batch on every lane under divergent stimulus.
     #[test]
     fn compiled_lane_batch_matches_interpreted_per_lane() {
         let n = 4;
         let mut interp = wide_machine(n);
         let mut comp = wide_machine(n);
         comp.set_backend(ExecBackend::Compiled);
-        interp.set_lanes(32).expect("32 lanes");
-        comp.set_lanes(32).expect("32 lanes");
+        interp.set_lanes(GemGpu::MAX_LANES).expect("max lanes");
+        comp.set_lanes(GemGpu::MAX_LANES).expect("max lanes");
         for c in 0u64..16 {
             for i in 0..2 * n {
-                for lane in 0..32u32 {
-                    let v = (c.wrapping_mul(0x9E37) >> (i + lane)) & 1 == 1;
+                for lane in 0..GemGpu::MAX_LANES {
+                    let v = c.wrapping_mul(0x9E37).wrapping_shr(i + lane) & 1 == 1;
                     interp.poke_lane(i, lane, v);
                     comp.poke_lane(i, lane, v);
                 }
@@ -2002,11 +2040,13 @@ mod lane_tests {
         let mut gpu = and_machine();
         assert_eq!(gpu.lanes(), 1);
         assert!(matches!(gpu.set_lanes(0), Err(MachineError::BadLanes(0))));
-        assert!(matches!(gpu.set_lanes(33), Err(MachineError::BadLanes(33))));
+        assert!(matches!(gpu.set_lanes(65), Err(MachineError::BadLanes(65))));
         assert_eq!(gpu.lanes(), 1, "failed set_lanes must not change state");
         gpu.set_lanes(32).expect("32 lanes");
         assert_eq!(gpu.lanes(), 32);
-        assert_eq!(gpu.exec_stats().lanes, 32);
+        gpu.set_lanes(64).expect("64 lanes");
+        assert_eq!(gpu.lanes(), 64);
+        assert_eq!(gpu.exec_stats().lanes, 64);
     }
 
     #[test]
@@ -2015,23 +2055,23 @@ mod lane_tests {
         gpu.set_lanes(8).expect("8 lanes");
         gpu.poke(0, true);
         gpu.poke(1, true);
-        assert_eq!(gpu.peek_lanes(0), u32::MAX, "broadcast fills every lane");
+        assert_eq!(gpu.peek_lanes(0), Word::MAX, "broadcast fills every lane");
         gpu.step_cycle();
         assert!(gpu.peek(2));
-        assert_eq!(gpu.peek_lanes(2), u32::MAX);
+        assert_eq!(gpu.peek_lanes(2), Word::MAX);
     }
 
     #[test]
     fn lanes_compute_independently() {
         let mut gpu = and_machine();
-        gpu.set_lanes(32).expect("32 lanes");
+        gpu.set_lanes(64).expect("64 lanes");
         // Lane k: a = bit0 of k, b = bit1 of k.
-        for lane in 0..32 {
+        for lane in 0..64 {
             gpu.poke_lane(0, lane, lane & 1 == 1);
             gpu.poke_lane(1, lane, lane & 2 == 2);
         }
         gpu.step_cycle();
-        for lane in 0..32 {
+        for lane in 0..64 {
             assert_eq!(
                 gpu.peek_lane(2, lane),
                 (lane & 1 == 1) && (lane & 2 == 2),
@@ -2049,14 +2089,14 @@ mod lane_tests {
         gpu.poke_lane(0, 1, true);
         gpu.poke_lane(1, 1, false);
         gpu.step_cycle();
-        // Lanes 4..32 shadow lane 0 exactly.
+        // Lanes 4..64 shadow lane 0 exactly.
         let word = gpu.peek_lanes(2);
         assert_eq!(word & 0b1, 1, "lane 0: 1&1");
         assert_eq!(word & 0b10, 0, "lane 1: 1&0");
-        assert_eq!(word >> 4, (u32::MAX << 4) >> 4, "inactive lanes mirror");
+        assert_eq!(word >> 4, (Word::MAX << 4) >> 4, "inactive lanes mirror");
         // Packed injection also masks the inactive tail.
         gpu.poke_lanes(0, 0x0000_0001); // lane0=1, lanes 1..3 = 0
-        assert_eq!(gpu.peek_lanes(0) >> 4, (u32::MAX << 4) >> 4);
+        assert_eq!(gpu.peek_lanes(0) >> 4, (Word::MAX << 4) >> 4);
     }
 
     #[test]
@@ -2145,6 +2185,24 @@ mod lane_tests {
     }
 
     #[test]
+    fn stale_word_width_snapshot_rejected() {
+        let mut gpu = and_machine();
+        gpu.set_lanes(3).expect("3 lanes");
+        let before = gpu.snapshot();
+        assert_eq!(before.word_bits(), Word::BITS);
+        // Forge a legacy 32-wide snapshot: restore must fail with the
+        // typed width error and leave the machine untouched.
+        let stale = gpu.snapshot().with_word_bits(32);
+        assert!(matches!(
+            gpu.restore(&stale),
+            Err(MachineError::SnapshotWordWidth(32, 64))
+        ));
+        assert_eq!(gpu.snapshot(), before, "failed restore must not mutate");
+        let msg = MachineError::SnapshotWordWidth(32, 64).to_string();
+        assert!(msg.contains("32") && msg.contains("64"), "{msg}");
+    }
+
+    #[test]
     fn lanes_metric_exported() {
         let mut gpu = and_machine();
         gpu.set_lanes(7).expect("7 lanes");
@@ -2152,17 +2210,17 @@ mod lane_tests {
         assert_eq!(snap.family("gem_vgpu_lanes").unwrap().total(), 7.0);
     }
 
-    /// The heart of the batch contract at machine level: a 32-lane run
-    /// equals 32 scalar runs, under both engines.
+    /// The heart of the batch contract at machine level: a 64-lane run
+    /// equals 64 scalar runs, under both engines.
     #[test]
     fn batch_equals_independent_scalar_runs() {
         for threads in [1usize, 4] {
             let mut batch = and_machine();
             batch.set_threads(threads);
-            batch.set_lanes(32).expect("32 lanes");
-            let mut singles: Vec<GemGpu> = (0..32).map(|_| and_machine()).collect();
+            batch.set_lanes(64).expect("64 lanes");
+            let mut singles: Vec<GemGpu> = (0..64).map(|_| and_machine()).collect();
             for c in 0u64..16 {
-                for lane in 0..32u32 {
+                for lane in 0..64u32 {
                     let a = (c ^ u64::from(lane)) & 1 == 1;
                     let b = (c.wrapping_mul(0x9E37) >> lane) & 1 == 1;
                     batch.poke_lane(0, lane, a);

@@ -78,12 +78,13 @@ fn waveform(path: &Path, backend: ExecBackend) -> String {
     w.finish()
 }
 
-/// The same waveform extracted from lane 0 of a full 32-lane batch:
-/// lane 0 replays the pinned golden stimulus while every other lane
-/// runs its own unrelated stream. The digest must match the scalar
-/// run's — lane batching must not perturb observable behavior.
+/// The same waveform extracted from lane 0 of a full-width 64-lane
+/// batch: lane 0 replays the pinned golden stimulus while every other
+/// lane runs its own unrelated stream. The digest must match the scalar
+/// run's — lane batching must not perturb observable behavior, at any
+/// machine word width.
 fn lane_zero_waveform(path: &Path, backend: ExecBackend) -> String {
-    const LANES: u32 = 32;
+    const LANES: u32 = GemSimulator::MAX_LANES;
     let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
     let name = path.file_stem().unwrap().to_string_lossy().into_owned();
     let module = verilog::parse(&src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
@@ -104,7 +105,7 @@ fn lane_zero_waveform(path: &Path, backend: ExecBackend) -> String {
     sim.set_backend(backend);
     sim.set_lanes(LANES)
         .unwrap_or_else(|e| panic!("{name}: {e}"));
-    // Lane 0 replays the golden stimulus seed; the other 31 lanes run
+    // Lane 0 replays the golden stimulus seed; the other 63 lanes run
     // unrelated streams that must not leak into lane 0's waveform.
     let mut stim = FuzzRng::new(0x601D);
     let mut noise: Vec<FuzzRng> = (1..LANES)
@@ -129,6 +130,7 @@ fn lane_zero_waveform(path: &Path, backend: ExecBackend) -> String {
 
 #[test]
 fn lane_zero_of_batch_matches_golden_digests() {
+    const LANES: u32 = GemSimulator::MAX_LANES;
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let golden_dir = root.join("tests/golden");
     // The named corpus designs the issue pins; new designs are covered
@@ -142,7 +144,7 @@ fn lane_zero_of_batch_matches_golden_digests() {
             assert_eq!(
                 digest,
                 want,
-                "{name}: lane 0 of a 32-lane batch under the {} backend diverged \
+                "{name}: lane 0 of a {LANES}-lane batch under the {} backend diverged \
                  from the pinned scalar waveform",
                 backend.name()
             );
@@ -208,4 +210,97 @@ fn example_designs_match_golden_digests() {
         "observable behavior changed (re-bless only if intentional):\n  {}",
         mismatches.join("\n  ")
     );
+}
+
+/// A full-width 64-lane snapshot is portable across execution backends:
+/// state captured mid-run under one backend resumes bit-exactly under
+/// the other, per lane. And a snapshot whose lane word is a different
+/// width than the machine's (a stale 32-wide capture) is rejected with
+/// the typed error, not silently reinterpreted.
+#[test]
+fn full_width_snapshots_are_backend_portable_and_width_checked() {
+    const LANES: u32 = GemSimulator::MAX_LANES;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("examples/designs/alu.v");
+    let src = std::fs::read_to_string(&path).expect("alu.v");
+    let module = verilog::parse(&src).expect("parse");
+    let opts = CompileOptions {
+        core_width: 256,
+        target_parts: 4,
+        ..Default::default()
+    };
+    let compiled = compile(&module, &opts).expect("compile");
+
+    let drive = |sim: &mut GemSimulator, stims: &mut [FuzzRng], cycles: u64| {
+        for _ in 0..cycles {
+            for p in module.inputs() {
+                let width = module.width(p.net);
+                for (lane, rng) in stims.iter_mut().enumerate() {
+                    sim.set_input_lane(&p.name, lane as u32, rng.bits(width));
+                }
+            }
+            sim.step();
+        }
+    };
+    let mut stims: Vec<FuzzRng> = (0..LANES)
+        .map(|lane| FuzzRng::new(0x5A9_5407 ^ u64::from(lane)))
+        .collect();
+
+    // Warm up under the interpreted backend, snapshot mid-run.
+    let mut sim = GemSimulator::new(&compiled).expect("sim");
+    sim.set_backend(ExecBackend::Interpreted);
+    sim.set_lanes(LANES).expect("lanes");
+    drive(&mut sim, &mut stims, 8);
+    let snap = sim.snapshot();
+
+    // Resume the snapshot under BOTH backends with identical further
+    // stimulus; every lane of every output must agree cycle for cycle.
+    let mut resumed: Vec<Vec<Vec<gem_netlist::Bits>>> = Vec::new();
+    for backend in [ExecBackend::Interpreted, ExecBackend::Compiled] {
+        let mut sim = GemSimulator::new(&compiled).expect("sim");
+        sim.set_backend(backend);
+        sim.set_lanes(LANES).expect("lanes");
+        sim.restore(&snap).expect("restore");
+        let mut stims: Vec<FuzzRng> = (0..LANES)
+            .map(|lane| FuzzRng::new(0x7E57_0002 ^ u64::from(lane)))
+            .collect();
+        let mut trace = Vec::new();
+        for _ in 0..8 {
+            for p in module.inputs() {
+                let width = module.width(p.net);
+                for (lane, rng) in stims.iter_mut().enumerate() {
+                    sim.set_input_lane(&p.name, lane as u32, rng.bits(width));
+                }
+            }
+            sim.step();
+            trace.push(
+                module
+                    .outputs()
+                    .flat_map(|p| (0..LANES).map(|l| sim.output_lane(&p.name, l)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        resumed.push(trace);
+    }
+    assert_eq!(
+        resumed[0], resumed[1],
+        "a restored 64-lane snapshot diverged between backends"
+    );
+    assert_eq!(
+        snap.word_bits(),
+        64,
+        "snapshots must record the lane word width"
+    );
+
+    // A stale snapshot claiming a 32-bit lane word must be refused with
+    // the typed width error — its packed lane data means something else.
+    let stale = sim.snapshot().with_word_bits(32);
+    let mut sim = GemSimulator::new(&compiled).expect("sim");
+    sim.set_lanes(LANES).expect("lanes");
+    match sim.restore(&stale) {
+        Err(gem_vgpu::MachineError::SnapshotWordWidth(snap_bits, mach_bits)) => {
+            assert_eq!((snap_bits, mach_bits), (32, 64));
+        }
+        other => panic!("stale 32-wide snapshot not rejected: {other:?}"),
+    }
 }
